@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Host-CPU microbenchmarks (google-benchmark) of the actual modular
+ * reduction implementations: the functional counterparts of the Fig. 13
+ * ablation. These measure this library's real code on the build machine,
+ * complementing the simulated TPU numbers.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "cross/bat.h"
+#include "cross/lazy_reduce.h"
+#include "cross/sparse_baseline.h"
+#include "nt/barrett.h"
+#include "nt/modops.h"
+#include "nt/montgomery.h"
+#include "nt/shoup.h"
+
+namespace {
+
+using namespace cross;
+
+constexpr u32 kQ = 268369921; // 28-bit NTT prime
+constexpr size_t kN = 4096;
+
+std::vector<u32>
+inputs(u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> v(kN);
+    for (auto &x : v)
+        x = static_cast<u32>(rng.uniform(kQ));
+    return v;
+}
+
+void
+BM_MulMod128(benchmark::State &state)
+{
+    const auto a = inputs(1), b = inputs(2);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += nt::mulMod(a[i], b[i], kQ);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_MulMod128);
+
+void
+BM_Montgomery(benchmark::State &state)
+{
+    nt::Montgomery mont(kQ);
+    const auto a = inputs(3), b = inputs(4);
+    std::vector<u32> am(kN);
+    for (size_t i = 0; i < kN; ++i)
+        am[i] = mont.toMont(a[i]);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += mont.mulMont(am[i], b[i]);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_Montgomery);
+
+void
+BM_MontgomeryPaperAlg1(benchmark::State &state)
+{
+    nt::Montgomery mont(kQ);
+    const auto a = inputs(5), b = inputs(6);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += mont.reducePaper(static_cast<u64>(a[i]) * b[i]);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_MontgomeryPaperAlg1);
+
+void
+BM_Barrett(benchmark::State &state)
+{
+    nt::Barrett bar(kQ);
+    const auto a = inputs(7), b = inputs(8);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += bar.mul(a[i], b[i]);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_Barrett);
+
+void
+BM_Shoup(benchmark::State &state)
+{
+    const auto a = inputs(9), b = inputs(10);
+    std::vector<nt::ShoupConst> pre(kN);
+    for (size_t i = 0; i < kN; ++i)
+        pre[i] = nt::shoupPrecompute(b[i], kQ);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += nt::shoupMul(a[i], pre[i], kQ);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_Shoup);
+
+void
+BM_BatScalar(benchmark::State &state)
+{
+    // Pre-known operand compiled to the K x K BAT block (Alg. 2).
+    nt::Barrett bar(kQ);
+    const auto a = inputs(11), b = inputs(12);
+    std::vector<bat::ByteMatrix> blocks(kN);
+    const u32 k = bat::chunkCount(kQ);
+    for (size_t i = 0; i < kN; ++i)
+        blocks[i] = bat::directScalarBat(a[i], kQ, k);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += bat::batScalarMul(blocks[i], b[i], bar);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_BatScalar);
+
+void
+BM_SparseToeplitzScalar(benchmark::State &state)
+{
+    nt::Barrett bar(kQ);
+    const auto a = inputs(13), b = inputs(14);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += bat::sparseScalarMul(a[i], b[i], bar);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_SparseToeplitzScalar);
+
+void
+BM_LazyReduce(benchmark::State &state)
+{
+    bat::LazyReduceTable tab(kQ);
+    Rng rng(15);
+    std::vector<u64> psums(kN);
+    for (auto &x : psums)
+        x = rng.next();
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += tab.reduce(psums[i]);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_LazyReduce);
+
+void
+BM_FallbackChunkConv(benchmark::State &state)
+{
+    const auto a = inputs(16), b = inputs(17);
+    for (auto _ : state) {
+        u64 acc = 0;
+        for (size_t i = 0; i < kN; ++i)
+            acc += bat::mulViaChunkConvolution(a[i], b[i]);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(state.iterations() * kN);
+}
+BENCHMARK(BM_FallbackChunkConv);
+
+} // namespace
+
+BENCHMARK_MAIN();

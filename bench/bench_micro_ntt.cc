@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Host-CPU microbenchmarks of the three NTT implementations (radix-2 CT,
+ * explicit 4-step, MAT 3-step) and the BConv kernel -- the functional
+ * counterparts of Tables VII/X. On a fine-grained CPU the O(N log N)
+ * butterfly wins, which is itself a datapoint for the paper's argument:
+ * the 3-step trade only pays where a matrix engine exists (Section V-C b
+ * reports the CPU behaviour differs from the TPU's).
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nt/primes.h"
+#include "poly/ntt_3step.h"
+#include "poly/ntt_4step.h"
+#include "poly/ntt_ct.h"
+#include "rns/bconv.h"
+
+namespace {
+
+using namespace cross;
+
+std::vector<u32>
+randomPoly(u32 n, u32 q, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<u32> v(n);
+    for (auto &x : v)
+        x = static_cast<u32>(rng.uniform(q));
+    return v;
+}
+
+void
+BM_NttRadix2(benchmark::State &state)
+{
+    const u32 n = static_cast<u32>(state.range(0));
+    const u32 q =
+        static_cast<u32>(nt::generateNttPrimes(28, 1, 2ULL * n)[0]);
+    poly::NttTables tab(n, q);
+    auto a = randomPoly(n, q, n);
+    for (auto _ : state) {
+        poly::forwardInPlace(a.data(), tab);
+        benchmark::DoNotOptimize(a.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NttRadix2)->Arg(1 << 10)->Arg(1 << 12)->Arg(1 << 13);
+
+void
+BM_NttFourStepExplicit(benchmark::State &state)
+{
+    const u32 n = static_cast<u32>(state.range(0));
+    const u32 q =
+        static_cast<u32>(nt::generateNttPrimes(28, 1, 2ULL * n)[0]);
+    poly::NttTables tab(n, q);
+    poly::FourStepPlan plan(tab, poly::defaultRowSplit(n));
+    const auto a = randomPoly(n, q, n + 1);
+    for (auto _ : state) {
+        auto out = plan.forward(a);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NttFourStepExplicit)->Arg(1 << 10)->Arg(1 << 12);
+
+void
+BM_NttThreeStepMat(benchmark::State &state)
+{
+    const u32 n = static_cast<u32>(state.range(0));
+    const u32 q =
+        static_cast<u32>(nt::generateNttPrimes(28, 1, 2ULL * n)[0]);
+    poly::NttTables tab(n, q);
+    poly::ThreeStepPlan plan(tab, poly::defaultRowSplit(n));
+    const auto a = randomPoly(n, q, n + 2);
+    for (auto _ : state) {
+        auto out = plan.forward(a);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NttThreeStepMat)->Arg(1 << 10)->Arg(1 << 12);
+
+void
+BM_BConv(benchmark::State &state)
+{
+    const u32 l_in = static_cast<u32>(state.range(0));
+    const u32 l_out = l_in + 2;
+    const u64 step = 1 << 13;
+    const auto from_m = nt::generateNttPrimes(28, l_in, step);
+    const auto to_m = nt::generateNttPrimesAvoiding(28, l_out, step, from_m);
+    rns::RnsBasis from(from_m), to(to_m);
+    rns::BasisConversion conv(from, to);
+    const u32 n = 1 << 12;
+    Rng rng(9);
+    rns::LimbMatrix in(l_in), out;
+    for (u32 i = 0; i < l_in; ++i) {
+        in[i].resize(n);
+        for (auto &x : in[i])
+            x = static_cast<u32>(rng.uniform(from.modulus(i)));
+    }
+    for (auto _ : state) {
+        conv.apply(in, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * n * l_in);
+}
+BENCHMARK(BM_BConv)->Arg(4)->Arg(8)->Arg(12);
+
+} // namespace
+
+BENCHMARK_MAIN();

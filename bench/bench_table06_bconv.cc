@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Table VI: BConv step 2 with and without BAT on one simulated TPUv6e
+ * tensor core, plus a functional equivalence check of the basis
+ * conversion against BigUInt ground truth.
+ */
+#include <iostream>
+
+#include "baselines/published.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "cross/lowering.h"
+#include "nt/primes.h"
+#include "rns/bconv.h"
+#include "tpu/sim.h"
+
+int
+main()
+{
+    using namespace cross;
+    bench::banner("Table VI", "BConv with vs without BAT",
+                  bench::kSimNote);
+
+    // Functional check of the conversion itself (small degree).
+    {
+        const u64 step = 1 << 12;
+        const auto from_m = nt::generateNttPrimes(28, 4, step);
+        const auto to_m =
+            nt::generateNttPrimesAvoiding(28, 6, step, from_m);
+        rns::RnsBasis from(from_m), to(to_m);
+        rns::BasisConversion conv(from, to);
+        Rng rng(2);
+        rns::LimbMatrix in(4), b, out;
+        for (size_t i = 0; i < 4; ++i) {
+            in[i].resize(32);
+            for (auto &x : in[i])
+                x = static_cast<u32>(rng.uniform(from.modulus(i)));
+        }
+        conv.step1(in, b);
+        conv.step2(b, out);
+        bool ok = true;
+        for (size_t c = 0; c < 32 && ok; ++c) {
+            nt::BigUInt v;
+            for (size_t i = 0; i < 4; ++i)
+                v = v + from.qHat(i) * b[i][c];
+            for (size_t j = 0; j < to.size(); ++j)
+                ok = ok && out[j][c] == v.modSmall(to.modulus(j));
+        }
+        std::cout << "functional check (4 -> 6 limbs vs BigUInt): "
+                  << (ok ? "exact" : "MISMATCH") << "\n";
+        if (!ok)
+            return 1;
+    }
+
+    lowering::Config bat_cfg, base_cfg;
+    base_cfg.useBat = false;
+    const auto &dev = tpu::tpuV6e();
+    lowering::Lowering bat(dev, bat_cfg), base(dev, base_cfg);
+
+    TablePrinter t("Table VI: BConv on one TPUv6e core (N = 2^16)");
+    t.header({"limbs in", "limbs out", "Baseline(us)", "BAT(us)",
+              "speedup", "paper base", "paper BAT", "paper x"});
+    for (const auto &row : baselines::table6Paper()) {
+        const auto bcost = base.bconv(row.degree, row.limbsIn, row.limbsOut);
+        const auto ccost = bat.bconv(row.degree, row.limbsIn, row.limbsOut);
+        const double bus = tpu::runBatched(dev, bcost, 1).totalUs;
+        const double cus = tpu::runBatched(dev, ccost, 1).totalUs;
+        t.row({std::to_string(row.limbsIn), std::to_string(row.limbsOut),
+               fmtUs(bus), fmtUs(cus), fmtX(bus / cus),
+               fmtUs(row.baselineUs), fmtUs(row.batUs),
+               fmtX(row.baselineUs / row.batUs)});
+    }
+    t.print(std::cout);
+    std::cout << "\nShape check: moving BConv step 2 from the VPU to the "
+                 "MXU wins several-fold (paper band 2.5x-7.2x). Note the "
+                 "paper's first two rows use wider (double-rescaled) "
+                 "moduli, which our equal-width sweep does not replicate; "
+                 "the speedup band is the comparable quantity.\n";
+    return 0;
+}

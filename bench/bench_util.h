@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses in bench/. Every binary
+ * regenerates one table or figure of the paper and prints a banner
+ * stating what it reproduces and on which substrate (simulated TPU vs
+ * host CPU), so bench_output.txt reads as a self-contained lab notebook.
+ */
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace cross::bench {
+
+/** Print the experiment banner. */
+inline void
+banner(const std::string &artifact, const std::string &what,
+       const std::string &substrate)
+{
+    std::cout << "\n=================================================="
+                 "====================\n"
+              << "Reproduces: " << artifact << "\n"
+              << "Content:    " << what << "\n"
+              << "Substrate:  " << substrate << "\n"
+              << "=================================================="
+                 "====================\n";
+}
+
+inline const char *kSimNote =
+    "analytical TPU model calibrated to Table IV (see DESIGN.md); "
+    "absolute us differ from silicon, shapes are the claim";
+
+} // namespace cross::bench

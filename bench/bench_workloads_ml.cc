@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Section V-D: HE machine-learning workloads -- MNIST CNN inference and
+ * HELR logistic regression -- estimated with the paper's own
+ * kernel-count x profiled-latency methodology on the simulated TPUs.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+#include "tpu/sim.h"
+#include "workloads/ml_workloads.h"
+
+int
+main()
+{
+    using namespace cross;
+    bench::banner("Section V-D (MNIST + HELR)",
+                  "HE ML workload latency estimates",
+                  bench::kSimNote);
+
+    lowering::Config cfg;
+
+    // MNIST on v6e-8.
+    {
+        const auto w = workloads::mnistInference();
+        const auto est = workloads::estimateWorkload(w, tpu::tpuV6e(), cfg,
+                                                     8);
+        TablePrinter t("MNIST CNN inference (batch 64, N = 2^13, L = 18, "
+                       "v6e-8)");
+        t.header({"Stage", "ms"});
+        for (const auto &[stage, us] : est.byStageUs)
+            t.row({stage, fmtF(us / 1000, 1)});
+        t.print(std::cout);
+        std::cout << "Amortised per-image latency: "
+                  << fmtF(est.perItemUs / 1000, 1)
+                  << " ms (paper: 270 ms, 10x faster than Orion; "
+                  << est.heOps << " HE ops total)\n\n";
+    }
+
+    // HELR on one v6e tensor core.
+    {
+        const auto w = workloads::helrIteration();
+        const auto est =
+            workloads::estimateWorkload(w, tpu::tpuV6e(), cfg, 1);
+        TablePrinter t("HELR logistic regression (1 iteration, batch "
+                       "1024, one v6e core)");
+        t.header({"Stage", "ms"});
+        for (const auto &[stage, us] : est.byStageUs)
+            t.row({stage, fmtF(us / 1000, 1)});
+        t.print(std::cout);
+        std::cout << "Iteration latency: " << fmtF(est.totalUs / 1000, 1)
+                  << " ms (paper: 84 ms per iteration, 1.06x Cheddar's "
+                     "throughput/W)\n";
+    }
+    return 0;
+}

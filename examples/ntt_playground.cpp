@@ -1,0 +1,115 @@
+/**
+ * @file
+ * NTT playground: the two CROSS transformations made tangible.
+ *
+ *  - MAT: the layout-invariant 3-step NTT produces, via two matmuls and
+ *    one elementwise multiply, *bit-for-bit* the canonical bit-reversed
+ *    output of the radix-2 butterfly NTT -- with zero runtime transposes
+ *    or shuffles (the 4-step baseline needs both).
+ *  - BAT: a pre-known twiddle matrix compiles offline to a dense INT8
+ *    operand; the INT8 matmul reproduces the 28-bit modular product
+ *    exactly, with half the rows of the sparse GPU Toeplitz form.
+ *  - Finally: what each NTT algorithm costs on each simulated TPU.
+ *
+ * Build & run:  ./build/examples/ntt_playground
+ */
+#include <cstdio>
+
+#include "common/rng.h"
+#include "cross/bat.h"
+#include "cross/cross_ntt.h"
+#include "cross/lowering.h"
+#include "cross/sparse_baseline.h"
+#include "nt/modops.h"
+#include "nt/primes.h"
+#include "poly/ntt_3step.h"
+#include "poly/ntt_4step.h"
+#include "poly/ntt_ct.h"
+#include "tpu/sim.h"
+
+int
+main()
+{
+    using namespace cross;
+
+    const u32 n = 256, r = 16;
+    const u32 q =
+        static_cast<u32>(nt::generateNttPrimes(28, 1, 2ULL * n)[0]);
+    poly::NttTables tables(n, q);
+    Rng rng(42);
+    std::vector<u32> a(n);
+    for (auto &x : a)
+        x = static_cast<u32>(rng.uniform(q));
+
+    // --- MAT ------------------------------------------------------------
+    auto reference = a;
+    poly::forwardInPlace(reference.data(), tables); // radix-2 butterfly
+    poly::ThreeStepPlan mat_plan(tables, r);
+    poly::FourStepPlan explicit_plan(tables, r);
+
+    const auto mat_out = mat_plan.forward(a);
+    const auto four_out = explicit_plan.forward(a);
+    std::printf("N = %u, q = %u (28-bit NTT prime), R x C = %u x %u\n", n,
+                q, r, n / r);
+    std::printf("3-step MAT output  == radix-2 output: %s (zero runtime "
+                "reorders)\n",
+                mat_out == reference ? "YES" : "NO");
+    std::printf("4-step output      == radix-2 output: %s (explicit "
+                "transpose + bit-reverse)\n",
+                four_out == reference ? "YES" : "NO");
+    std::printf("round trip inverse(forward(a)) == a:  %s\n",
+                mat_plan.inverse(mat_out) == a ? "YES" : "NO");
+
+    // --- BAT + MAT together: the fully compiled CROSS NTT ---------------
+    CrossNttPlan cross_plan(tables, r);
+    std::printf("\nfully compiled CROSS NTT (INT8 matmuls inside the "
+                "3-step form):\n");
+    std::printf("  forward == radix-2 reference: %s\n",
+                cross_plan.forward(a) == reference ? "YES" : "NO");
+    std::printf("  compiled INT8 parameter footprint: %zu bytes\n",
+                cross_plan.compiledParamBytes());
+
+    // --- BAT ------------------------------------------------------------
+    const u32 k = bat::chunkCount(q);
+    const u32 w = static_cast<u32>(rng.uniform(q));
+    const auto dense = bat::directScalarBat(w, q, k);
+    const auto toeplitz =
+        bat::constructToeplitz(bat::chunkDecompose(w, k));
+    std::printf("\nBAT on twiddle w = %u:\n", w);
+    std::printf("  sparse GPU operand: %zu x %zu (%.0f%% zeros)\n",
+                toeplitz.rows, toeplitz.cols,
+                100 * bat::toeplitzZeroFraction(k));
+    std::printf("  dense BAT operand:  %zu x %zu (0%% zeros)\n",
+                dense.rows, dense.cols);
+    nt::Barrett bar(q);
+    const u32 b = static_cast<u32>(rng.uniform(q));
+    std::printf("  w * %u mod q: BAT=%u, sparse=%u, reference=%u\n", b,
+                bat::batScalarMul(dense, b, bar),
+                bat::sparseScalarMul(w, b, bar),
+                static_cast<u32>(nt::mulMod(w, b, q)));
+
+    // --- Cost on the simulated TPUs --------------------------------------
+    std::printf("\nSimulated 128-batch NTT latency per item (us), "
+                "N = 2^14, 1 limb:\n");
+    std::printf("  %-8s %12s %12s %12s\n", "device", "radix-2",
+                "4-step", "3-step MAT");
+    for (const auto &dev : tpu::allTpus()) {
+        double us[3];
+        int i = 0;
+        for (auto algo : {lowering::NttAlgo::Radix2,
+                          lowering::NttAlgo::FourStepExplicit,
+                          lowering::NttAlgo::ThreeStepMat}) {
+            lowering::Config cfg;
+            cfg.ntt = algo;
+            lowering::Lowering lower(dev, cfg);
+            us[i++] = tpu::runBatched(dev, lower.ntt(1 << 14, 128, 1), 128)
+                          .perItemUs;
+        }
+        std::printf("  %-8s %12.2f %12.2f %12.2f\n", dev.name.c_str(),
+                    us[0], us[1], us[2]);
+    }
+    std::printf("\nThe butterfly algorithm's O(N log N) advantage is "
+                "wiped out by its fine-grained shuffles; the matrix form "
+                "inherits the MXU's throughput.\n");
+    return 0;
+}

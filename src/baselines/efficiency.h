@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Energy-efficiency (throughput per watt) arithmetic of Section V-C:
+ * CROSS is scaled to a tensor-core count whose power roughly matches the
+ * baseline platform's TDP, then kernels-per-second-per-watt is compared.
+ */
+#pragma once
+
+#include "baselines/published.h"
+#include "tpu/device_config.h"
+
+namespace cross::baselines {
+
+/** Throughput per watt of a kernel with latency @p us on @p tc cores. */
+inline double
+throughputPerWatt(double us, u32 tc_count, double tc_watts)
+{
+    if (us <= 0)
+        return 0;
+    const double kernels_per_sec = 1e6 / us; // amortised latency already
+    return kernels_per_sec / (tc_count * tc_watts);
+}
+
+/** Baseline's kernels per second per watt from its reported latency. */
+inline double
+baselineThroughputPerWatt(double us, double watts)
+{
+    if (us <= 0 || watts <= 0)
+        return 0;
+    return (1e6 / us) / watts;
+}
+
+/**
+ * Energy-efficiency ratio CROSS/baseline for one kernel.
+ * @param cross_us      amortised single-batch latency over tc_count cores
+ * @param baseline_us   the published latency
+ */
+inline double
+efficiencyRatio(double cross_us, u32 tc_count, double tc_watts,
+                double baseline_us, double baseline_watts)
+{
+    const double c = throughputPerWatt(cross_us, tc_count, tc_watts);
+    const double b = baselineThroughputPerWatt(baseline_us, baseline_watts);
+    return b > 0 ? c / b : 0;
+}
+
+} // namespace cross::baselines

@@ -1,0 +1,133 @@
+#include "baselines/published.h"
+
+namespace cross::baselines {
+
+const std::vector<HeSystem> &
+table8Baselines()
+{
+    // Gray rows of Table VIII; power figures are the boards' TDPs the
+    // paper uses for its iso-power tensor-core scaling (Section V-A).
+    static const std::vector<HeSystem> v = {
+        {"FIDESlib", "RTX4090", "30,59,3", 450, 8, 60, 28, 3,
+         51, 1084, 156, 1107, true},
+        {"Cheddar", "RTX4090", "48,<=31,12", 450, 8, 48, 28, 3,
+         48, 533, 68, 476, true},
+        {"FAB", "U280", "32,52,4", 225, 4, 64, 28, 4,
+         40, 1710, 190, 1570, true},
+        {"HEAP", "8xU280", "N=2^13,logQ=216", 1800, 8, 8, 28, 3,
+         1, 28, 10, 25, true},
+        {"BASALISC", "ASIC", "32,40,3", 250, 4, 47, 28, 3,
+         8, 312, -1, 313, false},
+        {"WarpDrive", "A100", "34,28,-", 400, 4, 36, 28, 3,
+         61, 4284, 241, 5659, true},
+        {"CraterLake", "ASIC", "51,28,3", 170, 4, 51, 28, 3,
+         9, 35, 9, 27, false},
+        {"OpenFHE", "AMD 9950X3D", "51,28,3", 170, 2, 51, 28, 3,
+         15390, 417651, 22670, 397798, true},
+    };
+    return v;
+}
+
+const std::vector<PaperCrossRow> &
+paperCrossTable8()
+{
+    static const std::vector<PaperCrossRow> v = {
+        {"FIDESlib", "v6e-8", 4.0, 697, 95, 496},
+        {"Cheddar", "v6e-8", 3.5, 487, 74, 393},
+        {"FAB", "v6e-4", 8.8, 1414, 194, 1080},
+        {"HEAP", "v6e-8", 6.5, 12.7, 11.2, 15.9},
+        {"BASALISC", "v6e-4", 6.6, 955, 135, 754},
+        {"WarpDrive", "v6e-4", 10.9, 714, 106, 593},
+        {"OpenFHE/CraterLake", "v6e-4", 6.8, 1007, 149, 798},
+    };
+    return v;
+}
+
+const std::vector<NttThroughputRow> &
+table7Baselines()
+{
+    static const std::vector<NttThroughputRow> v = {
+        {"TensorFHE+ (A100)", 1116, 546, 276},
+        {"WarpDrive (A100)", 12181, 4675, 2088},
+    };
+    return v;
+}
+
+const std::vector<NttThroughputRow> &
+table7PaperTpus()
+{
+    static const std::vector<NttThroughputRow> v = {
+        {"v4-4", 1284, 323, 75},
+        {"v5e-4", 4878, 1276, 223},
+        {"v5p-4", 7274, 1812, 407},
+        {"v6e-8", 14668, 3850, 793},
+    };
+    return v;
+}
+
+const std::vector<BootstrapRow> &
+table9Baselines()
+{
+    static const std::vector<BootstrapRow> v = {
+        {"FIDESlib (RTX4090)", 169},
+        {"Cheddar (RTX4090)", 31.6},
+        {"CraterLake (ASIC)", 3.91},
+    };
+    return v;
+}
+
+const std::vector<BootstrapRow> &
+table9PaperTpus()
+{
+    static const std::vector<BootstrapRow> v = {
+        {"v4-8", 129.8},
+        {"v5e-4", 59.2},
+        {"v5p-8", 68.3},
+        {"v6e-8", 21.5},
+    };
+    return v;
+}
+
+const std::vector<TableXRow> &
+tableXPaper()
+{
+    static const std::vector<TableXRow> v = {
+        {12, 128, 64, 2420, 91.8},   // paper lists (R, C) per row
+        {13, 128, 64, 4999, 165.4},
+        {14, 128, 128, 10530, 355.5},
+        {15, 256, 128, 22228, 812.3},
+        {16, 256, 128, 46996, 1844.8},
+    };
+    return v;
+}
+
+const std::vector<BatMatMulRow> &
+table5Paper()
+{
+    static const std::vector<BatMatMulRow> v = {
+        {512, 256, 256, 6.00, 4.57},
+        {1024, 256, 256, 9.40, 6.88},
+        {2048, 256, 256, 15.43, 11.06},
+        {4096, 256, 256, 29.09, 20.14},
+        {1024, 512, 512, 20.58, 16.32},
+        {2048, 512, 512, 38.49, 28.48},
+        {1024, 1024, 1024, 59.13, 40.69},
+        {2048, 1024, 1024, 113.91, 81.71},
+        {2048, 2048, 2048, 365.28, 224.80},
+    };
+    return v;
+}
+
+const std::vector<BConvRow> &
+table6Paper()
+{
+    static const std::vector<BConvRow> v = {
+        {12, 28, 65536, 815.28, 135.91},
+        {12, 36, 65536, 1054.89, 147.28},
+        {16, 40, 65536, 165.18, 65.77},
+        {24, 56, 65536, 318.92, 94.67},
+    };
+    return v;
+}
+
+} // namespace cross::baselines

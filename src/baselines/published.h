@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Published prior-work results quoted by the paper's evaluation.
+ *
+ * The paper itself does not re-run competitors: the gray rows of Tables
+ * VII-IX "come from their original paper". This module encodes those
+ * numbers (plus each platform's power draw and the tensor-core count the
+ * paper matches against it) so the bench harnesses can print the same
+ * comparison tables and speedup/energy-efficiency ratios.
+ *
+ * Also included: the paper's own CROSS-on-TPU measurements, used by
+ * EXPERIMENTS.md to report paper-vs-simulated deltas.
+ */
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::baselines {
+
+/** One Table VIII baseline system. */
+struct HeSystem
+{
+    std::string name;       ///< e.g. "Cheddar"
+    std::string platform;   ///< e.g. "RTX4090"
+    std::string params;     ///< the (L, log2q, dnum) string it reported
+    double watts;           ///< platform power (TDP)
+    u32 tcCount;            ///< TPU tensor cores matched to that power
+    // CROSS runs the comparison under these parameters:
+    u32 crossLimbs;
+    u32 crossLogq;
+    u32 crossDnum;
+    // Reported kernel latencies in microseconds (<0 = not reported).
+    double addUs;
+    double multUs;
+    double rescaleUs;
+    double rotateUs;
+    bool publiclyAvailable; ///< GPUs/FPGAs/CPU vs unreleased ASICs
+};
+
+/** All Table VIII baselines, in the paper's row order. */
+const std::vector<HeSystem> &table8Baselines();
+
+/** The paper's measured CROSS latencies (for EXPERIMENTS.md deltas). */
+struct PaperCrossRow
+{
+    std::string baseline; ///< which comparison block
+    std::string tpu;      ///< e.g. "v6e-8"
+    double addUs, multUs, rescaleUs, rotateUs;
+};
+const std::vector<PaperCrossRow> &paperCrossTable8();
+
+/** Table VII NTT throughput (kNTT/s) of GPU baselines and paper TPUs. */
+struct NttThroughputRow
+{
+    std::string system;
+    double kNttPerSecN12; ///< N = 2^12
+    double kNttPerSecN13; ///< N = 2^13
+    double kNttPerSecN14; ///< N = 2^14
+};
+const std::vector<NttThroughputRow> &table7Baselines();
+const std::vector<NttThroughputRow> &table7PaperTpus();
+
+/** Table IX packed bootstrapping latency (ms). */
+struct BootstrapRow
+{
+    std::string system;
+    double latencyMs;
+};
+const std::vector<BootstrapRow> &table9Baselines();
+const std::vector<BootstrapRow> &table9PaperTpus();
+
+/** Table X (appendix): radix-2 CT vs MAT NTT on TPUv4, 128-batch (us). */
+struct TableXRow
+{
+    u32 logN;
+    u32 r, c;
+    double radix2Us;
+    double matUs;
+};
+const std::vector<TableXRow> &tableXPaper();
+
+/** Paper Table V / VI reference rows for EXPERIMENTS.md. */
+struct BatMatMulRow
+{
+    u64 h, v, w;
+    double baselineUs, batUs;
+};
+const std::vector<BatMatMulRow> &table5Paper();
+
+struct BConvRow
+{
+    u32 limbsIn, limbsOut;
+    u32 degree;
+    double baselineUs, batUs;
+};
+const std::vector<BConvRow> &table6Paper();
+
+} // namespace cross::baselines

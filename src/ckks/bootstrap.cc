@@ -1,0 +1,234 @@
+#include "ckks/bootstrap.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cross::ckks {
+
+namespace {
+
+void
+push(std::vector<KernelCall> &v, KernelKind kind, u32 n, u32 limbs,
+     u32 limbs_out = 0)
+{
+    v.push_back({kind, n, limbs, limbs_out, 0.0});
+}
+
+/**
+ * Hoisted BSGS rotations (Halevi-Shoup hoisting, as used by the packed
+ * bootstrapping of MAD [3]): ModUp runs once per input ciphertext, then
+ * every rotation applies its automorphism to the decomposed digits and
+ * pays only the inner product + ModDown. This is why Automorphism
+ * dominates the paper's Table IX breakdown.
+ */
+void
+appendHoistedRotations(std::vector<KernelCall> &v, const CkksParams &p,
+                       size_t level, size_t nrot)
+{
+    const u32 n = p.n;
+    const size_t alpha = p.alpha();
+    const size_t aux = p.auxCount();
+    const size_t ext = level + 1 + aux;
+    const size_t d = (level + alpha) / alpha;
+
+    // Shared ModUp of c1.
+    push(v, KernelKind::Intt, n, static_cast<u32>(level + 1));
+    for (size_t j = 0; j < d; ++j) {
+        const size_t first = j * alpha;
+        const size_t last = std::min(first + alpha, level + 1);
+        const size_t dsize = last - first;
+        push(v, KernelKind::BConv, n, static_cast<u32>(dsize),
+             static_cast<u32>(ext - dsize));
+        push(v, KernelKind::Ntt, n, static_cast<u32>(ext - dsize));
+    }
+
+    for (size_t r = 0; r < nrot; ++r) {
+        // Automorphism on every decomposed digit plus c0.
+        push(v, KernelKind::Automorphism, n,
+             static_cast<u32>(d * ext + level + 1));
+        push(v, KernelKind::VecModMul, n, static_cast<u32>(2 * d * ext));
+        push(v, KernelKind::VecModAdd, n, static_cast<u32>(2 * d * ext));
+        for (int comp = 0; comp < 2; ++comp) {
+            push(v, KernelKind::Intt, n, static_cast<u32>(aux));
+            push(v, KernelKind::BConv, n, static_cast<u32>(aux),
+                 static_cast<u32>(level + 1));
+            push(v, KernelKind::Ntt, n, static_cast<u32>(level + 1));
+            push(v, KernelKind::VecModSub, n,
+                 static_cast<u32>(level + 1));
+            push(v, KernelKind::VecModMulConst, n,
+                 static_cast<u32>(level + 1));
+        }
+        push(v, KernelKind::VecModAdd, n, static_cast<u32>(level + 1));
+    }
+}
+
+} // namespace
+
+std::vector<std::pair<HeOp, size_t>>
+enumerateBootstrapOps(const CkksParams &p, const BootstrapConfig &cfg)
+{
+    requireThat(p.limbs > cfg.ctsLevels + cfg.stcLevels + 4,
+                "bootstrap: modulus chain too short for the pipeline");
+    std::vector<std::pair<HeOp, size_t>> ops;
+    size_t level = p.limbs - 1;
+    const u32 slots = p.n / 2;
+
+    auto emit = [&](HeOp op, size_t count) {
+        for (size_t i = 0; i < count; ++i)
+            ops.emplace_back(op, level);
+    };
+
+    emit(HeOp::Add, 2); // ModRaise bookkeeping
+
+    const double rho_d =
+        std::pow(static_cast<double>(slots), 1.0 / cfg.ctsLevels);
+    const size_t rho = static_cast<size_t>(std::llround(rho_d));
+    const size_t bsgs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(rho))));
+    for (u32 s = 0; s < cfg.ctsLevels; ++s) {
+        emit(HeOp::Rotate, 2 * bsgs);
+        emit(HeOp::Mult, 2);
+        emit(HeOp::Add, rho);
+        emit(HeOp::Rescale, 1);
+        if (level > cfg.stcLevels + 4)
+            --level;
+    }
+
+    const size_t cheb_mults = 2 * static_cast<size_t>(std::ceil(
+        std::sqrt(static_cast<double>(cfg.evalModDegree))));
+    for (size_t m = 0; m < cheb_mults; ++m) {
+        emit(HeOp::Mult, 1);
+        emit(HeOp::Add, 1);
+        if (m % 2 == 1 && level > cfg.stcLevels + 2) {
+            emit(HeOp::Rescale, 1);
+            --level;
+        }
+    }
+    for (u32 it = 0; it < cfg.evalModIters; ++it) {
+        emit(HeOp::Mult, 1);
+        emit(HeOp::Add, 2);
+        emit(HeOp::Rescale, 1);
+        if (level > cfg.stcLevels + 1)
+            --level;
+    }
+
+    for (u32 s = 0; s < cfg.stcLevels; ++s) {
+        emit(HeOp::Rotate, 2 * bsgs);
+        emit(HeOp::Mult, 2);
+        emit(HeOp::Add, rho);
+        emit(HeOp::Rescale, 1);
+        if (level > 1)
+            --level;
+    }
+    return ops;
+}
+
+std::vector<KernelCall>
+enumerateBootstrapKernels(const CkksParams &p, const BootstrapConfig &cfg)
+{
+    // Same pipeline as enumerateBootstrapOps, but rotations within a BSGS
+    // stage are hoisted: they share one ModUp.
+    std::vector<KernelCall> v;
+    size_t level = p.limbs - 1;
+    const u32 slots = p.n / 2;
+
+    auto emit_op = [&](HeOp op) {
+        const auto k = enumerateKernels(op, p, level);
+        v.insert(v.end(), k.begin(), k.end());
+    };
+
+    emit_op(HeOp::Add);
+    emit_op(HeOp::Add);
+
+    const double rho_d =
+        std::pow(static_cast<double>(slots), 1.0 / cfg.ctsLevels);
+    const size_t rho = static_cast<size_t>(std::llround(rho_d));
+    const size_t bsgs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(rho))));
+
+    for (u32 s = 0; s < cfg.ctsLevels; ++s) {
+        appendHoistedRotations(v, p, level, 2 * bsgs);
+        emit_op(HeOp::Mult);
+        emit_op(HeOp::Mult);
+        for (size_t a = 0; a < rho; ++a)
+            emit_op(HeOp::Add);
+        emit_op(HeOp::Rescale);
+        if (level > cfg.stcLevels + 4)
+            --level;
+    }
+
+    const size_t cheb_mults = 2 * static_cast<size_t>(std::ceil(
+        std::sqrt(static_cast<double>(cfg.evalModDegree))));
+    for (size_t m = 0; m < cheb_mults; ++m) {
+        emit_op(HeOp::Mult);
+        emit_op(HeOp::Add);
+        if (m % 2 == 1 && level > cfg.stcLevels + 2) {
+            emit_op(HeOp::Rescale);
+            --level;
+        }
+    }
+    for (u32 it = 0; it < cfg.evalModIters; ++it) {
+        emit_op(HeOp::Mult);
+        emit_op(HeOp::Add);
+        emit_op(HeOp::Add);
+        emit_op(HeOp::Rescale);
+        if (level > cfg.stcLevels + 1)
+            --level;
+    }
+
+    for (u32 s = 0; s < cfg.stcLevels; ++s) {
+        appendHoistedRotations(v, p, level, 2 * bsgs);
+        emit_op(HeOp::Mult);
+        emit_op(HeOp::Mult);
+        for (size_t a = 0; a < rho; ++a)
+            emit_op(HeOp::Add);
+        emit_op(HeOp::Rescale);
+        if (level > 1)
+            --level;
+    }
+    return v;
+}
+
+BootstrapEstimate
+estimateBootstrap(const tpu::DeviceConfig &dev,
+                  const lowering::Config &lcfg, const CkksParams &params,
+                  const BootstrapConfig &cfg)
+{
+    HeOpCostModel model(dev, lcfg, params);
+    BootstrapEstimate est;
+    est.heOps = enumerateBootstrapOps(params, cfg).size();
+
+    for (const auto &call : enumerateBootstrapKernels(params, cfg)) {
+        // Worst-case methodology: every kernel is its own launch.
+        const auto cost = model.kernelCost(call);
+        const double us = tpu::runBatched(dev, cost, 1).totalUs;
+        est.totalUs += us;
+        ++est.kernelLaunches;
+        std::string key;
+        switch (call.kind) {
+          case KernelKind::Ntt:
+          case KernelKind::Intt:
+            key = "(I)NTT";
+            break;
+          case KernelKind::BConv:
+            key = "BConv";
+            break;
+          case KernelKind::VecModMul:
+          case KernelKind::VecModMulConst:
+            key = "VecModMul";
+            break;
+          case KernelKind::VecModAdd:
+          case KernelKind::VecModSub:
+            key = "VecModAdd";
+            break;
+          case KernelKind::Automorphism:
+            key = "Automorphism";
+            break;
+        }
+        est.byKernelUs[key] += us;
+    }
+    return est;
+}
+
+} // namespace cross::ckks

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Packed CKKS bootstrapping estimator (Table IX).
+ *
+ * Methodology follows the paper exactly (Section V-A): "the estimated
+ * latency is obtained by multiplying the overall number of HE kernel
+ * invocations with each profiled realistic latency, which represents the
+ * worst case latency as it assumes no pipeline or fusion." We enumerate
+ * the HE-operator sequence of packed bootstrapping [MAD, MICRO'23]
+ * (ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff) with BSGS
+ * decompositions, expand every operator to its kernel schedule, and price
+ * each kernel as an individual launch on the simulated device.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ckks/params.h"
+#include "ckks/schedule.h"
+#include "tpu/sim.h"
+
+namespace cross::ckks {
+
+/** Structural knobs of the packed bootstrapping pipeline. */
+struct BootstrapConfig
+{
+    u32 ctsLevels = 3;      ///< CoeffToSlot matrix-decomposition depth
+    u32 stcLevels = 3;      ///< SlotToCoeff depth
+    u32 evalModDegree = 31; ///< Chebyshev degree of the mod reduction
+    u32 evalModIters = 2;   ///< double-angle / arcsine refinement rounds
+};
+
+/** Result: total latency plus the Table IX per-kernel breakdown. */
+struct BootstrapEstimate
+{
+    double totalUs = 0;
+    std::map<std::string, double> byKernelUs; ///< keyed by kernel name
+    u64 kernelLaunches = 0;
+    u64 heOps = 0;
+
+    double
+    fraction(const std::string &kernel) const
+    {
+        auto it = byKernelUs.find(kernel);
+        return it == byKernelUs.end() ? 0.0 : it->second / totalUs;
+    }
+};
+
+/**
+ * Enumerate the bootstrap pipeline as (HE op, level) pairs.
+ * Levels consume downward from the top of the modulus chain.
+ */
+std::vector<std::pair<HeOp, size_t>>
+enumerateBootstrapOps(const CkksParams &params, const BootstrapConfig &cfg);
+
+/**
+ * Full kernel schedule of the pipeline with BSGS rotations *hoisted*
+ * (one shared ModUp per stage, per-rotation automorphism on the
+ * decomposed digits) -- the schedule estimateBootstrap() prices.
+ */
+std::vector<KernelCall>
+enumerateBootstrapKernels(const CkksParams &params,
+                          const BootstrapConfig &cfg);
+
+/** Price the pipeline on one tensor core of @p dev. */
+BootstrapEstimate estimateBootstrap(const tpu::DeviceConfig &dev,
+                                    const lowering::Config &lcfg,
+                                    const CkksParams &params,
+                                    const BootstrapConfig &cfg = {});
+
+} // namespace cross::ckks

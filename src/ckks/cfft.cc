@@ -1,0 +1,41 @@
+#include "ckks/cfft.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/check.h"
+
+namespace cross::ckks {
+
+void
+fftInPlace(std::vector<Complex> &a, int sign)
+{
+    const size_t n = a.size();
+    requireThat(isPow2(n), "fftInPlace: length must be a power of two");
+    requireThat(sign == 1 || sign == -1, "fftInPlace: sign must be +-1");
+
+    // Bit-reversal reorder.
+    const u32 bits = ilog2(n);
+    for (size_t i = 0; i < n; ++i) {
+        const size_t j = bitReverse(i, bits);
+        if (i < j)
+            std::swap(a[i], a[j]);
+    }
+
+    for (size_t len = 2; len <= n; len <<= 1) {
+        const double ang = sign * 2.0 * M_PI / static_cast<double>(len);
+        const Complex wlen(std::cos(ang), std::sin(ang));
+        for (size_t i = 0; i < n; i += len) {
+            Complex w(1.0, 0.0);
+            for (size_t j = 0; j < len / 2; ++j) {
+                const Complex u = a[i + j];
+                const Complex v = a[i + j + len / 2] * w;
+                a[i + j] = u + v;
+                a[i + j + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+}
+
+} // namespace cross::ckks

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Iterative radix-2 complex FFT used only by the CKKS encoder/decoder
+ * (canonical embedding). Not performance-critical: encoding happens on
+ * the trusted client, outside the accelerator data path the paper
+ * optimises.
+ */
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::ckks {
+
+using Complex = std::complex<double>;
+
+/**
+ * In-place FFT of power-of-two length.
+ * @param a    data
+ * @param sign -1 for the e^{-2*pi*i*k*n/len} kernel (forward), +1 for the
+ *             conjugate kernel. No normalisation is applied.
+ */
+void fftInPlace(std::vector<Complex> &a, int sign);
+
+} // namespace cross::ckks

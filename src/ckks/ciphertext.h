@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Plaintext and ciphertext containers. Both keep their polynomials in the
+ * evaluation (double-CRT) domain; the scale is the CKKS encoding factor
+ * Delta tracked as a double, and the level is implied by the limb count.
+ */
+#pragma once
+
+#include "poly/ring.h"
+
+namespace cross::ckks {
+
+/** Encoded (scaled, integer-rounded) message in R_Q, eval domain. */
+struct Plaintext
+{
+    poly::RnsPoly poly;
+    double scale = 1.0;
+
+    size_t level() const { return poly.limbCount() - 1; }
+};
+
+/** RLWE ciphertext (c0, c1) with decrypt(c) = c0 + c1 * s. */
+struct Ciphertext
+{
+    poly::RnsPoly c0;
+    poly::RnsPoly c1;
+    double scale = 1.0;
+
+    size_t level() const { return c0.limbCount() - 1; }
+    size_t limbs() const { return c0.limbCount(); }
+};
+
+/** Degree-3 intermediate of HE-Mult before relinearisation. */
+struct Ciphertext3
+{
+    poly::RnsPoly c0;
+    poly::RnsPoly c1;
+    poly::RnsPoly c2;
+    double scale = 1.0;
+};
+
+} // namespace cross::ckks

@@ -1,0 +1,139 @@
+#include "ckks/encoder.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::ckks {
+
+CkksEncoder::CkksEncoder(const CkksContext &ctx) : ctx_(ctx)
+{
+    const u64 two_n = 2ULL * ctx_.degree();
+    rotGroup_.resize(ctx_.degree() / 2);
+    u64 g = 1;
+    for (auto &r : rotGroup_) {
+        r = static_cast<u32>(g);
+        g = g * 5 % two_n;
+    }
+}
+
+Plaintext
+CkksEncoder::encode(const std::vector<Complex> &values, double scale,
+                    size_t limbs) const
+{
+    const u32 n = ctx_.degree();
+    const u64 two_n = 2ULL * n;
+    requireThat(values.size() <= slotCount(),
+                "encode: more values than slots");
+    requireThat(scale > 1.0, "encode: scale must exceed 1");
+
+    // Spectrum over Z_2N: W[5^j] = z_j, W[2N - 5^j] = conj(z_j).
+    std::vector<Complex> w(two_n, Complex(0, 0));
+    for (size_t j = 0; j < values.size(); ++j) {
+        const u32 t = rotGroup_[j];
+        w[t] = values[j] * scale;
+        w[two_n - t] = std::conj(values[j]) * scale;
+    }
+
+    // a_n = (1/N) sum_{odd t} W[t] zeta^{-tn}: forward kernel FFT.
+    fftInPlace(w, -1);
+
+    Plaintext pt;
+    pt.poly = poly::RnsPoly(ctx_.ring(), limbs, false);
+    pt.scale = scale;
+    for (u32 i = 0; i < n; ++i) {
+        const double coef = w[i].real() / static_cast<double>(n);
+        // Conjugate symmetry makes the imaginary part vanish up to fp
+        // noise; a large residue signals an encoder bug.
+        internalCheck(std::abs(w[i].imag()) / static_cast<double>(n) <
+                          0.5 + std::abs(coef) * 1e-6,
+                      "encode: non-real coefficient");
+        const double rounded = std::nearbyint(coef);
+        // Coefficients live modulo Q = prod q_i; they may exceed a single
+        // limb (double-rescaling encodes at ~2^54), but must stay within
+        // Q/2 (decode ambiguity) and the i64 lift.
+        double q_bits = 0;
+        for (size_t l = 0; l < limbs; ++l)
+            q_bits += std::log2(static_cast<double>(ctx_.qModulus(l)));
+        requireThat(std::abs(rounded) < std::ldexp(1.0, 62) &&
+                        (rounded == 0.0 ||
+                         std::log2(std::abs(rounded)) < q_bits - 1.0),
+                    "encode: coefficient overflows Q/2; lower the scale");
+        const i64 c = static_cast<i64>(rounded);
+        for (size_t l = 0; l < limbs; ++l) {
+            const u64 q = ctx_.qModulus(l);
+            pt.poly.limb(l)[i] =
+                static_cast<u32>(c >= 0 ? static_cast<u64>(c) % q
+                                        : q - (static_cast<u64>(-c) % q));
+        }
+    }
+    pt.poly.toEval();
+    return pt;
+}
+
+Plaintext
+CkksEncoder::encodeReal(const std::vector<double> &values, double scale,
+                        size_t limbs) const
+{
+    std::vector<Complex> v(values.size());
+    for (size_t i = 0; i < values.size(); ++i)
+        v[i] = Complex(values[i], 0);
+    return encode(v, scale, limbs);
+}
+
+std::vector<Complex>
+CkksEncoder::decode(const Plaintext &pt) const
+{
+    const u32 n = ctx_.degree();
+    const u64 two_n = 2ULL * n;
+    poly::RnsPoly p = pt.poly;
+    if (p.isEval())
+        p.toCoeff();
+
+    // CRT-compose each coefficient and center modulo Q_level.
+    const size_t limbs = p.limbCount();
+    std::vector<u64> moduli(limbs);
+    for (size_t l = 0; l < limbs; ++l)
+        moduli[l] = p.limbModulus(l);
+    rns::RnsBasis basis(moduli);
+    const nt::BigUInt &big_q = basis.bigModulus();
+
+    std::vector<Complex> w(two_n, Complex(0, 0));
+    std::vector<u64> residues(limbs);
+    for (u32 i = 0; i < n; ++i) {
+        for (size_t l = 0; l < limbs; ++l)
+            residues[l] = p.limb(l)[i];
+        const nt::BigUInt x = basis.compose(residues);
+        // Center exactly in the integer domain: subtracting Q in double
+        // arithmetic would lose everything below Q's ulp (~2^87 for
+        // Set-D-sized moduli).
+        double v;
+        if ((x + x).compare(big_q) > 0)
+            v = -(big_q - x).toDouble();
+        else
+            v = x.toDouble();
+        w[i] = Complex(v, 0);
+    }
+
+    // m(zeta^t) for all t: conjugate-kernel FFT of the padded coeffs.
+    fftInPlace(w, +1);
+
+    std::vector<Complex> out(slotCount());
+    for (size_t j = 0; j < out.size(); ++j)
+        out[j] = w[rotGroup_[j]] / pt.scale;
+    return out;
+}
+
+u32
+CkksEncoder::rotationAutomorphism(i64 steps) const
+{
+    const u64 two_n = 2ULL * ctx_.degree();
+    const i64 half = static_cast<i64>(slotCount());
+    i64 r = steps % half;
+    if (r < 0)
+        r += half;
+    return static_cast<u32>(nt::powMod(5, static_cast<u64>(r), two_n));
+}
+
+} // namespace cross::ckks

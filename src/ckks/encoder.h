@@ -1,0 +1,57 @@
+/**
+ * @file
+ * CKKS encoder: canonical embedding between C^(N/2) slot vectors and
+ * integer polynomials in R_Q.
+ *
+ * Slot j corresponds to evaluation at zeta^(5^j) where zeta = e^(i*pi/N)
+ * is a primitive 2N-th complex root of unity; the orbit ordering makes
+ * the Galois automorphism x -> x^5 act as a cyclic slot rotation, and
+ * x -> x^(2N-1) as slot-wise conjugation.
+ */
+#pragma once
+
+#include <vector>
+
+#include "ckks/cfft.h"
+#include "ckks/ciphertext.h"
+#include "ckks/context.h"
+
+namespace cross::ckks {
+
+/** Encoder/decoder bound to a context. */
+class CkksEncoder
+{
+  public:
+    explicit CkksEncoder(const CkksContext &ctx);
+
+    /** Number of complex slots (N/2). */
+    size_t slotCount() const { return ctx_.degree() / 2; }
+
+    /**
+     * Encode @p values (padded with zeros to N/2 slots) at @p scale into
+     * a plaintext with @p limbs RNS limbs.
+     * @throws std::invalid_argument if a scaled coefficient would
+     *         overflow the first modulus.
+     */
+    Plaintext encode(const std::vector<Complex> &values, double scale,
+                     size_t limbs) const;
+
+    /** Real-vector convenience overload. */
+    Plaintext encodeReal(const std::vector<double> &values, double scale,
+                         size_t limbs) const;
+
+    /** Decode back to N/2 complex slots (CRT-composes the limbs). */
+    std::vector<Complex> decode(const Plaintext &pt) const;
+
+    /** Rotation automorphism index for a left rotation by @p steps. */
+    u32 rotationAutomorphism(i64 steps) const;
+
+    /** Conjugation automorphism index (2N - 1). */
+    u32 conjugationAutomorphism() const { return 2 * ctx_.degree() - 1; }
+
+  private:
+    const CkksContext &ctx_;
+    std::vector<u32> rotGroup_; ///< 5^j mod 2N for j < N/2
+};
+
+} // namespace cross::ckks

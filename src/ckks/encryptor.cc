@@ -1,0 +1,50 @@
+#include "ckks/encryptor.h"
+
+namespace cross::ckks {
+
+using poly::RnsPoly;
+
+Ciphertext
+CkksEncryptor::encrypt(const Plaintext &pt)
+{
+    const size_t limbs = pt.poly.limbCount();
+    RnsPoly v = RnsPoly::ternary(ctx_.ring(), limbs, rng_);
+    v.toEval();
+    RnsPoly e0 =
+        RnsPoly::gaussian(ctx_.ring(), limbs, rng_, ctx_.params().sigma);
+    e0.toEval();
+    RnsPoly e1 =
+        RnsPoly::gaussian(ctx_.ring(), limbs, rng_, ctx_.params().sigma);
+    e1.toEval();
+
+    RnsPoly b = pk_.b;
+    b.truncateLimbs(limbs);
+    RnsPoly a = pk_.a;
+    a.truncateLimbs(limbs);
+
+    Ciphertext ct;
+    ct.c0 = std::move(b);
+    ct.c0.mulPointwiseInPlace(v);
+    ct.c0.addInPlace(e0);
+    ct.c0.addInPlace(pt.poly);
+    ct.c1 = std::move(a);
+    ct.c1.mulPointwiseInPlace(v);
+    ct.c1.addInPlace(e1);
+    ct.scale = pt.scale;
+    return ct;
+}
+
+Plaintext
+CkksDecryptor::decrypt(const Ciphertext &ct)
+{
+    RnsPoly s = sk_.s;
+    s.truncateLimbs(ct.limbs());
+    Plaintext pt;
+    pt.poly = ct.c1;
+    pt.poly.mulPointwiseInPlace(s);
+    pt.poly.addInPlace(ct.c0);
+    pt.scale = ct.scale;
+    return pt;
+}
+
+} // namespace cross::ckks

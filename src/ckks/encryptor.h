@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Public-key encryption and secret-key decryption.
+ */
+#pragma once
+
+#include "ckks/ciphertext.h"
+#include "ckks/context.h"
+#include "ckks/keys.h"
+#include "common/rng.h"
+
+namespace cross::ckks {
+
+/** Encrypts plaintexts under a public key. */
+class CkksEncryptor
+{
+  public:
+    CkksEncryptor(const CkksContext &ctx, PublicKey pk, u64 seed = 7)
+        : ctx_(ctx), pk_(std::move(pk)), rng_(seed)
+    {
+    }
+
+    /** RLWE encryption: c = v * pk + (e0 + m, e1). */
+    Ciphertext encrypt(const Plaintext &pt);
+
+  private:
+    const CkksContext &ctx_;
+    PublicKey pk_;
+    Rng rng_;
+};
+
+/** Decrypts ciphertexts with the secret key. */
+class CkksDecryptor
+{
+  public:
+    CkksDecryptor(const CkksContext &ctx, const SecretKey &sk)
+        : ctx_(ctx), sk_(sk)
+    {
+    }
+
+    /** m = c0 + c1 * s (eval domain). */
+    Plaintext decrypt(const Ciphertext &ct);
+
+  private:
+    const CkksContext &ctx_;
+    const SecretKey &sk_;
+};
+
+} // namespace cross::ckks

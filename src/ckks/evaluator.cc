@@ -1,0 +1,364 @@
+#include "ckks/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/timer.h"
+#include "nt/modops.h"
+#include "nt/shoup.h"
+#include "poly/ntt_ct.h"
+
+namespace cross::ckks {
+
+using poly::RnsPoly;
+
+namespace {
+
+/** Scales must agree to fp tolerance before add/sub. */
+void
+checkScales(const Ciphertext &a, const Ciphertext &b)
+{
+    requireThat(std::abs(a.scale - b.scale) <=
+                    1e-6 * std::max(a.scale, b.scale),
+                "ciphertext scales do not match");
+}
+
+} // namespace
+
+void
+CkksEvaluator::logCall(KernelKind kind, u32 limbs, u32 limbs_out,
+                       double seconds) const
+{
+    if (log_)
+        log_->add(kind, ctx_.degree(), limbs, limbs_out, seconds);
+}
+
+Ciphertext
+CkksEvaluator::add(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkScales(a, b);
+    const size_t limbs = std::min(a.limbs(), b.limbs());
+    Ciphertext r = reduceToLimbs(a, limbs);
+    Ciphertext bb = reduceToLimbs(b, limbs);
+    WallTimer t;
+    r.c0.addInPlace(bb.c0);
+    r.c1.addInPlace(bb.c1);
+    logCall(KernelKind::VecModAdd, static_cast<u32>(2 * limbs), 0,
+            t.seconds());
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::sub(const Ciphertext &a, const Ciphertext &b) const
+{
+    checkScales(a, b);
+    const size_t limbs = std::min(a.limbs(), b.limbs());
+    Ciphertext r = reduceToLimbs(a, limbs);
+    Ciphertext bb = reduceToLimbs(b, limbs);
+    WallTimer t;
+    r.c0.subInPlace(bb.c0);
+    r.c1.subInPlace(bb.c1);
+    logCall(KernelKind::VecModSub, static_cast<u32>(2 * limbs), 0,
+            t.seconds());
+    return r;
+}
+
+Ciphertext3
+CkksEvaluator::multiplyNoRelin(const Ciphertext &a,
+                               const Ciphertext &b) const
+{
+    const size_t limbs = std::min(a.limbs(), b.limbs());
+    Ciphertext aa = reduceToLimbs(a, limbs);
+    Ciphertext bb = reduceToLimbs(b, limbs);
+
+    WallTimer t;
+    Ciphertext3 r;
+    r.c0 = aa.c0;
+    r.c0.mulPointwiseInPlace(bb.c0);        // a0*b0
+    r.c2 = aa.c1;
+    r.c2.mulPointwiseInPlace(bb.c1);        // a1*b1
+    r.c1 = aa.c0;
+    r.c1.mulPointwiseInPlace(bb.c1);        // a0*b1
+    RnsPoly t10 = aa.c1;
+    t10.mulPointwiseInPlace(bb.c0);         // a1*b0
+    logCall(KernelKind::VecModMul, static_cast<u32>(4 * limbs), 0,
+            t.seconds());
+    WallTimer t2;
+    r.c1.addInPlace(t10);
+    logCall(KernelKind::VecModAdd, static_cast<u32>(limbs), 0, t2.seconds());
+    r.scale = aa.scale * bb.scale;
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::relinearize(const Ciphertext3 &c, const SwitchKey &rlk) const
+{
+    auto [k0, k1] = keySwitch(c.c2, rlk);
+    Ciphertext r;
+    r.c0 = c.c0;
+    r.c1 = c.c1;
+    WallTimer t;
+    r.c0.addInPlace(k0);
+    r.c1.addInPlace(k1);
+    logCall(KernelKind::VecModAdd, static_cast<u32>(2 * c.c0.limbCount()),
+            0, t.seconds());
+    r.scale = c.scale;
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                        const SwitchKey &rlk) const
+{
+    return relinearize(multiplyNoRelin(a, b), rlk);
+}
+
+Ciphertext
+CkksEvaluator::rescale(const Ciphertext &ct) const
+{
+    const size_t limbs = ct.limbs();
+    requireThat(limbs >= 2, "rescale: no limb left to drop");
+    const size_t l = limbs - 1;
+    const u64 q_l = ctx_.qModulus(l);
+
+    Ciphertext r = ct;
+    for (RnsPoly *comp : {&r.c0, &r.c1}) {
+        // INTT the dropped limb to coefficients.
+        WallTimer ti;
+        std::vector<u32> last = comp->limb(l);
+        poly::inverseInPlace(last.data(), ctx_.ring().tables(l));
+        logCall(KernelKind::Intt, 1, 0, ti.seconds());
+
+        for (size_t i = 0; i < l; ++i) {
+            const u64 q_i = ctx_.qModulus(i);
+            // Exact centered lift of [c]_{q_l} into q_i.
+            WallTimer tn;
+            std::vector<u32> lifted(last.size());
+            for (size_t n = 0; n < last.size(); ++n) {
+                const u64 v = last[n];
+                lifted[n] = static_cast<u32>(
+                    v > q_l / 2 ? q_i - ((q_l - v) % q_i) : v % q_i);
+            }
+            poly::forwardInPlace(lifted.data(), ctx_.ring().tables(i));
+            logCall(KernelKind::Ntt, 1, 0, tn.seconds());
+
+            WallTimer tv;
+            const u64 q = q_i;
+            const auto inv = nt::shoupPrecompute(
+                static_cast<u32>(ctx_.qInvModQ(l, i)),
+                static_cast<u32>(q));
+            auto &dst = comp->limb(i);
+            for (size_t n = 0; n < dst.size(); ++n) {
+                const u32 diff = static_cast<u32>(
+                    nt::subMod(dst[n], lifted[n], q));
+                dst[n] = nt::shoupMul(diff, inv, static_cast<u32>(q));
+            }
+            logCall(KernelKind::VecModSub, 1, 0, 0.0);
+            logCall(KernelKind::VecModMulConst, 1, 0, tv.seconds());
+        }
+        comp->dropLastLimb();
+    }
+    r.scale = ct.scale / static_cast<double>(q_l);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::rescaleMulti(const Ciphertext &ct) const
+{
+    const u32 split = ctx_.params().rescaleSplit;
+    requireThat(ct.limbs() > split,
+                "rescaleMulti: not enough limbs for a double rescale");
+    Ciphertext r = ct;
+    for (u32 i = 0; i < split; ++i)
+        r = rescale(r);
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
+                      const SwitchKey &rot_key) const
+{
+    WallTimer t;
+    RnsPoly r0 = ct.c0.automorphism(auto_idx);
+    RnsPoly r1 = ct.c1.automorphism(auto_idx);
+    logCall(KernelKind::Automorphism,
+            static_cast<u32>(2 * ct.limbs()), 0, t.seconds());
+
+    auto [k0, k1] = keySwitch(r1, rot_key);
+    Ciphertext out;
+    out.c0 = std::move(r0);
+    WallTimer t2;
+    out.c0.addInPlace(k0);
+    logCall(KernelKind::VecModAdd, static_cast<u32>(ct.limbs()), 0,
+            t2.seconds());
+    out.c1 = std::move(k1);
+    out.scale = ct.scale;
+    return out;
+}
+
+Ciphertext
+CkksEvaluator::addPlain(const Ciphertext &ct, const Plaintext &pt) const
+{
+    requireThat(std::abs(ct.scale - pt.scale) <=
+                    1e-6 * std::max(ct.scale, pt.scale),
+                "addPlain: scales do not match");
+    const size_t limbs = std::min(ct.limbs(), pt.poly.limbCount());
+    Ciphertext r = reduceToLimbs(ct, limbs);
+    RnsPoly p = pt.poly;
+    p.truncateLimbs(limbs);
+    WallTimer t;
+    r.c0.addInPlace(p);
+    logCall(KernelKind::VecModAdd, static_cast<u32>(limbs), 0, t.seconds());
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::multiplyPlain(const Ciphertext &ct, const Plaintext &pt) const
+{
+    const size_t limbs = std::min(ct.limbs(), pt.poly.limbCount());
+    Ciphertext r = reduceToLimbs(ct, limbs);
+    RnsPoly p = pt.poly;
+    p.truncateLimbs(limbs);
+    WallTimer t;
+    r.c0.mulPointwiseInPlace(p);
+    r.c1.mulPointwiseInPlace(p);
+    logCall(KernelKind::VecModMulConst, static_cast<u32>(2 * limbs), 0,
+            t.seconds());
+    r.scale = ct.scale * pt.scale;
+    return r;
+}
+
+Ciphertext
+CkksEvaluator::reduceToLimbs(const Ciphertext &ct, size_t limbs) const
+{
+    requireThat(limbs >= 1 && limbs <= ct.limbs(),
+                "reduceToLimbs: bad limb count");
+    Ciphertext r = ct;
+    r.c0.truncateLimbs(limbs);
+    r.c1.truncateLimbs(limbs);
+    return r;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitch(const RnsPoly &c, const SwitchKey &swk) const
+{
+    requireThat(c.isEval(), "keySwitch: input must be in eval domain");
+    const size_t level = c.limbCount() - 1;
+    const size_t d = ctx_.activeDigits(level);
+    requireThat(d <= swk.digits.size(), "keySwitch: not enough digits");
+    const auto ext_slots = ctx_.extendedSlots(level);
+    const size_t ext = ext_slots.size();
+
+    // INTT the input once; digits share the coefficient form.
+    WallTimer ti;
+    RnsPoly c_coeff = c;
+    c_coeff.toCoeff();
+    logCall(KernelKind::Intt, static_cast<u32>(level + 1), 0, ti.seconds());
+
+    RnsPoly acc0(ctx_.ring(), ext_slots, true);
+    RnsPoly acc1(ctx_.ring(), ext_slots, true);
+
+    for (size_t j = 0; j < d; ++j) {
+        const auto [first, last] = ctx_.digitRange(j, level);
+        const auto &conv = ctx_.modUpConv(j, level);
+
+        // ModUp: convert the digit to the complement + P basis.
+        WallTimer tb;
+        rns::LimbMatrix in(last - first);
+        for (size_t i = first; i < last; ++i)
+            in[i - first] = c_coeff.limb(i);
+        rns::LimbMatrix out;
+        conv.apply(in, out);
+        logCall(KernelKind::BConv, static_cast<u32>(last - first),
+                static_cast<u32>(out.size()), tb.seconds());
+
+        // Assemble the extended-basis digit polynomial in eval domain:
+        // digit limbs come straight from c (already NTT'd), converted
+        // limbs are transformed individually.
+        RnsPoly up(ctx_.ring(), ext_slots, true);
+        size_t conv_pos = 0;
+        double ntt_secs = 0;
+        u32 ntt_count = 0;
+        for (size_t pos = 0; pos < ext; ++pos) {
+            const u32 ring_idx = ext_slots[pos];
+            const bool in_digit =
+                ring_idx >= first && ring_idx < last &&
+                ring_idx < ctx_.qCount();
+            if (in_digit) {
+                up.limb(pos) = c.limb(ring_idx);
+            } else {
+                WallTimer tn;
+                up.limb(pos) = std::move(out[conv_pos++]);
+                poly::forwardInPlace(up.limb(pos).data(),
+                                     ctx_.ring().tables(ring_idx));
+                ntt_secs += tn.seconds();
+                ++ntt_count;
+            }
+        }
+        internalCheck(conv_pos == out.size(), "keySwitch: modup mismatch");
+        logCall(KernelKind::Ntt, ntt_count, 0, ntt_secs);
+
+        // Inner product with the digit's switching key.
+        WallTimer tm;
+        RnsPoly kb = swk.digits[j].first.selectSlots(ext_slots);
+        RnsPoly ka = swk.digits[j].second.selectSlots(ext_slots);
+        kb.mulPointwiseInPlace(up);
+        ka.mulPointwiseInPlace(up);
+        logCall(KernelKind::VecModMul, static_cast<u32>(2 * ext), 0,
+                tm.seconds());
+        WallTimer ta;
+        acc0.addInPlace(kb);
+        acc1.addInPlace(ka);
+        logCall(KernelKind::VecModAdd, static_cast<u32>(2 * ext), 0,
+                ta.seconds());
+    }
+
+    // ModDown both accumulators: (acc - Conv_P->Q(acc_P)) * P^-1.
+    auto mod_down = [&](RnsPoly &acc) {
+        const auto &conv = ctx_.modDownConv(level);
+
+        WallTimer ti2;
+        rns::LimbMatrix p_part(ctx_.pCount());
+        for (size_t jj = 0; jj < ctx_.pCount(); ++jj) {
+            p_part[jj] = acc.limb(level + 1 + jj);
+            poly::inverseInPlace(p_part[jj].data(),
+                                 ctx_.ring().tables(ctx_.pSlot(jj)));
+        }
+        logCall(KernelKind::Intt, static_cast<u32>(ctx_.pCount()), 0,
+                ti2.seconds());
+
+        WallTimer tb2;
+        rns::LimbMatrix conv_out;
+        conv.apply(p_part, conv_out);
+        logCall(KernelKind::BConv, static_cast<u32>(ctx_.pCount()),
+                static_cast<u32>(level + 1), tb2.seconds());
+
+        WallTimer tn2;
+        RnsPoly conv_q(ctx_.ring(), level + 1, true);
+        for (size_t i = 0; i <= level; ++i) {
+            conv_q.limb(i) = std::move(conv_out[i]);
+            poly::forwardInPlace(conv_q.limb(i).data(),
+                                 ctx_.ring().tables(i));
+        }
+        logCall(KernelKind::Ntt, static_cast<u32>(level + 1), 0,
+                tn2.seconds());
+
+        WallTimer tv;
+        RnsPoly res(ctx_.ring(), level + 1, true);
+        for (size_t i = 0; i <= level; ++i)
+            res.limb(i) = acc.limb(i);
+        res.subInPlace(conv_q);
+        std::vector<u64> pinv(level + 1);
+        for (size_t i = 0; i <= level; ++i)
+            pinv[i] = ctx_.pInvModQ(i);
+        res.mulScalarPerLimbInPlace(pinv);
+        logCall(KernelKind::VecModSub, static_cast<u32>(level + 1), 0, 0.0);
+        logCall(KernelKind::VecModMulConst, static_cast<u32>(level + 1), 0,
+                tv.seconds());
+        return res;
+    };
+
+    return {mod_down(acc0), mod_down(acc1)};
+}
+
+} // namespace cross::ckks

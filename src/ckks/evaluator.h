@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The CKKS evaluator: the four backbone HE operators the paper benchmarks
+ * (HE-Add, HE-Mult, Rescale, Rotate) plus plaintext variants and the
+ * hybrid key-switching core they share.
+ *
+ * Every kernel executed is reported to an optional KernelLog with its
+ * shape and wall time; tests check the log against the pure schedule
+ * enumerator (schedule.h), which is what the TPU cost model replays --
+ * guaranteeing the simulator prices exactly the kernels the functional
+ * implementation runs.
+ */
+#pragma once
+
+#include "ckks/ciphertext.h"
+#include "ckks/context.h"
+#include "ckks/kernel_log.h"
+#include "ckks/keys.h"
+
+namespace cross::ckks {
+
+/** Homomorphic operator implementations. */
+class CkksEvaluator
+{
+  public:
+    explicit CkksEvaluator(const CkksContext &ctx, KernelLog *log = nullptr)
+        : ctx_(ctx), log_(log)
+    {
+    }
+
+    /** @name Backbone HE operators (Table VIII workloads). @{ */
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+    /** Tensor product without relinearisation. */
+    Ciphertext3 multiplyNoRelin(const Ciphertext &a,
+                                const Ciphertext &b) const;
+    /** Key-switch the degree-2 term back to a 2-element ciphertext. */
+    Ciphertext relinearize(const Ciphertext3 &c, const SwitchKey &rlk) const;
+    /** multiplyNoRelin + relinearize. */
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
+                        const SwitchKey &rlk) const;
+    /** Drop the last limb, dividing the scale by q_l. */
+    Ciphertext rescale(const Ciphertext &ct) const;
+    /**
+     * Double rescaling (Section V-A): drop params().rescaleSplit
+     * sub-moduli in one logical level step -- how CROSS supports
+     * baselines whose moduli exceed the 32-bit register width.
+     */
+    Ciphertext rescaleMulti(const Ciphertext &ct) const;
+    /** Slot rotation: automorphism + key switch. */
+    Ciphertext rotate(const Ciphertext &ct, u32 auto_idx,
+                      const SwitchKey &rot_key) const;
+    /** @} */
+
+    /** @name Plaintext operands. @{ */
+    Ciphertext addPlain(const Ciphertext &ct, const Plaintext &pt) const;
+    Ciphertext multiplyPlain(const Ciphertext &ct,
+                             const Plaintext &pt) const;
+    /** @} */
+
+    /** Truncate to @p limbs limbs (level reduction; scale unchanged). */
+    Ciphertext reduceToLimbs(const Ciphertext &ct, size_t limbs) const;
+
+    /**
+     * Hybrid key-switching core (ModUp -> inner product -> ModDown);
+     * public because rotation/relin/bootstrapping all reuse it and tests
+     * probe it directly.
+     */
+    std::pair<poly::RnsPoly, poly::RnsPoly>
+    keySwitch(const poly::RnsPoly &c, const SwitchKey &swk) const;
+
+  private:
+    void logCall(KernelKind kind, u32 limbs, u32 limbs_out,
+                 double seconds) const;
+
+    const CkksContext &ctx_;
+    KernelLog *log_;
+};
+
+} // namespace cross::ckks

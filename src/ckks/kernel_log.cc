@@ -1,0 +1,40 @@
+#include "ckks/kernel_log.h"
+
+namespace cross::ckks {
+
+const char *
+kernelKindName(KernelKind k)
+{
+    switch (k) {
+      case KernelKind::Ntt: return "NTT";
+      case KernelKind::Intt: return "INTT";
+      case KernelKind::BConv: return "BasisChange";
+      case KernelKind::VecModMul: return "VecModMul";
+      case KernelKind::VecModMulConst: return "VecModMulConst";
+      case KernelKind::VecModAdd: return "VecModAdd";
+      case KernelKind::VecModSub: return "VecModSub";
+      case KernelKind::Automorphism: return "Automorphism";
+    }
+    return "?";
+}
+
+double
+KernelLog::secondsFor(KernelKind kind) const
+{
+    double s = 0;
+    for (const auto &c : calls_)
+        if (c.kind == kind)
+            s += c.seconds;
+    return s;
+}
+
+double
+KernelLog::totalSeconds() const
+{
+    double s = 0;
+    for (const auto &c : calls_)
+        s += c.seconds;
+    return s;
+}
+
+} // namespace cross::ckks

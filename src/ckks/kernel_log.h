@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Kernel-invocation log: every HE operator in the evaluator reports the
+ * HE kernels it executes (kind + shape + wall time). Three consumers:
+ *
+ *  1. tests: the functional evaluator's log must equal the pure schedule
+ *     enumerator's prediction (src/ckks/schedule.h);
+ *  2. the TPU cost model: replays a schedule through cross::Lowering;
+ *  3. Fig. 14: wall-time per kernel kind on the host CPU backend.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::ckks {
+
+/** HE kernel taxonomy (matches the paper's Fig. 14 / Table IX legends). */
+enum class KernelKind
+{
+    Ntt,
+    Intt,
+    BConv,
+    VecModMul,
+    VecModMulConst,
+    VecModAdd,
+    VecModSub,
+    Automorphism,
+};
+
+/** Human-readable kind name. */
+const char *kernelKindName(KernelKind k);
+
+/** One kernel invocation. */
+struct KernelCall
+{
+    KernelKind kind;
+    u32 n = 0;       ///< degree
+    u32 limbs = 0;   ///< limbs processed (source limbs for BConv)
+    u32 limbsOut = 0;///< BConv target limbs (0 otherwise)
+    double seconds = 0.0; ///< wall time when measured functionally
+
+    bool
+    sameShape(const KernelCall &o) const
+    {
+        return kind == o.kind && n == o.n && limbs == o.limbs &&
+            limbsOut == o.limbsOut;
+    }
+};
+
+/** Append-only kernel log. */
+class KernelLog
+{
+  public:
+    void
+    add(KernelKind kind, u32 n, u32 limbs, u32 limbs_out = 0,
+        double seconds = 0.0)
+    {
+        calls_.push_back({kind, n, limbs, limbs_out, seconds});
+    }
+
+    const std::vector<KernelCall> &calls() const { return calls_; }
+    void clear() { calls_.clear(); }
+
+    /** Total wall seconds attributed to @p kind. */
+    double secondsFor(KernelKind kind) const;
+
+    /** Total wall seconds across all calls. */
+    double totalSeconds() const;
+
+  private:
+    std::vector<KernelCall> calls_;
+};
+
+} // namespace cross::ckks

@@ -1,0 +1,194 @@
+#include "ckks/schedule.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/check.h"
+
+namespace cross::ckks {
+
+const char *
+heOpName(HeOp op)
+{
+    switch (op) {
+      case HeOp::Add: return "HE-Add";
+      case HeOp::Mult: return "HE-Mult";
+      case HeOp::Rescale: return "Rescale";
+      case HeOp::Rotate: return "Rotate";
+    }
+    return "?";
+}
+
+namespace {
+
+void
+push(std::vector<KernelCall> &v, KernelKind kind, u32 n, u32 limbs,
+     u32 limbs_out = 0)
+{
+    v.push_back({kind, n, limbs, limbs_out, 0.0});
+}
+
+} // namespace
+
+std::vector<KernelCall>
+enumerateKeySwitch(const CkksParams &p, size_t level)
+{
+    std::vector<KernelCall> v;
+    const u32 n = p.n;
+    const size_t alpha = p.alpha();
+    const size_t aux = p.auxCount();
+    const size_t ext = level + 1 + aux;
+    const size_t digits = (level + alpha) / alpha;
+
+    push(v, KernelKind::Intt, n, static_cast<u32>(level + 1));
+    for (size_t j = 0; j < digits; ++j) {
+        const size_t first = j * alpha;
+        const size_t last = std::min(first + alpha, level + 1);
+        const size_t dsize = last - first;
+        push(v, KernelKind::BConv, n, static_cast<u32>(dsize),
+             static_cast<u32>(ext - dsize));
+        push(v, KernelKind::Ntt, n, static_cast<u32>(ext - dsize));
+        push(v, KernelKind::VecModMul, n, static_cast<u32>(2 * ext));
+        push(v, KernelKind::VecModAdd, n, static_cast<u32>(2 * ext));
+    }
+    for (int comp = 0; comp < 2; ++comp) {
+        push(v, KernelKind::Intt, n, static_cast<u32>(aux));
+        push(v, KernelKind::BConv, n, static_cast<u32>(aux),
+             static_cast<u32>(level + 1));
+        push(v, KernelKind::Ntt, n, static_cast<u32>(level + 1));
+        push(v, KernelKind::VecModSub, n, static_cast<u32>(level + 1));
+        push(v, KernelKind::VecModMulConst, n,
+             static_cast<u32>(level + 1));
+    }
+    return v;
+}
+
+std::vector<KernelCall>
+enumerateKernels(HeOp op, const CkksParams &p, size_t level)
+{
+    requireThat(level < p.limbs, "enumerateKernels: level out of range");
+    std::vector<KernelCall> v;
+    const u32 n = p.n;
+    const u32 limbs = static_cast<u32>(level + 1);
+
+    switch (op) {
+      case HeOp::Add:
+        push(v, KernelKind::VecModAdd, n, 2 * limbs);
+        break;
+
+      case HeOp::Mult: {
+        push(v, KernelKind::VecModMul, n, 4 * limbs);
+        push(v, KernelKind::VecModAdd, n, limbs);
+        auto ks = enumerateKeySwitch(p, level);
+        v.insert(v.end(), ks.begin(), ks.end());
+        push(v, KernelKind::VecModAdd, n, 2 * limbs);
+        break;
+      }
+
+      case HeOp::Rescale: {
+        requireThat(level >= 1, "rescale needs >= 2 limbs");
+        for (int comp = 0; comp < 2; ++comp) {
+            push(v, KernelKind::Intt, n, 1);
+            for (size_t i = 0; i < level; ++i) {
+                push(v, KernelKind::Ntt, n, 1);
+                push(v, KernelKind::VecModSub, n, 1);
+                push(v, KernelKind::VecModMulConst, n, 1);
+            }
+        }
+        break;
+      }
+
+      case HeOp::Rotate: {
+        push(v, KernelKind::Automorphism, n, 2 * limbs);
+        auto ks = enumerateKeySwitch(p, level);
+        v.insert(v.end(), ks.begin(), ks.end());
+        push(v, KernelKind::VecModAdd, n, limbs);
+        break;
+      }
+    }
+    return v;
+}
+
+HeOpCostModel::HeOpCostModel(const tpu::DeviceConfig &dev,
+                             lowering::Config cfg, CkksParams params)
+    : dev_(dev), cfg_(cfg), params_(std::move(params)), lower_(dev, cfg),
+      rowSplit_(bestRowSplit(dev, cfg, params_.n))
+{
+}
+
+tpu::KernelCost
+HeOpCostModel::kernelCost(const KernelCall &call) const
+{
+    switch (call.kind) {
+      case KernelKind::Ntt:
+        return lower_.ntt(call.n, rowSplit_, call.limbs, false);
+      case KernelKind::Intt:
+        return lower_.ntt(call.n, rowSplit_, call.limbs, true);
+      case KernelKind::BConv:
+        return lower_.bconv(call.n, call.limbs, call.limbsOut);
+      case KernelKind::VecModMul:
+        return lower_.vecModMul(call.n, call.limbs);
+      case KernelKind::VecModMulConst:
+        return lower_.vecModMulConst(call.n, call.limbs);
+      case KernelKind::VecModAdd:
+      case KernelKind::VecModSub:
+        return lower_.vecModAdd(call.n, call.limbs);
+      case KernelKind::Automorphism:
+        return lower_.automorphism(call.n, call.limbs);
+    }
+    internalCheck(false, "kernelCost: unknown kind");
+    return {};
+}
+
+tpu::KernelCost
+HeOpCostModel::opCost(HeOp op, size_t level) const
+{
+    tpu::KernelCost total;
+    total.name = heOpName(op);
+    for (const auto &call : enumerateKernels(op, params_, level))
+        total.append(kernelCost(call));
+    return total;
+}
+
+double
+HeOpCostModel::opLatencyUs(HeOp op, size_t level, u64 batch) const
+{
+    const auto cost = opCost(op, level);
+    return tpu::runBatched(dev_, cost, batch).perItemUs;
+}
+
+std::map<tpu::OpCat, double>
+HeOpCostModel::opBreakdown(HeOp op, size_t level) const
+{
+    const auto cost = opCost(op, level);
+    return tpu::runBatched(dev_, cost, 1).byCat;
+}
+
+u32
+bestRowSplit(const tpu::DeviceConfig &dev, const lowering::Config &cfg,
+             u32 n)
+{
+    // The paper sweeps (R, C) in {(128, N/128) ... (512, N/512)} and
+    // reports the best; for standalone NTT at small N it pins one
+    // dimension to the 128-lane width. Radix-2 has no split.
+    const u32 sqrt_split = 1u << ((ilog2(n) + 1) / 2);
+    if (cfg.ntt == lowering::NttAlgo::Radix2)
+        return sqrt_split;
+
+    lowering::Lowering lower(dev, cfg);
+    u32 best = sqrt_split;
+    double best_us = -1;
+    for (u32 r : {128u, 256u, 512u, sqrt_split}) {
+        if (r >= n || n % r != 0 || r < 2)
+            continue;
+        const auto cost = lower.ntt(n, r, 1, false);
+        const double us = tpu::runBatched(dev, cost, 1).totalUs;
+        if (best_us < 0 || us < best_us) {
+            best_us = us;
+            best = r;
+        }
+    }
+    return best;
+}
+
+} // namespace cross::ckks

@@ -1,0 +1,16 @@
+#include "common/bitops.h"
+
+namespace cross {
+
+std::vector<u32>
+bitReverseTable(u32 n)
+{
+    internalCheck(isPow2(n), "bitReverseTable: size must be a power of 2");
+    const u32 bits = ilog2(n);
+    std::vector<u32> t(n);
+    for (u32 i = 0; i < n; ++i)
+        t[i] = static_cast<u32>(bitReverse(i, bits));
+    return t;
+}
+
+} // namespace cross

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bit-manipulation helpers: power-of-two predicates, integer log2 and
+ * bit-reversal (the permutation at the heart of radix-2 NTT ordering).
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cross {
+
+/** @return true iff @p x is a (nonzero) power of two. */
+constexpr bool
+isPow2(u64 x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+/** Floor of log2(@p x); requires x > 0. */
+constexpr u32
+ilog2(u64 x)
+{
+    u32 r = 0;
+    while (x >>= 1)
+        ++r;
+    return r;
+}
+
+/** Reverse the lowest @p bits bits of @p x (e.g. bitReverse(0b001, 3) = 0b100). */
+constexpr u64
+bitReverse(u64 x, u32 bits)
+{
+    u64 r = 0;
+    for (u32 i = 0; i < bits; ++i) {
+        r = (r << 1) | (x & 1);
+        x >>= 1;
+    }
+    return r;
+}
+
+/** Bit-reversal index table for a power-of-two size @p n. */
+std::vector<u32> bitReverseTable(u32 n);
+
+/**
+ * Apply the bit-reversal permutation in place: out[i] = in[bitrev(i)].
+ * @p v must have power-of-two size.
+ */
+template <typename T>
+void
+bitReversePermute(std::vector<T> &v)
+{
+    const u32 n = static_cast<u32>(v.size());
+    internalCheck(isPow2(n), "bitReversePermute: size must be a power of 2");
+    const u32 bits = ilog2(n);
+    for (u32 i = 0; i < n; ++i) {
+        u32 j = static_cast<u32>(bitReverse(i, bits));
+        if (i < j)
+            std::swap(v[i], v[j]);
+    }
+}
+
+/** Ceiling division for nonnegative integers. */
+constexpr u64
+ceilDiv(u64 a, u64 b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the next multiple of @p b. */
+constexpr u64
+roundUp(u64 a, u64 b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+} // namespace cross

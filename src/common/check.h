@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Lightweight precondition / invariant checking.
+ *
+ * Following the gem5 fatal()/panic() distinction:
+ *  - requireThat(): user-facing precondition (bad parameters) -> throws
+ *    std::invalid_argument.
+ *  - internalCheck(): library invariant that should never fail -> throws
+ *    std::logic_error.
+ */
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cross {
+
+/** Throw std::invalid_argument with @p msg when @p cond is false. */
+inline void
+requireThat(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw std::invalid_argument(msg);
+}
+
+/** Throw std::logic_error with @p msg when @p cond is false. */
+inline void
+internalCheck(bool cond, const std::string &msg)
+{
+    if (!cond)
+        throw std::logic_error(msg);
+}
+
+} // namespace cross

@@ -1,0 +1,39 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace cross {
+
+double
+Rng::gaussian(double sigma)
+{
+    // Box-Muller; draws two uniforms, returns one sample.
+    double u1 = real();
+    double u2 = real();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return sigma * std::sqrt(-2.0 * std::log(u1)) *
+        std::cos(2.0 * M_PI * u2);
+}
+
+std::vector<u64>
+Rng::uniformVec(size_t n, u64 bound)
+{
+    std::vector<u64> v(n);
+    for (auto &x : v)
+        x = uniform(bound);
+    return v;
+}
+
+std::vector<u64>
+Rng::ternaryVec(size_t n, u64 q)
+{
+    std::vector<u64> v(n);
+    for (auto &x : v) {
+        u64 t = uniform(3); // 0,1,2 -> 0,1,-1
+        x = (t == 2) ? q - 1 : t;
+    }
+    return v;
+}
+
+} // namespace cross

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used by
+ * tests, key generation and workload generators. Determinism matters:
+ * every experiment in bench/ is reproducible from a fixed seed.
+ *
+ * Not cryptographically secure; the CKKS key generator uses it for
+ * *reproducible research* sampling, which is called out in the README.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross {
+
+/** splitmix64 step, used to seed xoshiro from a single 64-bit value. */
+constexpr u64
+splitMix64(u64 &state)
+{
+    u64 z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(u64 seed = 0x5eedULL)
+    {
+        u64 sm = seed;
+        for (auto &si : s)
+            si = splitMix64(sm);
+    }
+
+    /** Next raw 64-bit sample. */
+    u64
+    next()
+    {
+        const u64 result = rotl(s[1] * 5, 7) * 9;
+        const u64 t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = rotl(s[3], 45);
+        return result;
+    }
+
+    /** Uniform sample in [0, bound); bound > 0. Unbiased via rejection. */
+    u64
+    uniform(u64 bound)
+    {
+        const u64 threshold = (0 - bound) % bound;
+        for (;;) {
+            u64 r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform in [lo, hi] inclusive. */
+    u64
+    range(u64 lo, u64 hi)
+    {
+        return lo + uniform(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Gaussian sample (Box-Muller), mean 0, stddev @p sigma. */
+    double gaussian(double sigma);
+
+    /** Vector of n uniform values in [0, bound). */
+    std::vector<u64> uniformVec(size_t n, u64 bound);
+
+    /** Ternary vector in {-1,0,1} mapped to {q-1,0,1} mod q. */
+    std::vector<u64> ternaryVec(size_t n, u64 q);
+
+  private:
+    static constexpr u64
+    rotl(u64 x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    u64 s[4];
+};
+
+} // namespace cross

@@ -1,0 +1,91 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace cross {
+
+void
+TablePrinter::header(std::vector<std::string> cells)
+{
+    headerRow_ = std::move(cells);
+}
+
+void
+TablePrinter::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::print(std::ostream &os) const
+{
+    size_t ncols = headerRow_.size();
+    for (const auto &r : rows_)
+        ncols = std::max(ncols, r.size());
+
+    std::vector<size_t> width(ncols, 0);
+    auto measure = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    };
+    measure(headerRow_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &r) {
+        for (size_t c = 0; c < ncols; ++c) {
+            const std::string cell = c < r.size() ? r[c] : "";
+            os << cell;
+            if (c + 1 < ncols)
+                os << std::string(width[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+    if (!headerRow_.empty()) {
+        emit(headerRow_);
+        size_t total = 0;
+        for (size_t c = 0; c < ncols; ++c)
+            total += width[c] + (c + 1 < ncols ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+}
+
+std::string
+fmtF(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtUs(double us)
+{
+    if (us >= 1000.0)
+        return fmtF(us, 1);
+    if (us >= 10.0)
+        return fmtF(us, 2);
+    return fmtF(us, 3);
+}
+
+std::string
+fmtX(double ratio, int digits)
+{
+    return fmtF(ratio, digits) + "x";
+}
+
+std::string
+fmtPct(double fraction, int digits)
+{
+    return fmtF(fraction * 100.0, digits) + "%";
+}
+
+} // namespace cross

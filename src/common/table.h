@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Minimal aligned-column table printer used by every bench binary so the
+ * regenerated paper tables are readable in a terminal and greppable in
+ * bench_output.txt.
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cross {
+
+/**
+ * Collects rows of strings and prints them with aligned columns.
+ *
+ * Usage:
+ *   TablePrinter t("Table V: BAT vs baseline");
+ *   t.header({"H", "V", "W", "Baseline", "BAT", "speedup"});
+ *   t.row({"512", "256", "256", "6.00us", "4.57us", "1.31x"});
+ *   t.print(std::cout);
+ */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title = "") : title_(std::move(title)) {}
+
+    /** Set the header row (printed with a separator underneath). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. Rows may be ragged; missing cells print empty. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headerRow_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format @p v with @p digits digits after the decimal point. */
+std::string fmtF(double v, int digits = 2);
+
+/** Format microseconds with adaptive precision, e.g. "4.57". */
+std::string fmtUs(double us);
+
+/** Format a ratio as e.g. "1.31x". */
+std::string fmtX(double ratio, int digits = 2);
+
+/** Format a percentage as e.g. "51.2%". */
+std::string fmtPct(double fraction, int digits = 1);
+
+} // namespace cross

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Fixed-width integer aliases used across the CROSS codebase.
+ *
+ * HE moduli in this project are < 2^32 (the paper targets log2 q <= 31 so
+ * that a coefficient fits one 32-bit TPU register); products of two
+ * coefficients therefore need 64 bits and a handful of reduction paths
+ * (Shoup, CRT ground truth) need 128 bits.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace cross {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using i32 = std::int32_t;
+
+/** 128-bit unsigned integer (GCC/Clang builtin; both are required anyway). */
+using u128 = unsigned __int128;
+
+} // namespace cross

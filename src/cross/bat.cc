@@ -1,0 +1,153 @@
+#include "cross/bat.h"
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::bat {
+
+u32
+chunkCount(u32 q, u32 bp)
+{
+    requireThat(bp >= 1 && bp <= 16, "chunkCount: bp out of range");
+    const u32 bits = ilog2(q) + 1;
+    return static_cast<u32>(ceilDiv(bits, bp));
+}
+
+std::vector<u8>
+chunkDecompose(u64 a, u32 k, u32 bp)
+{
+    requireThat(bp <= 8, "chunkDecompose: chunks must fit u8");
+    std::vector<u8> out(k);
+    const u64 mask = (1ULL << bp) - 1;
+    for (u32 i = 0; i < k; ++i)
+        out[i] = static_cast<u8>((a >> (i * bp)) & mask);
+    internalCheck(k * bp >= 64 || (a >> (k * bp)) == 0,
+                  "chunkDecompose: value does not fit k chunks");
+    return out;
+}
+
+u64
+chunkMerge(const std::vector<u64> &chunks, u32 bp)
+{
+    u64 a = 0;
+    for (size_t i = 0; i < chunks.size(); ++i)
+        a += chunks[i] << (i * bp);
+    return a;
+}
+
+ByteMatrix
+directScalarBat(u32 a, u32 q, u32 k, u32 bp)
+{
+    requireThat(a < q, "directScalarBat: operand must be < q");
+    ByteMatrix m(k, k);
+    for (u32 j = 0; j < k; ++j) {
+        // (a << j*bp) mod q, reduced offline -- the basis realignment.
+        const u64 val =
+            nt::mulMod(a, nt::powMod(2, static_cast<u64>(j) * bp, q), q);
+        const auto chunks = chunkDecompose(val, k, bp);
+        for (u32 i = 0; i < k; ++i)
+            m.at(i, j) = chunks[i];
+    }
+    return m;
+}
+
+ByteMatrix
+offlineCompileLeft(const poly::ModMatrix &a, u32 k, u32 bp)
+{
+    const size_t h = a.rows(), v = a.cols();
+    ByteMatrix dense(k * h, k * v);
+    for (size_t r = 0; r < h; ++r) {
+        for (size_t c = 0; c < v; ++c) {
+            const ByteMatrix block =
+                directScalarBat(a.at(r, c), a.modulus(), k, bp);
+            for (u32 i = 0; i < k; ++i)
+                for (u32 j = 0; j < k; ++j)
+                    dense.at(r * k + i, c * k + j) = block.at(i, j);
+        }
+    }
+    return dense;
+}
+
+ByteMatrix
+runtimeCompileRight(const u32 *b, size_t v, size_t w, u32 k, u32 bp)
+{
+    ByteMatrix dense(k * v, w);
+    for (size_t r = 0; r < v; ++r) {
+        for (size_t c = 0; c < w; ++c) {
+            const auto chunks = chunkDecompose(b[r * w + c], k, bp);
+            for (u32 i = 0; i < k; ++i)
+                dense.at(r * k + i, c) = chunks[i];
+        }
+    }
+    return dense;
+}
+
+std::vector<u32>
+byteMatMul(const ByteMatrix &a, const ByteMatrix &b)
+{
+    requireThat(a.cols == b.rows, "byteMatMul: shape mismatch");
+    // INT32 accumulator safety, as on a real MXU.
+    requireThat(static_cast<u64>(a.cols) * 255 * 255 < (1ULL << 31),
+                "byteMatMul: reduction dim would overflow int32 accum");
+    std::vector<u32> z(a.rows * b.cols, 0);
+    for (size_t r = 0; r < a.rows; ++r) {
+        for (size_t k = 0; k < a.cols; ++k) {
+            const u32 av = a.at(r, k);
+            if (av == 0)
+                continue;
+            const u8 *brow = &b.data[k * b.cols];
+            u32 *zrow = &z[r * b.cols];
+            for (size_t c = 0; c < b.cols; ++c)
+                zrow[c] += av * brow[c];
+        }
+    }
+    return z;
+}
+
+poly::ModMatrix
+batMatMul(const poly::ModMatrix &a, const poly::ModMatrix &b, u32 bp)
+{
+    requireThat(a.cols() == b.rows() && a.modulus() == b.modulus(),
+                "batMatMul: shape/modulus mismatch");
+    const u32 q = a.modulus();
+    const u32 k = chunkCount(q, bp);
+    const size_t h = a.rows(), w = b.cols();
+
+    const ByteMatrix lhs = offlineCompileLeft(a, k, bp);   // offline
+    const ByteMatrix rhs =
+        runtimeCompileRight(b.data().data(), b.rows(), w, k, bp);
+    const auto z_chunk = byteMatMul(lhs, rhs);              // MXU
+
+    // ChunkMerge + final reduction (VPU side).
+    nt::Barrett bar(q);
+    poly::ModMatrix z(h, w, q);
+    for (size_t r = 0; r < h; ++r) {
+        for (size_t c = 0; c < w; ++c) {
+            u64 merged = 0;
+            for (u32 i = 0; i < k; ++i) {
+                merged += static_cast<u64>(z_chunk[(r * k + i) * w + c])
+                    << (i * bp);
+            }
+            z.at(r, c) = bar.reduceWide(merged);
+        }
+    }
+    return z;
+}
+
+u32
+batScalarMul(const ByteMatrix &block, u32 b, const nt::Barrett &bar, u32 bp)
+{
+    const u32 k = static_cast<u32>(block.rows);
+    const auto chunks = chunkDecompose(b, k, bp);
+    u64 merged = 0;
+    for (u32 i = 0; i < k; ++i) {
+        u32 psum = 0;
+        for (u32 j = 0; j < k; ++j)
+            psum += static_cast<u32>(block.at(i, j)) * chunks[j];
+        merged += static_cast<u64>(psum) << (i * bp);
+    }
+    return bar.reduceWide(merged);
+}
+
+} // namespace cross::bat

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Basis-Aligned Transformation (BAT) -- the paper's core arithmetic
+ * contribution (Section IV-A, Algorithms 2 and 5, Fig. 7).
+ *
+ * BAT converts high-precision modular arithmetic over *pre-known*
+ * parameters into dense low-precision (bp = 8 bit) matrix multiplication:
+ *
+ *   a * b mod q  ==  ChunkMerge( M_BAT(a) @ Chunks(b) ) mod q
+ *
+ * where M_BAT(a)[i][j] = chunk_i( (a << 8j) mod q ): the contributions of
+ * high output bases are folded back into the low bases *offline*, turning
+ * the GPU-style sparse (2K-1) x K Toeplitz operand (43% structural zeros)
+ * into a dense K x K one -- a ~2x compute/memory saving, and the whole
+ * product becomes an INT8 MatMul an MXU can execute.
+ *
+ * Everything here is functional (bit-exact); the simulator prices the same
+ * shapes in src/cross/lowering.h.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "nt/barrett.h"
+#include "poly/modmat.h"
+
+namespace cross::bat {
+
+/** Row-major dense byte matrix: the MXU operand type. */
+struct ByteMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<u8> data;
+
+    ByteMatrix() = default;
+    ByteMatrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0) {}
+
+    u8 &at(size_t r, size_t c) { return data[r * cols + c]; }
+    u8 at(size_t r, size_t c) const { return data[r * cols + c]; }
+};
+
+/** ceil(log2 q / bp): bytes per coefficient (K in the paper, Table I). */
+u32 chunkCount(u32 q, u32 bp = 8);
+
+/** CHUNKDECOMPOSE (Alg. 2): split @p a into @p k bp-bit chunks, LSB first. */
+std::vector<u8> chunkDecompose(u64 a, u32 k, u32 bp = 8);
+
+/** CHUNKMERGE (Alg. 2): sum_k chunks[k] << (k * bp). */
+u64 chunkMerge(const std::vector<u64> &chunks, u32 bp = 8);
+
+/**
+ * DIRECTSCALARBAT (Alg. 2): the K x K dense BAT matrix of a pre-known
+ * scalar a modulo q. Column j holds the chunks of (a << 8j) mod q.
+ */
+ByteMatrix directScalarBat(u32 a, u32 q, u32 k, u32 bp = 8);
+
+/**
+ * OFFLINECOMPILELEFT (Alg. 2): expand each scalar of a pre-known H x V
+ * matrix into its K x K BAT block, yielding the dense KH x KV operand.
+ */
+ByteMatrix offlineCompileLeft(const poly::ModMatrix &a, u32 k, u32 bp = 8);
+
+/**
+ * RUNTIMECOMPILERIGHT (Alg. 2): chunk-decompose runtime data B (V x W,
+ * row-major) into the KV x W byte matrix (chunks stacked vertically).
+ */
+ByteMatrix runtimeCompileRight(const u32 *b, size_t v, size_t w, u32 k,
+                               u32 bp = 8);
+
+/**
+ * The MXU model: INT8 x INT8 -> INT32-accumulate matrix product.
+ * @throws std::invalid_argument if the reduction dimension could overflow
+ *         a 32-bit accumulator (kv * 255^2 must stay below 2^31), which is
+ *         the same constraint real MXUs impose.
+ */
+std::vector<u32> byteMatMul(const ByteMatrix &a, const ByteMatrix &b);
+
+/**
+ * Full BAT ModMatMul pipeline (MAIN-FULLMATMUL, Alg. 2): offline-compiled
+ * left @ runtime-compiled right on the int8 path, then ChunkMerge and a
+ * final Barrett reduction. Must equal poly::matMul bit-for-bit.
+ */
+poly::ModMatrix batMatMul(const poly::ModMatrix &a, const poly::ModMatrix &b,
+                          u32 bp = 8);
+
+/**
+ * Scalar form used by kernels: z = a * b mod q via a precompiled K x K
+ * block. @p block must come from directScalarBat(a, bar.modulus(), k).
+ */
+u32 batScalarMul(const ByteMatrix &block, u32 b, const nt::Barrett &bar,
+                 u32 bp = 8);
+
+} // namespace cross::bat

@@ -1,0 +1,110 @@
+#include "cross/cross_ntt.h"
+
+#include "common/check.h"
+
+namespace cross {
+
+namespace {
+
+/** Transposed copy of a row-major h x w u32 buffer. */
+std::vector<u32>
+transposed(const u32 *x, size_t h, size_t w)
+{
+    std::vector<u32> t(h * w);
+    for (size_t i = 0; i < h; ++i)
+        for (size_t j = 0; j < w; ++j)
+            t[j * h + i] = x[i * w + j];
+    return t;
+}
+
+} // namespace
+
+CrossNttPlan::CrossNttPlan(const poly::NttTables &tab, u32 r)
+    : n_(tab.degree()), r_(r), c_(tab.degree() / r), q_(tab.modulus()),
+      k_(bat::chunkCount(tab.modulus())), bar_(tab.modulus())
+{
+    // MAT first: build the permutation-folded step matrices...
+    poly::ThreeStepPlan mat(tab, r);
+    // ...then BAT: compile the pre-known operands to dense INT8 offline.
+    m1Bat_ = bat::offlineCompileLeft(mat.m1(), k_);
+    m1InvBat_ = bat::offlineCompileLeft(mat.m1Inv(), k_);
+    // Step 3 right-multiplies (X @ M3); the MXU consumes it as
+    // (M3^T @ X^T)^T with its hardware RHS-transpose, so compile M3^T.
+    m3tBat_ = bat::offlineCompileLeft(mat.m3().transposed(), k_);
+    m3tInvBat_ = bat::offlineCompileLeft(mat.m3Inv().transposed(), k_);
+
+    t_.reserve(n_);
+    tInv_.reserve(n_);
+    for (u32 i = 0; i < n_; ++i) {
+        t_.push_back(nt::shoupPrecompute(mat.t().data()[i], q_));
+        tInv_.push_back(nt::shoupPrecompute(mat.tInv().data()[i], q_));
+    }
+}
+
+void
+CrossNttPlan::batApply(const bat::ByteMatrix &lhs, const u32 *b, u32 *z,
+                       size_t v, size_t w) const
+{
+    // Runtime side of Alg. 2: chunk the data operand, INT8 matmul,
+    // chunk-merge + Barrett per output element.
+    const bat::ByteMatrix rhs = bat::runtimeCompileRight(b, v, w, k_);
+    const auto z_chunk = bat::byteMatMul(lhs, rhs);
+    const size_t h = lhs.rows / k_;
+    for (size_t row = 0; row < h; ++row) {
+        for (size_t col = 0; col < w; ++col) {
+            u64 merged = 0;
+            for (u32 i = 0; i < k_; ++i) {
+                merged +=
+                    static_cast<u64>(z_chunk[(row * k_ + i) * w + col])
+                    << (8 * i);
+            }
+            z[row * w + col] = bar_.reduceWide(merged);
+        }
+    }
+}
+
+std::vector<u32>
+CrossNttPlan::forward(const std::vector<u32> &a) const
+{
+    requireThat(a.size() == n_, "CrossNttPlan::forward: size mismatch");
+    // Step 1 (MXU): B = M1 @ A, A viewed as R x C row-major.
+    std::vector<u32> b(n_);
+    batApply(m1Bat_, a.data(), b.data(), r_, c_);
+    // Step 2 (VPU): element-wise twiddles, Shoup multiplies.
+    for (u32 i = 0; i < n_; ++i)
+        b[i] = nt::shoupMul(b[i], t_[i], q_);
+    // Step 3 (MXU): Out = B @ M3 == (M3^T @ B^T)^T.
+    const auto bt = transposed(b.data(), r_, c_);
+    std::vector<u32> out_t(n_);
+    batApply(m3tBat_, bt.data(), out_t.data(), c_, r_);
+    std::vector<u32> out = transposed(out_t.data(), c_, r_);
+    return out;
+}
+
+std::vector<u32>
+CrossNttPlan::inverse(const std::vector<u32> &a) const
+{
+    requireThat(a.size() == n_, "CrossNttPlan::inverse: size mismatch");
+    // Undo step 3: Y = A @ M3inv == (M3inv^T @ A^T)^T.
+    const auto at = transposed(a.data(), r_, c_);
+    std::vector<u32> y_t(n_);
+    batApply(m3tInvBat_, at.data(), y_t.data(), c_, r_);
+    std::vector<u32> y = transposed(y_t.data(), c_, r_);
+    // Undo step 2.
+    for (u32 i = 0; i < n_; ++i)
+        y[i] = nt::shoupMul(y[i], tInv_[i], q_);
+    // Undo step 1.
+    std::vector<u32> out(n_);
+    batApply(m1InvBat_, y.data(), out.data(), r_, c_);
+    return out;
+}
+
+size_t
+CrossNttPlan::compiledParamBytes() const
+{
+    return m1Bat_.data.size() + m3tBat_.data.size() +
+        m1InvBat_.data.size() + m3tInvBat_.data.size() +
+        t_.size() * sizeof(nt::ShoupConst);
+}
+
+} // namespace cross

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The fully compiled CROSS NTT: MAT + BAT together, functionally.
+ *
+ * This is the paper's actual artifact in miniature: the layout-invariant
+ * 3-step negacyclic NTT (MAT, Fig. 10) whose two matrix multiplications
+ * execute as dense INT8 products of offline-compiled BAT operands
+ * (Alg. 2), with chunk merges and Barrett reductions between stages --
+ * exactly the kernel Row 3 of Fig. 10 maps onto MXU + VPU.
+ *
+ * forward()/inverse() are bit-identical to the radix-2 Cooley-Tukey
+ * reference: the INT8 lowering is lossless (tests assert equality).
+ * Internal operand transposes correspond to the MXU's free right-hand-
+ * side transpose unit (Fig. 4) and move no data at runtime on the
+ * modelled hardware.
+ */
+#pragma once
+
+#include <vector>
+
+#include "cross/bat.h"
+#include "nt/barrett.h"
+#include "nt/shoup.h"
+#include "poly/ntt_3step.h"
+
+namespace cross {
+
+/** BAT+MAT-compiled NTT plan for one (N = R*C, q). */
+class CrossNttPlan
+{
+  public:
+    /**
+     * Compile the plan offline.
+     * @param tab twiddle tables fixing psi (shared with every variant)
+     * @param r   row split; see poly::ThreeStepPlan
+     */
+    CrossNttPlan(const poly::NttTables &tab, u32 r);
+
+    u32 degree() const { return n_; }
+    u32 rowCount() const { return r_; }
+    u32 colCount() const { return c_; }
+
+    /** Forward transform: canonical bit-reversed layout, INT8 matmuls. */
+    std::vector<u32> forward(const std::vector<u32> &a) const;
+
+    /** Inverse transform back to natural coefficient order. */
+    std::vector<u32> inverse(const std::vector<u32> &a) const;
+
+    /** INT8 bytes of the compiled step matrices (memory footprint). */
+    size_t compiledParamBytes() const;
+
+  private:
+    /** z (h x w) = BAT-lhs @ chunked(b), merged + reduced. */
+    void batApply(const bat::ByteMatrix &lhs, const u32 *b, u32 *z,
+                  size_t v, size_t w) const;
+
+    u32 n_, r_, c_, q_, k_;
+    nt::Barrett bar_;
+    // Offline-compiled INT8 operands of the three steps (and inverses).
+    bat::ByteMatrix m1Bat_, m3tBat_, m1InvBat_, m3tInvBat_;
+    // Element-wise twiddles (step 2), Shoup form.
+    std::vector<nt::ShoupConst> t_, tInv_;
+};
+
+} // namespace cross

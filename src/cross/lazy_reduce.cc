@@ -1,0 +1,63 @@
+#include "cross/lazy_reduce.h"
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::bat {
+
+LazyReduceTable::LazyReduceTable(u32 q, u32 bp)
+    : q_(q), k_(32 / bp), bp_(bp), lc_(k_, k_), bar_(q)
+{
+    requireThat(bp == 8, "LazyReduceTable: only bp = 8 is modelled");
+    for (u32 j = 0; j < k_; ++j) {
+        // LC_j = 2^((j+K)*bp) mod q, stored as K chunks down column j.
+        const u64 lc =
+            nt::powMod(2, static_cast<u64>(j + k_) * bp_, q_);
+        const auto chunks = chunkDecompose(lc, k_, bp_);
+        for (u32 i = 0; i < k_; ++i)
+            lc_.at(i, j) = chunks[i];
+    }
+}
+
+u32
+LazyReduceTable::reduce(u64 psum) const
+{
+    // Split into 2K chunks; low K form "low", high K drive the MatMul.
+    const auto c = chunkDecompose(psum, 2 * k_, bp_);
+    const u64 low = psum & 0xffffffffULL;
+
+    u64 folded = 0;
+    for (u32 i = 0; i < k_; ++i) {
+        u32 acc = 0; // int32 MXU accumulator
+        for (u32 j = 0; j < k_; ++j)
+            acc += static_cast<u32>(lc_.at(i, j)) * c[k_ + j];
+        folded += static_cast<u64>(acc) << (i * bp_);
+    }
+    return bar_.reduceWide(folded + low);
+}
+
+u64
+mulViaChunkConvolution(u32 a, u32 b, u32 bp)
+{
+    requireThat(bp == 8, "mulViaChunkConvolution: only bp = 8 modelled");
+    const u32 k = 32 / bp;
+    const auto ac = chunkDecompose(a, k, bp);
+    const auto bc = chunkDecompose(b, k, bp);
+
+    // 1-D convolution over 2K-1 temporal steps (Fig. 16 step 2).
+    u64 result = 0;
+    for (u32 t = 0; t < 2 * k - 1; ++t) {
+        u32 psum = 0; // at most 18 bits: 2*bp + log2(K)
+        for (u32 i = 0; i < k; ++i) {
+            const i64 j = static_cast<i64>(t) - i;
+            if (j >= 0 && j < k)
+                psum += static_cast<u32>(ac[i]) * bc[static_cast<u32>(j)];
+        }
+        // Temporal shift-and-accumulate (Fig. 16 step 3).
+        result += static_cast<u64>(psum) << (t * bp);
+    }
+    return result;
+}
+
+} // namespace cross::bat

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * BAT lazy modular reduction (Appendix J) and the fall-back 1-D
+ * convolution multiply for operands not known at compile time (Appendix H,
+ * Fig. 16).
+ *
+ * Lazy reduction: a 64-bit psum is split into low/high 32-bit halves; the
+ * high chunks c_{K+j} multiply a precomputed byte matrix LC with
+ * LC[j] = chunks( 2^(8(j+K)) mod q ), realigning the overflow bits into
+ * the low bases -- a K x K INT8 MatMul. The paper evaluates this in the
+ * Fig. 13 ablation and *rejects* it on TPU (K = 4 reduction dim starves a
+ * 128x128 MXU) while noting it suits GPUs' small tensor tiles; we
+ * implement it so the ablation can be reproduced.
+ */
+#pragma once
+
+#include "cross/bat.h"
+#include "nt/barrett.h"
+
+namespace cross::bat {
+
+/** Precomputed LC table for lazy reduction modulo q. */
+class LazyReduceTable
+{
+  public:
+    explicit LazyReduceTable(u32 q, u32 bp = 8);
+
+    u32 modulus() const { return q_; }
+    u32 chunks() const { return k_; }
+
+    /** The K x K byte matrix LC (row k = output basis, col j = c_{K+j}). */
+    const ByteMatrix &lc() const { return lc_; }
+
+    /**
+     * Reduce a 64-bit psum into 32 bits: result == psum (mod q), result
+     * < 2^(K*bp) + small overflow folded by a final Barrett step here.
+     * Returns the canonical value in [0, q).
+     */
+    u32 reduce(u64 psum) const;
+
+  private:
+    u32 q_;
+    u32 k_;
+    u32 bp_;
+    ByteMatrix lc_;
+    nt::Barrett bar_;
+};
+
+/**
+ * Appendix H fall-back: 32-bit x 32-bit multiply via 1-D convolution of
+ * byte chunks with temporal shift-and-add (Fig. 16). Exact: returns the
+ * full 64-bit product. Used when *neither* operand is pre-known.
+ */
+u64 mulViaChunkConvolution(u32 a, u32 b, u32 bp = 8);
+
+} // namespace cross::bat

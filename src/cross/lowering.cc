@@ -1,0 +1,291 @@
+#include "cross/lowering.h"
+
+#include "common/bitops.h"
+#include "common/check.h"
+
+namespace cross::lowering {
+
+using tpu::KernelCost;
+using tpu::KernelSim;
+using tpu::OpCat;
+
+double
+modredVpuOps(ModRed m)
+{
+    switch (m) {
+      case ModRed::Montgomery:
+        // Alg. 1: one 32-bit mul for t, four 16-bit muls, mid/carry adds.
+        return 11.0;
+      case ModRed::Barrett:
+        // Alg. 4: the (z * m) >> s high product is 64x32 -- roughly twice
+        // Alg. 1's 16-bit primitive multiplies (Fig. 13a: 1.42x slower).
+        return 18.0;
+      case ModRed::Shoup:
+        // Includes its own multiply, but needs a full 64-bit product on
+        // a 32-bit VPU (Fig. 13a: slowest despite lowest op count).
+        return 26.0;
+      case ModRed::BatLazy:
+        // Priced as an MXU call by the caller; VPU side only merges.
+        return 6.0;
+    }
+    return 11.0;
+}
+
+double
+vecModMulVpuOps(ModRed m)
+{
+    // Widening 32x32 -> 64 product on 16-bit VPU primitives: 4 muls + 2
+    // carry adds, then the reduction. Shoup's entry already contains its
+    // multiply structure, so only the widening product is added.
+    const double widening = 6.0;
+    switch (m) {
+      case ModRed::Shoup:
+        return widening + modredVpuOps(m) - 4.0;
+      default:
+        return widening + modredVpuOps(m);
+    }
+}
+
+double
+Lowering::mergeOps(bool sparse) const
+{
+    // Shift-and-add chain over K (dense) or 2K-1 (sparse) psums, then one
+    // final reduction into 32 bits.
+    const u32 k = cfg_.chunks();
+    const double chain = sparse ? 2.0 * (2 * k - 2) : 2.0 * (k - 1);
+    return chain + redOps();
+}
+
+double
+Lowering::redOps() const
+{
+    // Solinas-style moduli (2^32 - v) reduce with one multiply by v and
+    // a shift/add -- the ASIC advantage the Section V-G ablation prices.
+    if (cfg_.hwFriendlyModuli)
+        return 4.0;
+    return modredVpuOps(cfg_.modred == ModRed::BatLazy ? ModRed::Barrett
+                                                       : cfg_.modred);
+}
+
+double
+Lowering::mulOps() const
+{
+    if (cfg_.hwFriendlyModuli)
+        return 6.0 + 4.0; // widening product + Solinas fold
+    return vecModMulVpuOps(cfg_.modred);
+}
+
+KernelCost
+Lowering::ntt(u32 n, u32 r, u32 limbs, bool inverse) const
+{
+    requireThat(isPow2(n), "ntt: degree must be a power of two");
+    const OpCat mm_cat = inverse ? OpCat::InttMatMul : OpCat::NttMatMul;
+    KernelSim sim(dev_, inverse ? "intt" : "ntt");
+    const u32 k = cfg_.chunks();
+
+    if (cfg_.ntt == NttAlgo::Radix2) {
+        // log2(N) stages of N/2 butterflies; every stage performs a
+        // bit-complement shuffle moving sub-tile blocks across lanes --
+        // the same element-at-a-time XLU pattern as automorphism, which
+        // is what makes this algorithm ~26-30x slower than the MAT form
+        // on TPUv4 (Table X). Butterfly lanes are also only partially
+        // occupied at small strides (the 1.5x factor).
+        const u32 stages = ilog2(n);
+        // With a dedicated shuffle engine the ASIC also fuses the
+        // butterfly into hardware modular-multiply units; on a stock TPU
+        // the butterfly runs as masked VPU arithmetic.
+        const double butterfly =
+            cfg_.cheapShuffleEngine ? 2.0 : (mulOps() + 4.0) * 1.5;
+        for (u32 s = 0; s < stages; ++s) {
+            sim.vpuOp(OpCat::VecModOps,
+                      static_cast<u64>(limbs) * n / 2, butterfly);
+            sim.permute(OpCat::Permutation, static_cast<u64>(limbs) * n, 4,
+                        cfg_.cheapShuffleEngine ? 1.0 : 1.0 / 128.0);
+        }
+        sim.param(static_cast<u64>(limbs) * n * 4); // twiddles
+        sim.data(static_cast<u64>(limbs) * n * 8);  // in + out
+        return sim.finish();
+    }
+
+    const u32 c = n / r;
+    requireThat(r >= 1 && c >= 1 && isPow2(r) && isPow2(c),
+                "ntt: bad (R, C) split");
+
+    for (u32 limb = 0; limb < limbs; ++limb) {
+        if (cfg_.useBat) {
+            // Chunk the runtime coefficients to INT8 (params precompiled).
+            sim.typeConvert(n);
+            // Step 1: (KR x KR) @ (KR x C).
+            sim.mxuMatMul(mm_cat, static_cast<u64>(k) * r,
+                          static_cast<u64>(k) * r, c);
+            if (cfg_.modred == ModRed::BatLazy)
+                sim.mxuMatMul(OpCat::VecModOps, k, k, n);
+            sim.vpuOp(OpCat::VecModOps, n, mergeOps(false));
+        } else {
+            // Sparse Toeplitz baseline: params chunked at runtime, the
+            // left operand carries (2K-1)/K redundant rows.
+            sim.typeConvert(static_cast<u64>(r) * r);
+            sim.typeConvert(n);
+            sim.mxuMatMul(mm_cat, static_cast<u64>(2 * k - 1) * r,
+                          static_cast<u64>(k) * r, c);
+            sim.vpuOp(OpCat::VecModOps, n, mergeOps(true));
+        }
+
+        // Step 2: element-wise twiddle multiply (pre-known operand).
+        sim.vpuOp(OpCat::VecModOps, n, mulOps() - 2.0);
+
+        if (cfg_.useBat) {
+            sim.typeConvert(n);
+            // Step 3: (KC x KC) @ (KC x R).
+            sim.mxuMatMul(mm_cat, static_cast<u64>(k) * c,
+                          static_cast<u64>(k) * c, r);
+            if (cfg_.modred == ModRed::BatLazy)
+                sim.mxuMatMul(OpCat::VecModOps, k, k, n);
+            sim.vpuOp(OpCat::VecModOps, n, mergeOps(false));
+        } else {
+            sim.typeConvert(static_cast<u64>(c) * c);
+            sim.typeConvert(n);
+            sim.mxuMatMul(mm_cat, static_cast<u64>(2 * k - 1) * c,
+                          static_cast<u64>(k) * c, r);
+            sim.vpuOp(OpCat::VecModOps, n, mergeOps(true));
+        }
+
+        if (cfg_.ntt == NttAlgo::FourStepExplicit) {
+            // MAT removes exactly these two runtime reorders.
+            sim.transpose(OpCat::Permutation, r, c);
+            sim.permute(OpCat::Permutation, n, 4, 0.125);
+        }
+
+        // XLA-induced (8,128) tile relayout around the MXU calls: the
+        // coefficients cross the u32 <-> 4xu8 layouts and the (R, C) vs
+        // (8, 128) tilings several times per step (Fig. 12's 13% + 7%).
+        sim.copyReshape(static_cast<u64>(n) * 24);
+    }
+
+    // Parameters: BAT-compiled step matrices + step-2 twiddles, per limb.
+    const u64 mat_bytes = cfg_.useBat
+        ? static_cast<u64>(k) * r * k * r + static_cast<u64>(k) * c * k * c
+        : (static_cast<u64>(r) * r + static_cast<u64>(c) * c) * 4;
+    sim.param(limbs * (mat_bytes + static_cast<u64>(n) * 4));
+    sim.data(static_cast<u64>(limbs) * n * 8);
+    return sim.finish();
+}
+
+KernelCost
+Lowering::vecModMul(u32 n, u32 limbs) const
+{
+    KernelSim sim(dev_, "vecmodmul");
+    const u64 elems = static_cast<u64>(n) * limbs;
+    if (cfg_.modred == ModRed::BatLazy) {
+        // Widening product on the VPU, reduction as a K x K MXU matmul:
+        // the K = 4 reduction dim starves the systolic array (Appendix J).
+        sim.vpuOp(OpCat::VecModOps, elems, 6.0);
+        sim.typeConvert(elems);
+        sim.mxuMatMul(OpCat::VecModOps, cfg_.chunks(), cfg_.chunks(),
+                      elems);
+        sim.vpuOp(OpCat::VecModOps, elems, mergeOps(false));
+    } else {
+        sim.vpuOp(OpCat::VecModOps, elems, mulOps());
+    }
+    // XLA materialises the widening-product intermediate to (8,128) tiles.
+    sim.copyReshape(elems * 8);
+    sim.data(elems * 12); // two inputs + one output
+    return sim.finish();
+}
+
+KernelCost
+Lowering::vecModMulConst(u32 n, u32 limbs) const
+{
+    KernelSim sim(dev_, "vecmodmul_const");
+    const u64 elems = static_cast<u64>(n) * limbs;
+    // Pre-known operand: Shoup-style single product or Montgomery-domain
+    // constant; slightly cheaper than the general case.
+    sim.vpuOp(OpCat::VecModOps, elems, mulOps() - 2.0);
+    sim.copyReshape(elems * 8);
+    sim.param(elems * 4);
+    sim.data(elems * 8);
+    return sim.finish();
+}
+
+KernelCost
+Lowering::vecModAdd(u32 n, u32 limbs) const
+{
+    KernelSim sim(dev_, "vecmodadd");
+    const u64 elems = static_cast<u64>(n) * limbs;
+    sim.vpuOp(OpCat::VecModOps, elems, 3.0); // add + compare + csel
+    sim.copyReshape(elems * 4);
+    sim.data(elems * 12);
+    return sim.finish();
+}
+
+KernelCost
+Lowering::bconv(u32 n, u32 l_in, u32 l_out) const
+{
+    KernelSim sim(dev_, "bconv");
+    const u32 k = cfg_.chunks();
+
+    // Step 1: per-limb multiply by qHatInv (pre-known).
+    sim.vpuOp(OpCat::VecModOps, static_cast<u64>(n) * l_in,
+              mulOps() - 2.0);
+
+    if (cfg_.useBat) {
+        // Step 2 on the MXU: (N x KL) @ (KL x KL') with the prime table
+        // BAT-compiled offline; reduction dim KL padded to the systolic
+        // size (partial utilisation when not divisible -- Table VI note).
+        sim.typeConvert(static_cast<u64>(n) * l_in);
+        sim.mxuMatMul(OpCat::BConvMatMul, n, static_cast<u64>(k) * l_in,
+                      static_cast<u64>(k) * l_out);
+        sim.vpuOp(OpCat::VecModOps, static_cast<u64>(n) * l_out,
+                  mergeOps(false));
+        sim.param(static_cast<u64>(k) * l_in * k * l_out);
+    } else {
+        // Step 2 on the VPU: N * L * L' high-precision MACs with lazy
+        // windowed reduction (~2 amortised ops) per product.
+        sim.vpuOp(OpCat::BConvMatMul,
+                  static_cast<u64>(n) * l_in * l_out, 8.0);
+        sim.vpuOp(OpCat::VecModOps, static_cast<u64>(n) * l_out,
+                  redOps());
+        sim.param(static_cast<u64>(l_in) * l_out * 4);
+    }
+    sim.data(static_cast<u64>(n) * (l_in + l_out) * 4);
+    return sim.finish();
+}
+
+KernelCost
+Lowering::automorphism(u32 n, u32 limbs) const
+{
+    KernelSim sim(dev_, "automorphism");
+    // Random gather/scatter of degree-length vectors across lanes: the
+    // permutation MAT cannot embed (Section V-E). Each element moves
+    // individually through (8, 128) VRegs, so the achieved bandwidth is
+    // a tiny fraction of peak (calibrated to Fig. 12's 21% share).
+    sim.permute(OpCat::Permutation, static_cast<u64>(n) * limbs, 4,
+                1.0 / 256.0);
+    sim.data(static_cast<u64>(n) * limbs * 8);
+    return sim.finish();
+}
+
+KernelCost
+Lowering::modMatMul(u64 h, u64 v, u64 w) const
+{
+    KernelSim sim(dev_, "modmatmul");
+    const u32 k = cfg_.chunks();
+    if (cfg_.useBat) {
+        sim.typeConvert(v * w); // runtime right operand chunking
+        sim.mxuMatMul(OpCat::NttMatMul, k * h, k * v, w);
+        sim.vpuOp(OpCat::VecModOps, h * w, mergeOps(false));
+        sim.param(k * h * k * v);
+    } else {
+        // Baseline additionally chunks the (static) left operand at
+        // runtime and carries the sparse (2K-1)/K row redundancy.
+        sim.typeConvert(h * v);
+        sim.typeConvert(v * w);
+        sim.mxuMatMul(OpCat::NttMatMul, (2 * k - 1) * h, k * v, w);
+        sim.vpuOp(OpCat::VecModOps, h * w, mergeOps(true));
+        sim.param(h * v * 4);
+    }
+    sim.data((v * w + h * w) * 4);
+    return sim.finish();
+}
+
+} // namespace cross::lowering

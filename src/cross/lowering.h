@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Kernel lowering: prices each HE kernel (NTT, INTT, BConv, VecMod*,
+ * automorphism, ModMatMul) on the simulated TPU under a configurable
+ * binding/decomposing algorithm choice. This is the compiler's
+ * "Binding" layer of Fig. 6, in cost-model form; the functional
+ * counterparts live in src/poly and src/cross/bat.*.
+ *
+ * Switches reproduce the paper's ablations:
+ *  - useBat: dense BAT INT8 MatMul vs the GPU sparse Toeplitz lowering;
+ *  - ntt:    layout-invariant 3-step (MAT) vs explicit 4-step vs radix-2
+ *            Cooley-Tukey (Table X / Fig. 11a baselines);
+ *  - modred: Montgomery / Barrett / Shoup / BAT-lazy (Fig. 13).
+ */
+#pragma once
+
+#include "common/types.h"
+#include "tpu/sim.h"
+
+namespace cross::lowering {
+
+/** Decomposing-layer NTT algorithm selection. */
+enum class NttAlgo
+{
+    Radix2,           ///< butterfly NTT, per-stage bit-complement shuffles
+    FourStepExplicit, ///< matmul NTT + explicit transpose & bit-reverse
+    ThreeStepMat,     ///< CROSS: reordering folded offline (MAT)
+};
+
+/** Modular-reduction algorithm selection (Fig. 13 ablation). */
+enum class ModRed
+{
+    Montgomery,
+    Barrett,
+    Shoup,
+    BatLazy,
+};
+
+/** Compiler configuration for one experiment. */
+struct Config
+{
+    bool useBat = true;
+    NttAlgo ntt = NttAlgo::ThreeStepMat;
+    ModRed modred = ModRed::Montgomery;
+    u32 bp = 8;       ///< MXU operand precision
+    u32 logq = 28;    ///< modulus width; K = ceil(logq / bp)
+
+    /**
+     * Section V-G ablation: dedicated HE ASICs fix moduli of the form
+     * 2^32 - v (16-bit v), collapsing reduction to a shift/add pair.
+     * Setting this models such hardware support (the paper attributes a
+     * 2-3x penalty to CROSS's arbitrary-moduli generality).
+     */
+    bool hwFriendlyModuli = false;
+
+    /**
+     * Section V-G ablation: HE ASICs ship an all-to-all shuffle engine
+     * (CraterLake's transpose unit, FAB's NoC) that makes the
+     * O(N log N) butterfly NTT viable. Setting this prices radix-2
+     * shuffles at full crossbar bandwidth.
+     */
+    bool cheapShuffleEngine = false;
+
+    u32 chunks() const { return (logq + bp - 1) / bp; }
+};
+
+/**
+ * 32-bit VPU op count of one modular reduction of a 64-bit product.
+ * Montgomery is Algorithm 1 (16-bit primitive form); Shoup includes its
+ * own multiply (the 64-bit product is what makes it lose on a 32-bit
+ * VPU); BatLazy is priced separately as an MXU call.
+ */
+double modredVpuOps(ModRed m);
+
+/** VPU ops of one full a*b mod q with neither operand pre-known. */
+double vecModMulVpuOps(ModRed m);
+
+/** Per-kernel cost builders. All are per single invocation. */
+class Lowering
+{
+  public:
+    Lowering(const tpu::DeviceConfig &dev, Config cfg)
+        : dev_(dev), cfg_(cfg)
+    {
+    }
+
+    const Config &config() const { return cfg_; }
+    const tpu::DeviceConfig &device() const { return dev_; }
+
+    /**
+     * Negacyclic NTT of @p limbs limbs of degree @p n with row split
+     * @p r (ignored for Radix2). @p inverse selects the INTT category.
+     */
+    tpu::KernelCost ntt(u32 n, u32 r, u32 limbs, bool inverse = false) const;
+
+    /** Element-wise modular multiply over limbs x n values. */
+    tpu::KernelCost vecModMul(u32 n, u32 limbs) const;
+
+    /** Element-wise modular multiply with a *pre-known* operand. */
+    tpu::KernelCost vecModMulConst(u32 n, u32 limbs) const;
+
+    /** Element-wise modular add (or sub). */
+    tpu::KernelCost vecModAdd(u32 n, u32 limbs) const;
+
+    /** Basis conversion: degree n, l_in source limbs, l_out targets. */
+    tpu::KernelCost bconv(u32 n, u32 l_in, u32 l_out) const;
+
+    /** Slot/automorphism permutation of limbs x n values (XLU). */
+    tpu::KernelCost automorphism(u32 n, u32 limbs) const;
+
+    /** Generic pre-known (h x v) @ (v x w) ModMatMul (Table V). */
+    tpu::KernelCost modMatMul(u64 h, u64 v, u64 w) const;
+
+  private:
+    /** Merge + final reduction after a BAT/sparse MatMul, per element. */
+    double mergeOps(bool sparse) const;
+    /** VPU ops of one reduction under the configured modulus family. */
+    double redOps() const;
+    /** VPU ops of one full modular multiply under the configuration. */
+    double mulOps() const;
+
+    const tpu::DeviceConfig &dev_;
+    Config cfg_;
+};
+
+} // namespace cross::lowering

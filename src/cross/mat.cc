@@ -1,0 +1,72 @@
+#include "cross/mat.h"
+
+#include "common/check.h"
+
+namespace cross::mat {
+
+std::vector<u32>
+invertPermutation(const std::vector<u32> &map)
+{
+    std::vector<u32> inv(map.size(), ~0u);
+    for (u32 i = 0; i < map.size(); ++i) {
+        requireThat(map[i] < map.size() && inv[map[i]] == ~0u,
+                    "invertPermutation: not a permutation");
+        inv[map[i]] = i;
+    }
+    return inv;
+}
+
+poly::ModMatrix
+foldOutputPermutation(const poly::ModMatrix &m, const std::vector<u32> &map)
+{
+    // (P @ M) @ x == P @ (M @ x); P row i selects row map[i].
+    return m.rowPermuted(map);
+}
+
+poly::ModMatrix
+foldInputPermutation(const poly::ModMatrix &m, const std::vector<u32> &map)
+{
+    // M @ xp with xp[i] = x[map[i]]: column c of M multiplies x[map[c]],
+    // so in M' that coefficient must sit in column map[c].
+    return m.colPermuted(invertPermutation(map));
+}
+
+std::optional<std::pair<std::vector<u32>, std::vector<u32>>>
+separableRowColPermutation(const std::vector<u32> &perm, u32 r, u32 c)
+{
+    requireThat(perm.size() == static_cast<size_t>(r) * c,
+                "separableRowColPermutation: size mismatch");
+    // Candidate maps implied by row 0 / column 0.
+    std::vector<u32> row_map(r), col_map(c);
+    for (u32 cc = 0; cc < c; ++cc) {
+        const u32 t = perm[cc]; // (0, cc)
+        col_map[cc] = t % c;
+    }
+    for (u32 rr = 0; rr < r; ++rr) {
+        const u32 t = perm[static_cast<size_t>(rr) * c]; // (rr, 0)
+        if (t % c != col_map[0])
+            return std::nullopt;
+        row_map[rr] = t / c;
+    }
+    // Verify the factorisation everywhere.
+    for (u32 rr = 0; rr < r; ++rr)
+        for (u32 cc = 0; cc < c; ++cc)
+            if (perm[static_cast<size_t>(rr) * c + cc] !=
+                row_map[rr] * c + col_map[cc])
+                return std::nullopt;
+    // Both factors must themselves be permutations.
+    std::vector<bool> seen_r(r, false), seen_c(c, false);
+    for (u32 v : row_map) {
+        if (v >= r || seen_r[v])
+            return std::nullopt;
+        seen_r[v] = true;
+    }
+    for (u32 v : col_map) {
+        if (v >= c || seen_c[v])
+            return std::nullopt;
+        seen_c[v] = true;
+    }
+    return std::make_pair(row_map, col_map);
+}
+
+} // namespace cross::mat

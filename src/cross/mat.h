@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory-Aligned Transformation (MAT) -- generic permutation-folding
+ * helpers (Section IV-B, Fig. 9).
+ *
+ * MAT's insight: any reordering of a vector is a permutation-matrix
+ * product, and when the other operand of the surrounding computation is a
+ * *pre-known parameter*, the permutation can be applied to that parameter
+ * offline, making the runtime kernel layout-invariant.
+ *
+ * The NTT-specific folding lives in poly::ThreeStepPlan; this header holds
+ * the scheme-agnostic pieces plus the separability test that explains why
+ * NTT bit-reversal folds into the 3-step matmuls while a general
+ * automorphism permutation does not (the residual 21% "Permutation" cost
+ * in Fig. 12 / the Table IX automorphism share).
+ */
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "poly/modmat.h"
+
+namespace cross::mat {
+
+/** Inverse of a permutation map: inv[map[i]] = i. */
+std::vector<u32> invertPermutation(const std::vector<u32> &map);
+
+/**
+ * Fold an *output* permutation into a pre-known parameter matrix:
+ * returns M' such that (M' @ x)[i] == (M @ x)[map[i]] for every x.
+ * (Fig. 9, Permute(VecMul) case.)
+ */
+poly::ModMatrix foldOutputPermutation(const poly::ModMatrix &m,
+                                      const std::vector<u32> &map);
+
+/**
+ * Fold an *input* permutation into a pre-known parameter matrix:
+ * returns M' such that M' @ x == M @ xp where xp[i] = x[map[i]].
+ */
+poly::ModMatrix foldInputPermutation(const poly::ModMatrix &m,
+                                     const std::vector<u32> &map);
+
+/**
+ * Decide whether a length-(R*C) permutation acting on the row-major R x C
+ * grid factors into independent row and column permutations,
+ * perm(r*C + c) == rowMap[r]*C + colMap[c]. Exactly these permutations
+ * fold into the 3-step NTT's M1 (rows) and M3 (columns); bit-reversal
+ * does, almost all automorphism maps do not -- they must run on the XLU
+ * as gather/scatter at runtime.
+ *
+ * @return the (rowMap, colMap) pair when separable, nullopt otherwise.
+ */
+std::optional<std::pair<std::vector<u32>, std::vector<u32>>>
+separableRowColPermutation(const std::vector<u32> &perm, u32 r, u32 c);
+
+} // namespace cross::mat

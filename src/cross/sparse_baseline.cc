@@ -1,0 +1,168 @@
+#include "cross/sparse_baseline.h"
+
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::bat {
+
+ByteMatrix
+constructToeplitz(const std::vector<u8> &chunks)
+{
+    const size_t k = chunks.size();
+    ByteMatrix x(2 * k - 1, k);
+    for (size_t j = 0; j < k; ++j)
+        for (size_t i = 0; i < k; ++i)
+            x.at(i + j, j) = chunks[i];
+    return x;
+}
+
+double
+toeplitzZeroFraction(u32 k)
+{
+    // (2K-1) x K entries, K*K nonzero.
+    const double total = static_cast<double>(2 * k - 1) * k;
+    return (total - static_cast<double>(k) * k) / total;
+}
+
+void
+batFoldPass(WideMatrix &x, u32 k, u32 q, u32 bp)
+{
+    for (size_t r = k; r < x.rows; ++r) {
+        for (size_t c = 0; c < x.cols; ++c) {
+            const u32 v = x.at(r, c);
+            if (v == 0)
+                continue;
+            x.at(r, c) = 0;
+            // (v << r*bp) mod q, folded into the low-basis rows.
+            const u64 basis_pow =
+                nt::powMod(2, static_cast<u64>(r) * bp, q);
+            const u64 folded = nt::mulMod(v % q, basis_pow, q);
+            const auto chunks = chunkDecompose(folded, k, bp);
+            for (u32 i = 0; i < k; ++i) {
+                // Entries may temporarily exceed bp bits; carry pass fixes.
+                x.at(i, c) += chunks[i];
+            }
+        }
+    }
+}
+
+void
+carryPropagation(WideMatrix &x, u32 bp)
+{
+    const u32 mask = (1u << bp) - 1;
+    for (size_t c = 0; c < x.cols; ++c) {
+        for (size_t r = 0; r + 1 < x.rows; ++r) {
+            const u32 v = x.at(r, c);
+            if (v > mask) {
+                x.at(r, c) = v & mask;
+                x.at(r + 1, c) += v >> bp;
+            }
+        }
+        internalCheck(x.at(x.rows - 1, c) <= mask,
+                      "carryPropagation: overflow out of the matrix");
+    }
+}
+
+namespace {
+
+bool
+isCompiled(const WideMatrix &x, u32 k, u32 bp)
+{
+    const u32 mask = (1u << bp) - 1;
+    for (size_t r = 0; r < x.rows; ++r)
+        for (size_t c = 0; c < x.cols; ++c)
+            if (x.at(r, c) > mask || (r >= k && x.at(r, c) != 0))
+                return false;
+    return true;
+}
+
+} // namespace
+
+ByteMatrix
+offlineCompileViaToeplitz(u32 a, u32 q, u32 k, u32 bp)
+{
+    requireThat(a < q, "offlineCompileViaToeplitz: operand must be < q");
+    const auto chunks = chunkDecompose(a, k, bp);
+    // One spare row absorbs carries out of row K-1 before they re-fold.
+    WideMatrix x(2 * k, k);
+    for (size_t j = 0; j < k; ++j)
+        for (size_t i = 0; i < k; ++i)
+            x.at(i + j, j) = chunks[i];
+
+    int guard = 0;
+    while (!isCompiled(x, k, bp)) {
+        carryPropagation(x, bp);
+        batFoldPass(x, k, q, bp);
+        internalCheck(++guard < 64,
+                      "offlineCompileViaToeplitz: fold loop diverged");
+    }
+
+    ByteMatrix m(k, k);
+    for (u32 i = 0; i < k; ++i)
+        for (u32 j = 0; j < k; ++j)
+            m.at(i, j) = static_cast<u8>(x.at(i, j));
+    return m;
+}
+
+u32
+sparseScalarMul(u32 a, u32 b, const nt::Barrett &bar, u32 bp)
+{
+    const u32 q = bar.modulus();
+    requireThat(a < q && b < q, "sparseScalarMul: operands must be < q");
+    const u32 k = chunkCount(q, bp);
+    const auto toep = constructToeplitz(chunkDecompose(a, k, bp));
+    const auto bchunks = chunkDecompose(b, k, bp);
+
+    // Sparse MatVecMul: 2K-1 psums.
+    std::vector<u64> psums(2 * k - 1, 0);
+    for (size_t r = 0; r < toep.rows; ++r)
+        for (size_t c = 0; c < k; ++c)
+            psums[r] += static_cast<u64>(toep.at(r, c)) * bchunks[c];
+
+    // Full-length carry-add chain (Fig. 7 step 2), then final reduction.
+    u128 merged = 0;
+    for (size_t r = 0; r < psums.size(); ++r)
+        merged += static_cast<u128>(psums[r]) << (r * bp);
+    return static_cast<u32>(merged % q);
+}
+
+poly::ModMatrix
+sparseMatMul(const poly::ModMatrix &a, const poly::ModMatrix &b, u32 bp)
+{
+    requireThat(a.cols() == b.rows() && a.modulus() == b.modulus(),
+                "sparseMatMul: shape/modulus mismatch");
+    const u32 q = a.modulus();
+    const u32 k = chunkCount(q, bp);
+    const size_t h = a.rows(), v = a.cols(), w = b.cols();
+
+    // Expand the left matrix to (2K-1)H x KV sparse blocks.
+    ByteMatrix lhs((2 * k - 1) * h, k * v);
+    for (size_t r = 0; r < h; ++r) {
+        for (size_t c = 0; c < v; ++c) {
+            const auto toep =
+                constructToeplitz(chunkDecompose(a.at(r, c), k, bp));
+            for (size_t i = 0; i < toep.rows; ++i)
+                for (size_t j = 0; j < k; ++j)
+                    lhs.at(r * (2 * k - 1) + i, c * k + j) = toep.at(i, j);
+        }
+    }
+    const ByteMatrix rhs = runtimeCompileRight(b.data().data(), v, w, k, bp);
+    const auto z_chunk = byteMatMul(lhs, rhs);
+
+    nt::Barrett bar(q);
+    poly::ModMatrix z(h, w, q);
+    for (size_t r = 0; r < h; ++r) {
+        for (size_t c = 0; c < w; ++c) {
+            u128 merged = 0;
+            for (u32 i = 0; i < 2 * k - 1; ++i) {
+                merged += static_cast<u128>(
+                              z_chunk[(r * (2 * k - 1) + i) * w + c])
+                    << (i * bp);
+            }
+            z.at(r, c) = static_cast<u32>(merged % q);
+        }
+    }
+    return z;
+}
+
+} // namespace cross::bat

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The SoTA-GPU *sparse* lowering of high-precision modular multiplication
+ * (Fig. 7 left / Algorithm 5) -- CROSS's comparator, implemented in full:
+ *
+ *  - CONSTRUCTTOEPLITZ: the (2K-1) x K chunk Toeplitz matrix with ~43%
+ *    structural zeros;
+ *  - BAT fold (Alg. 5 BAT step): high-basis rows (>= K) reduced mod q and
+ *    folded back into the low-basis block, column by column;
+ *  - CARRYPROPAGATION: restoring all entries to bp bits;
+ *  - OFFLINECOMPILE: the fold/carry fixpoint loop producing a dense K x K
+ *    matrix equivalent to directScalarBat's (not necessarily entry-equal,
+ *    but reconstruction-equivalent mod q -- tests verify both).
+ *
+ * The sparse path (sparseScalarMul / sparseMatMul) keeps the Toeplitz form
+ * and the 2K-1 long carry-add chain, exactly what Table V's "Baseline"
+ * column prices on the simulator.
+ */
+#pragma once
+
+#include <vector>
+
+#include "cross/bat.h"
+#include "nt/barrett.h"
+#include "poly/modmat.h"
+
+namespace cross::bat {
+
+/**
+ * CONSTRUCTTOEPLITZ (Alg. 5): X[(i+j), j] = a_i for chunk index i, column
+ * j -- the (2K-1) x K sparse operand of the GPU lowering.
+ */
+ByteMatrix constructToeplitz(const std::vector<u8> &chunks);
+
+/** Fraction of structurally zero entries in the Toeplitz operand. */
+double toeplitzZeroFraction(u32 k);
+
+/**
+ * Working matrix for Algorithm 5 with u32 entries (values may exceed one
+ * byte mid-fold, before CARRYPROPAGATION restores the invariant).
+ */
+struct WideMatrix
+{
+    size_t rows = 0;
+    size_t cols = 0;
+    std::vector<u32> data;
+
+    WideMatrix(size_t r, size_t c) : rows(r), cols(c), data(r * c, 0) {}
+    u32 &at(size_t r, size_t c) { return data[r * cols + c]; }
+    u32 at(size_t r, size_t c) const { return data[r * cols + c]; }
+};
+
+/**
+ * One BAT fold pass (Alg. 5 BAT): every nonzero entry in a row r >= K is
+ * replaced by the chunks of (entry << r*bp) mod q added into rows [0, K)
+ * of the same column.
+ */
+void batFoldPass(WideMatrix &x, u32 k, u32 q, u32 bp = 8);
+
+/**
+ * CARRYPROPAGATION (Alg. 5): push entry overflow beyond bp bits into the
+ * next row of the same column.
+ */
+void carryPropagation(WideMatrix &x, u32 bp = 8);
+
+/**
+ * OFFLINECOMPILE (Alg. 5): Toeplitz -> fold/carry fixpoint -> dense K x K
+ * byte matrix M with  sum_{i,j} M[i][j] * b_j * 2^(i*bp) == a*b (mod q).
+ */
+ByteMatrix offlineCompileViaToeplitz(u32 a, u32 q, u32 k, u32 bp = 8);
+
+/**
+ * The GPU sparse scalar multiply: Toeplitz MatVecMul producing 2K-1 psums
+ * merged through the full-length carry-add chain, then Barrett reduction.
+ * Functionally equals a*b mod q; exists to be priced as the baseline.
+ */
+u32 sparseScalarMul(u32 a, u32 b, const nt::Barrett &bar, u32 bp = 8);
+
+/**
+ * Baseline ModMatMul via per-scalar Toeplitz blocks: the (2K-1)H x KV
+ * sparse operand of Fig. 7 ("SparseMatMul" in Table III). Bit-exact with
+ * poly::matMul; ~2x the MACs of batMatMul.
+ */
+poly::ModMatrix sparseMatMul(const poly::ModMatrix &a,
+                             const poly::ModMatrix &b, u32 bp = 8);
+
+} // namespace cross::bat

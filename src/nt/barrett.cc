@@ -1,0 +1,20 @@
+#include "nt/barrett.h"
+
+namespace cross::nt {
+
+Barrett::Barrett(u32 q) : q_(q)
+{
+    requireThat(q > 1 && q < (1u << 31), "Barrett: need 1 < q < 2^31");
+    u32 logq = ilog2(q);
+    if ((1u << logq) < q)
+        ++logq; // ceil
+    s_ = 2 * logq;
+    m_ = static_cast<u64>((static_cast<u128>(1) << s_) / q);
+    m64_ = static_cast<u64>(((static_cast<u128>(1) << 64) - 1) / q);
+    // floor(2^64 / q) == floor((2^64 - 1) / q) because q does not divide
+    // 2^64 (q is odd > 1 in all call sites, but guard anyway).
+    if ((static_cast<u128>(m64_) + 1) * q <= (static_cast<u128>(1) << 64))
+        ++m64_;
+}
+
+} // namespace cross::nt

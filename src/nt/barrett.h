@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Barrett reduction (paper Algorithm 4) -- the *final* reduction CROSS
+ * uses after a lazy chain, since Montgomery's [0,2q) output and 2^-32
+ * factor make it unsuitable as the last step.
+ *
+ * reduceProduct() is the faithful Algorithm 4 (s = 2*ceil(log2 q), valid
+ * for z = a*b with a,b < q). reduceWide() is a general 64-bit Barrett
+ * valid for any z < 2^63, used by BAT's ChunkMerge where the merged psum
+ * exceeds the a*b range.
+ */
+#pragma once
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** Precomputed Barrett context for a modulus 1 < q < 2^31. */
+class Barrett
+{
+  public:
+    explicit Barrett(u32 q);
+
+    u32 modulus() const { return q_; }
+
+    /**
+     * Algorithm 4: reduce z = a*b for a, b < q.
+     * @return z mod q in [0, q)
+     */
+    u32
+    reduceProduct(u64 z) const
+    {
+        u64 t = static_cast<u64>((static_cast<u128>(z) * m_) >> s_);
+        u64 r = z - t * q_;
+        if (r >= q_)
+            r -= q_;
+        if (r >= q_)
+            r -= q_;
+        return static_cast<u32>(r);
+    }
+
+    /** General reduction of any z < 2^63 using m64 = floor(2^64 / q). */
+    u32
+    reduceWide(u64 z) const
+    {
+        u64 t = static_cast<u64>((static_cast<u128>(z) * m64_) >> 64);
+        u64 r = z - t * q_;
+        if (r >= q_)
+            r -= q_;
+        if (r >= q_)
+            r -= q_;
+        return static_cast<u32>(r);
+    }
+
+    /** Modular product of a, b < q. */
+    u32
+    mul(u32 a, u32 b) const
+    {
+        return reduceProduct(static_cast<u64>(a) * b);
+    }
+
+  private:
+    u32 q_;
+    u32 s_;   // 2 * ceil(log2 q)
+    u64 m_;   // floor(2^s / q)
+    u64 m64_; // floor(2^64 / q)
+};
+
+} // namespace cross::nt

@@ -1,0 +1,266 @@
+#include "nt/bigint.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/check.h"
+
+namespace cross::nt {
+
+BigUInt::BigUInt(u64 v)
+{
+    if (v)
+        limbs_.push_back(v);
+}
+
+BigUInt
+BigUInt::fromDecimal(const std::string &s)
+{
+    requireThat(!s.empty(), "BigUInt::fromDecimal: empty string");
+    BigUInt r;
+    for (char c : s) {
+        requireThat(c >= '0' && c <= '9',
+                    "BigUInt::fromDecimal: non-digit character");
+        r = r * 10 + static_cast<u64>(c - '0');
+    }
+    return r;
+}
+
+void
+BigUInt::trim()
+{
+    while (!limbs_.empty() && limbs_.back() == 0)
+        limbs_.pop_back();
+}
+
+u32
+BigUInt::bitLength() const
+{
+    if (limbs_.empty())
+        return 0;
+    return static_cast<u32>(64 * (limbs_.size() - 1)) +
+        ilog2(limbs_.back()) + 1;
+}
+
+int
+BigUInt::compare(const BigUInt &o) const
+{
+    if (limbs_.size() != o.limbs_.size())
+        return limbs_.size() < o.limbs_.size() ? -1 : 1;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        if (limbs_[i] != o.limbs_[i])
+            return limbs_[i] < o.limbs_[i] ? -1 : 1;
+    }
+    return 0;
+}
+
+BigUInt
+BigUInt::operator+(const BigUInt &o) const
+{
+    BigUInt r;
+    const size_t n = std::max(limbs_.size(), o.limbs_.size());
+    r.limbs_.resize(n, 0);
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+        u128 s = carry;
+        if (i < limbs_.size())
+            s += limbs_[i];
+        if (i < o.limbs_.size())
+            s += o.limbs_[i];
+        r.limbs_[i] = static_cast<u64>(s);
+        carry = s >> 64;
+    }
+    if (carry)
+        r.limbs_.push_back(static_cast<u64>(carry));
+    return r;
+}
+
+BigUInt
+BigUInt::operator+(u64 v) const
+{
+    return *this + BigUInt(v);
+}
+
+BigUInt
+BigUInt::operator-(const BigUInt &o) const
+{
+    internalCheck(o <= *this, "BigUInt: subtraction underflow");
+    BigUInt r;
+    r.limbs_.resize(limbs_.size(), 0);
+    i64 borrow = 0;
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        u128 lhs = limbs_[i];
+        u128 rhs = (i < o.limbs_.size() ? o.limbs_[i] : 0);
+        rhs += static_cast<u64>(borrow);
+        if (lhs >= rhs) {
+            r.limbs_[i] = static_cast<u64>(lhs - rhs);
+            borrow = 0;
+        } else {
+            r.limbs_[i] =
+                static_cast<u64>((static_cast<u128>(1) << 64) + lhs - rhs);
+            borrow = 1;
+        }
+    }
+    r.trim();
+    return r;
+}
+
+BigUInt
+BigUInt::operator*(const BigUInt &o) const
+{
+    if (isZero() || o.isZero())
+        return {};
+    BigUInt r;
+    r.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        u128 carry = 0;
+        for (size_t j = 0; j < o.limbs_.size(); ++j) {
+            u128 cur = static_cast<u128>(limbs_[i]) * o.limbs_[j] +
+                r.limbs_[i + j] + carry;
+            r.limbs_[i + j] = static_cast<u64>(cur);
+            carry = cur >> 64;
+        }
+        size_t k = i + o.limbs_.size();
+        while (carry) {
+            u128 cur = static_cast<u128>(r.limbs_[k]) + carry;
+            r.limbs_[k] = static_cast<u64>(cur);
+            carry = cur >> 64;
+            ++k;
+        }
+    }
+    r.trim();
+    return r;
+}
+
+BigUInt
+BigUInt::operator*(u64 v) const
+{
+    return *this * BigUInt(v);
+}
+
+BigUInt
+BigUInt::shl(u32 bits) const
+{
+    if (isZero() || bits == 0)
+        return *this;
+    const u32 words = bits / 64;
+    const u32 rem = bits % 64;
+    BigUInt r;
+    r.limbs_.assign(limbs_.size() + words + 1, 0);
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        r.limbs_[i + words] |= rem ? (limbs_[i] << rem) : limbs_[i];
+        if (rem)
+            r.limbs_[i + words + 1] |= limbs_[i] >> (64 - rem);
+    }
+    r.trim();
+    return r;
+}
+
+BigUInt
+BigUInt::divmodSmall(u64 d, u64 &rem) const
+{
+    requireThat(d != 0, "BigUInt: division by zero");
+    BigUInt q;
+    q.limbs_.resize(limbs_.size(), 0);
+    u128 r = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+        u128 cur = (r << 64) | limbs_[i];
+        q.limbs_[i] = static_cast<u64>(cur / d);
+        r = cur % d;
+    }
+    q.trim();
+    rem = static_cast<u64>(r);
+    return q;
+}
+
+u64
+BigUInt::modSmall(u64 d) const
+{
+    u64 rem = 0;
+    (void)divmodSmall(d, rem);
+    return rem;
+}
+
+BigUInt
+BigUInt::mod(const BigUInt &m) const
+{
+    requireThat(!m.isZero(), "BigUInt: mod by zero");
+    if (compare(m) < 0)
+        return *this;
+    BigUInt r = *this;
+    const u32 shift = r.bitLength() - m.bitLength();
+    for (i64 s = shift; s >= 0; --s) {
+        BigUInt t = m.shl(static_cast<u32>(s));
+        if (t <= r)
+            r = r - t;
+    }
+    internalCheck(r < m, "BigUInt::mod: postcondition failed");
+    return r;
+}
+
+BigUInt
+BigUInt::divmod(const BigUInt &d, BigUInt &rem) const
+{
+    requireThat(!d.isZero(), "BigUInt: division by zero");
+    if (compare(d) < 0) {
+        rem = *this;
+        return {};
+    }
+    BigUInt q;
+    BigUInt r = *this;
+    const u32 shift = r.bitLength() - d.bitLength();
+    for (i64 s = shift; s >= 0; --s) {
+        const BigUInt t = d.shl(static_cast<u32>(s));
+        if (t <= r) {
+            r = r - t;
+            q = q + BigUInt(1).shl(static_cast<u32>(s));
+        }
+    }
+    rem = r;
+    return q;
+}
+
+BigUInt
+BigUInt::divRound(const BigUInt &d) const
+{
+    u64 half_rem = 0;
+    const BigUInt half = d.divmodSmall(2, half_rem);
+    BigUInt rem;
+    return (*this + half + half_rem).divmod(d, rem);
+}
+
+double
+BigUInt::toDouble() const
+{
+    double r = 0.0;
+    for (size_t i = limbs_.size(); i-- > 0;)
+        r = r * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+    return r;
+}
+
+std::string
+BigUInt::toDecimal() const
+{
+    if (isZero())
+        return "0";
+    BigUInt v = *this;
+    std::string s;
+    while (!v.isZero()) {
+        u64 rem = 0;
+        v = v.divmodSmall(10, rem);
+        s.push_back(static_cast<char>('0' + rem));
+    }
+    std::reverse(s.begin(), s.end());
+    return s;
+}
+
+BigUInt
+BigUInt::product(const std::vector<u64> &factors)
+{
+    BigUInt r(1);
+    for (u64 f : factors)
+        r = r * f;
+    return r;
+}
+
+} // namespace cross::nt

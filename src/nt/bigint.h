@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal arbitrary-precision unsigned integer.
+ *
+ * HE ciphertext moduli Q = prod q_i reach ~1800 bits (Set D: 51 x 28-bit
+ * limbs + auxiliary). The production data path never touches big integers
+ * -- that is the whole point of RNS -- but tests and the CRT ground truth
+ * need them: composing RNS residues back to Z_Q, verifying BConv exactly,
+ * and checking rescale flooring.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** Unsigned big integer, little-endian u64 limbs, canonical (no top zeros). */
+class BigUInt
+{
+  public:
+    /** Zero. */
+    BigUInt() = default;
+
+    /** From a single machine word. */
+    explicit BigUInt(u64 v);
+
+    /** From a decimal string (digits only). */
+    static BigUInt fromDecimal(const std::string &s);
+
+    bool isZero() const { return limbs_.empty(); }
+
+    /** Number of significant bits (0 for zero). */
+    u32 bitLength() const;
+
+    /** Three-way comparison: -1, 0, +1. */
+    int compare(const BigUInt &other) const;
+
+    bool operator==(const BigUInt &o) const { return compare(o) == 0; }
+    bool operator<(const BigUInt &o) const { return compare(o) < 0; }
+    bool operator<=(const BigUInt &o) const { return compare(o) <= 0; }
+
+    BigUInt operator+(const BigUInt &o) const;
+    BigUInt operator+(u64 v) const;
+
+    /** Subtraction; requires *this >= o. */
+    BigUInt operator-(const BigUInt &o) const;
+
+    BigUInt operator*(const BigUInt &o) const;
+    BigUInt operator*(u64 v) const;
+
+    /** Left shift by @p bits. */
+    BigUInt shl(u32 bits) const;
+
+    /** Divide by a machine word: returns quotient, sets @p rem. */
+    BigUInt divmodSmall(u64 d, u64 &rem) const;
+
+    /** Remainder modulo a machine word. */
+    u64 modSmall(u64 d) const;
+
+    /** Full-width remainder *this mod m (schoolbook shift-subtract). */
+    BigUInt mod(const BigUInt &m) const;
+
+    /** Full division: returns floor(*this / d), sets @p rem. */
+    BigUInt divmod(const BigUInt &d, BigUInt &rem) const;
+
+    /** Rounded division: floor((*this + d/2) / d). */
+    BigUInt divRound(const BigUInt &d) const;
+
+    /** Low 64 bits. */
+    u64 low64() const { return limbs_.empty() ? 0 : limbs_[0]; }
+
+    /** Approximate conversion to double (used by the CKKS decoder). */
+    double toDouble() const;
+
+    /** Decimal rendering. */
+    std::string toDecimal() const;
+
+    /** Product of a list of machine words (e.g. Q = prod q_i). */
+    static BigUInt product(const std::vector<u64> &factors);
+
+  private:
+    void trim();
+    std::vector<u64> limbs_;
+};
+
+} // namespace cross::nt

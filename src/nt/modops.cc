@@ -1,0 +1,30 @@
+#include "nt/modops.h"
+
+namespace cross::nt {
+
+u64
+invMod(u64 a, u64 q)
+{
+    requireThat(q > 1, "invMod: modulus must be > 1");
+    a %= q;
+    requireThat(a != 0, "invMod: zero has no inverse");
+
+    // Extended Euclid on signed 128-bit to dodge overflow.
+    __int128 t = 0, new_t = 1;
+    __int128 r = q, new_r = a;
+    while (new_r != 0) {
+        __int128 quotient = r / new_r;
+        __int128 tmp = t - quotient * new_t;
+        t = new_t;
+        new_t = tmp;
+        tmp = r - quotient * new_r;
+        r = new_r;
+        new_r = tmp;
+    }
+    requireThat(r == 1, "invMod: arguments are not coprime");
+    if (t < 0)
+        t += q;
+    return static_cast<u64>(t);
+}
+
+} // namespace cross::nt

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Generic modular arithmetic over word-sized moduli.
+ *
+ * These are the *reference* implementations (u128-based) that every
+ * optimised reduction path (Montgomery, Barrett, Shoup, BAT) is tested
+ * against. Moduli in CROSS are NTT-friendly primes with log2 q <= 31 so
+ * every value fits a u32 and every product fits a u64, mirroring the
+ * paper's "one coefficient per 32-bit TPU register" constraint.
+ */
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** (a + b) mod q; requires a, b < q. */
+constexpr u64
+addMod(u64 a, u64 b, u64 q)
+{
+    u64 s = a + b;
+    return s >= q ? s - q : s;
+}
+
+/** (a - b) mod q; requires a, b < q. */
+constexpr u64
+subMod(u64 a, u64 b, u64 q)
+{
+    return a >= b ? a - b : a + q - b;
+}
+
+/** (-a) mod q; requires a < q. */
+constexpr u64
+negMod(u64 a, u64 q)
+{
+    return a == 0 ? 0 : q - a;
+}
+
+/** (a * b) mod q via 128-bit product; the ground-truth multiplier. */
+constexpr u64
+mulMod(u64 a, u64 b, u64 q)
+{
+    return static_cast<u64>(static_cast<u128>(a) * b % q);
+}
+
+/** a^e mod q by square-and-multiply. */
+constexpr u64
+powMod(u64 a, u64 e, u64 q)
+{
+    u64 r = 1 % q;
+    u64 base = a % q;
+    while (e) {
+        if (e & 1)
+            r = mulMod(r, base, q);
+        base = mulMod(base, base, q);
+        e >>= 1;
+    }
+    return r;
+}
+
+/**
+ * Modular inverse by extended Euclid.
+ * @throws std::invalid_argument when gcd(a, q) != 1.
+ */
+u64 invMod(u64 a, u64 q);
+
+/** Centered representative of a mod q in (-q/2, q/2]. */
+constexpr i64
+centered(u64 a, u64 q)
+{
+    return a > q / 2 ? static_cast<i64>(a) - static_cast<i64>(q)
+                     : static_cast<i64>(a);
+}
+
+} // namespace cross::nt

@@ -1,0 +1,20 @@
+#include "nt/montgomery.h"
+
+namespace cross::nt {
+
+Montgomery::Montgomery(u32 q) : q_(q)
+{
+    requireThat((q & 1) == 1, "Montgomery: modulus must be odd");
+    requireThat(q > 1 && q < (1u << 31), "Montgomery: need 1 < q < 2^31");
+
+    // Newton iteration for q^-1 mod 2^32: x_{k+1} = x_k (2 - q x_k).
+    u32 x = q; // correct mod 2^3 for odd q
+    for (int i = 0; i < 5; ++i)
+        x *= 2 - q * x;
+    qInv_ = x;
+    internalCheck(q_ * qInv_ == 1u, "Montgomery: inverse sanity failed");
+
+    rSquared_ = static_cast<u64>((static_cast<u128>(1) << 64) % q);
+}
+
+} // namespace cross::nt

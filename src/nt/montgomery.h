@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Montgomery reduction for 32-bit moduli (R = 2^32).
+ *
+ * Two equivalent implementations are provided:
+ *  - reduce(): the wide (64-bit multiply) form;
+ *  - reducePaper(): the paper's Algorithm 1, which computes the upper 32
+ *    bits of t*q using only 16-bit primitive multiplies, mirroring how the
+ *    reduction maps onto a TPU VPU whose cheap integer multiply is narrow.
+ *
+ * Both return B in [0, 2q) with B == z * 2^-32 (mod q), the lazy range the
+ * paper exploits for chained arithmetic; strict() folds into [0, q).
+ */
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+#include "nt/modops.h"
+
+namespace cross::nt {
+
+/** Precomputed Montgomery context for an odd modulus q < 2^31. */
+class Montgomery
+{
+  public:
+    /** Build the context; @p q must be odd and < 2^31. */
+    explicit Montgomery(u32 q);
+
+    u32 modulus() const { return q_; }
+
+    /** q^-1 mod 2^32 (the positive inverse used by Algorithm 1). */
+    u32 qInv() const { return qInv_; }
+
+    /**
+     * Wide-form Montgomery reduction.
+     * @param z input in [0, 2^32 * q)
+     * @return B in [0, 2q) with B == z * 2^-32 (mod q)
+     */
+    u32
+    reduce(u64 z) const
+    {
+        u32 t = static_cast<u32>(z) * qInv_;
+        u32 t_final = static_cast<u32>((static_cast<u64>(t) * q_) >> 32);
+        // (z - t*q) / 2^32 == zhi - t_final exactly; bias by q to stay >= 0.
+        return static_cast<u32>(z >> 32) + q_ - t_final;
+    }
+
+    /**
+     * Algorithm 1 from the paper: identical result to reduce(), computed
+     * with 16-bit primitive multiplies only (beyond the initial t).
+     */
+    u32
+    reducePaper(u64 z) const
+    {
+        u32 z_lo = static_cast<u32>(z);
+        u32 z_hi = static_cast<u32>(z >> 32);
+        u32 t = z_lo * qInv_;
+        u32 t_lo = t & 0xffff, t_hi = t >> 16;
+        u32 q_lo = q_ & 0xffff, q_hi = q_ >> 16;
+        // Four 16x16 -> 32-bit partial products of t*q.
+        u32 p_hi = t_hi * q_hi;
+        u32 p_lo = t_lo * q_lo;
+        u32 pm_hi = t_hi * q_lo;
+        u32 pm_lo = t_lo * q_hi;
+        u32 mid_lo = (pm_hi & 0xffff) + (pm_lo & 0xffff) + (p_lo >> 16);
+        u32 mid_hi = (pm_hi >> 16) + (pm_lo >> 16) + (mid_lo >> 16);
+        u32 t_final = p_hi + mid_hi; // == floor(t*q / 2^32)
+        return z_hi + q_ - t_final;
+    }
+
+    /** Fold a lazy [0, 2q) value into [0, q). */
+    u32
+    strict(u32 b) const
+    {
+        return b >= q_ ? b - q_ : b;
+    }
+
+    /** Map a < q into the Montgomery domain: a * 2^32 mod q. */
+    u32
+    toMont(u32 a) const
+    {
+        return strict(reduce(static_cast<u64>(a) * rSquared_));
+    }
+
+    /** Map out of the Montgomery domain. */
+    u32
+    fromMont(u32 a) const
+    {
+        return strict(reduce(a));
+    }
+
+    /**
+     * Montgomery-domain product: returns (a * b * 2^-32) mod q in [0, q).
+     * If exactly one operand is in the Montgomery domain the result is the
+     * plain-domain product -- the trick CROSS uses for twiddle factors.
+     */
+    u32
+    mulMont(u32 a, u32 b) const
+    {
+        return strict(reduce(static_cast<u64>(a) * b));
+    }
+
+    /** Plain-domain modular product routed through Montgomery. */
+    u32
+    mulPlain(u32 a, u32 b) const
+    {
+        return mulMont(toMont(a), b);
+    }
+
+  private:
+    u32 q_;
+    u32 qInv_;      // q^-1 mod 2^32
+    u64 rSquared_;  // 2^64 mod q
+};
+
+} // namespace cross::nt

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Primality testing and NTT-friendly prime generation.
+ *
+ * CROSS parameter sets use chains of ~28-bit primes q_i == 1 (mod 2N) so
+ * that a primitive 2N-th root of unity exists (negacyclic NTT) and the RNS
+ * limbs are pairwise coprime (Table I / Section II-A3 of the paper).
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** Deterministic Miller-Rabin for n < 2^64. */
+bool isPrime(u64 n);
+
+/**
+ * Generate @p count distinct primes with exactly @p bits bits satisfying
+ * p == 1 (mod modStep), scanning downward from 2^bits - 1.
+ *
+ * @param bits     bit width of each prime (e.g. 28)
+ * @param count    how many primes
+ * @param modStep  congruence step, typically 2N
+ * @throws std::invalid_argument if not enough primes exist in range
+ */
+std::vector<u64> generateNttPrimes(u32 bits, size_t count, u64 modStep);
+
+/**
+ * Same, but skipping any prime already present in @p exclude -- used for
+ * the auxiliary (key-switching) basis which must be coprime to Q.
+ */
+std::vector<u64> generateNttPrimesAvoiding(u32 bits, size_t count,
+                                           u64 modStep,
+                                           const std::vector<u64> &exclude);
+
+/** Prime factorisation (trial division + Pollard rho); returns distinct primes. */
+std::vector<u64> distinctPrimeFactors(u64 n);
+
+} // namespace cross::nt

@@ -1,0 +1,53 @@
+#include "nt/roots.h"
+
+#include "common/check.h"
+#include "nt/modops.h"
+#include "nt/primes.h"
+
+namespace cross::nt {
+
+u64
+primitiveRoot(u64 q)
+{
+    requireThat(isPrime(q), "primitiveRoot: q must be prime");
+    const u64 phi = q - 1;
+    const auto factors = distinctPrimeFactors(phi);
+    for (u64 g = 2; g < q; ++g) {
+        bool ok = true;
+        for (u64 p : factors) {
+            if (powMod(g, phi / p, q) == 1) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            return g;
+    }
+    internalCheck(false, "primitiveRoot: none found (impossible for prime)");
+    return 0;
+}
+
+u64
+rootOfUnity(u64 order, u64 q)
+{
+    requireThat(order > 0 && (q - 1) % order == 0,
+                "rootOfUnity: order must divide q - 1");
+    u64 g = primitiveRoot(q);
+    u64 w = powMod(g, (q - 1) / order, q);
+    internalCheck(hasOrder(w, order, q), "rootOfUnity: order check failed");
+    return w;
+}
+
+bool
+hasOrder(u64 w, u64 order, u64 q)
+{
+    if (powMod(w, order, q) != 1)
+        return false;
+    for (u64 p : distinctPrimeFactors(order)) {
+        if (powMod(w, order / p, q) == 1)
+            return false;
+    }
+    return true;
+}
+
+} // namespace cross::nt

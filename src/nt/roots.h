@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Roots of unity in prime fields: primitive roots (generators) and
+ * primitive n-th roots of unity, the twiddle factors of every NTT variant
+ * in this repository.
+ */
+#pragma once
+
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** Smallest primitive root (generator of Z_q^*) for prime @p q. */
+u64 primitiveRoot(u64 q);
+
+/**
+ * A primitive @p order-th root of unity mod prime @p q.
+ * Requires order | q - 1.
+ */
+u64 rootOfUnity(u64 order, u64 q);
+
+/** True iff w has exact multiplicative order @p order mod prime @p q. */
+bool hasOrder(u64 w, u64 order, u64 q);
+
+} // namespace cross::nt

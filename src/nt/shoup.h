@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shoup modular multiplication: when one operand w is known ahead of time
+ * (twiddle factors), precompute w' = floor(w * 2^64 / q) and reduce with a
+ * single high product. The paper evaluates Shoup in the Fig. 13 ablation;
+ * it loses to Montgomery on the TPU because the 64-bit product is
+ * expensive on a 32-bit VPU -- our simulator costs it accordingly.
+ */
+#pragma once
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** Precomputed Shoup factor for constant operand @p w modulo @p q. */
+struct ShoupConst
+{
+    u32 w;      ///< the constant operand, < q
+    u64 wShoup; ///< floor(w * 2^64 / q)
+};
+
+/** Build the precomputation; requires w < q < 2^31. */
+inline ShoupConst
+shoupPrecompute(u32 w, u32 q)
+{
+    requireThat(w < q, "shoupPrecompute: operand must be < q");
+    return {w, static_cast<u64>((static_cast<u128>(w) << 64) / q)};
+}
+
+/**
+ * (a * w) mod q with precomputed w'; a < 2q allowed (lazy input).
+ * @return result in [0, q)
+ */
+inline u32
+shoupMul(u32 a, const ShoupConst &c, u32 q)
+{
+    u64 hi = static_cast<u64>((static_cast<u128>(c.wShoup) * a) >> 64);
+    u64 r = static_cast<u64>(c.w) * a - hi * q;
+    // r in [0, 2q) by the standard Shoup bound.
+    return static_cast<u32>(r >= q ? r - q : r);
+}
+
+/** Lazy variant: result in [0, 2q), one fewer correction. */
+inline u32
+shoupMulLazy(u32 a, const ShoupConst &c, u32 q)
+{
+    u64 hi = static_cast<u64>((static_cast<u128>(c.wShoup) * a) >> 64);
+    return static_cast<u32>(static_cast<u64>(c.w) * a - hi * q);
+}
+
+} // namespace cross::nt

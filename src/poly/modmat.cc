@@ -1,0 +1,150 @@
+#include "poly/modmat.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::poly {
+
+ModMatrix::ModMatrix(size_t rows, size_t cols, u32 q)
+    : rows_(rows), cols_(cols), q_(q), data_(rows * cols, 0)
+{
+    requireThat(q > 1, "ModMatrix: modulus must be > 1");
+}
+
+ModMatrix
+ModMatrix::identity(size_t n, u32 q)
+{
+    ModMatrix m(n, n, q);
+    for (size_t i = 0; i < n; ++i)
+        m.at(i, i) = 1;
+    return m;
+}
+
+ModMatrix
+ModMatrix::permutation(const std::vector<u32> &map, u32 q)
+{
+    const size_t n = map.size();
+    ModMatrix m(n, n, q);
+    std::vector<bool> seen(n, false);
+    for (size_t r = 0; r < n; ++r) {
+        requireThat(map[r] < n && !seen[map[r]],
+                    "ModMatrix::permutation: map is not a permutation");
+        seen[map[r]] = true;
+        m.at(r, map[r]) = 1;
+    }
+    return m;
+}
+
+ModMatrix
+ModMatrix::transposed() const
+{
+    ModMatrix m(cols_, rows_, q_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m.at(c, r) = at(r, c);
+    return m;
+}
+
+ModMatrix
+ModMatrix::rowPermuted(const std::vector<u32> &map) const
+{
+    requireThat(map.size() == rows_, "rowPermuted: map size mismatch");
+    ModMatrix m(rows_, cols_, q_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m.at(r, c) = at(map[r], c);
+    return m;
+}
+
+ModMatrix
+ModMatrix::colPermuted(const std::vector<u32> &map) const
+{
+    requireThat(map.size() == cols_, "colPermuted: map size mismatch");
+    ModMatrix m(rows_, cols_, q_);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            m.at(r, c) = at(r, map[c]);
+    return m;
+}
+
+ModMatrix
+ModMatrix::hadamard(const ModMatrix &o) const
+{
+    requireThat(rows_ == o.rows_ && cols_ == o.cols_ && q_ == o.q_,
+                "hadamard: shape/modulus mismatch");
+    ModMatrix m(rows_, cols_, q_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        m.data_[i] = static_cast<u32>(nt::mulMod(data_[i], o.data_[i], q_));
+    return m;
+}
+
+ModMatrix
+ModMatrix::entryInverse() const
+{
+    ModMatrix m(rows_, cols_, q_);
+    for (size_t i = 0; i < data_.size(); ++i)
+        m.data_[i] = static_cast<u32>(nt::invMod(data_[i], q_));
+    return m;
+}
+
+bool
+ModMatrix::operator==(const ModMatrix &o) const
+{
+    return rows_ == o.rows_ && cols_ == o.cols_ && q_ == o.q_ &&
+        data_ == o.data_;
+}
+
+void
+matMulRaw(const u32 *a, const u32 *b, u32 *z, size_t h, size_t v, size_t w,
+          const nt::Barrett &bar)
+{
+    const u32 q = bar.modulus();
+    // Products are < 2^62 for q < 2^31; reduce the u64 accumulator before
+    // it can overflow.
+    const u32 qbits = ilog2(q) + 1;
+    const size_t window =
+        std::max<size_t>(1, size_t{1} << std::min(63 - 2 * qbits, 20u));
+
+    for (size_t r = 0; r < h; ++r) {
+        for (size_t c = 0; c < w; ++c) {
+            u64 acc = 0;
+            size_t used = 0;
+            for (size_t k = 0; k < v; ++k) {
+                acc += static_cast<u64>(a[r * v + k]) * b[k * w + c];
+                if (++used == window) {
+                    acc = bar.reduceWide(acc);
+                    used = 0;
+                }
+            }
+            z[r * w + c] = bar.reduceWide(acc);
+        }
+    }
+}
+
+ModMatrix
+matMul(const ModMatrix &a, const ModMatrix &b)
+{
+    requireThat(a.cols() == b.rows() && a.modulus() == b.modulus(),
+                "matMul: shape/modulus mismatch");
+    ModMatrix z(a.rows(), b.cols(), a.modulus());
+    nt::Barrett bar(a.modulus());
+    matMulRaw(a.data().data(), b.data().data(), z.data().data(), a.rows(),
+              a.cols(), b.cols(), bar);
+    return z;
+}
+
+std::vector<u32>
+matVec(const ModMatrix &a, const std::vector<u32> &x)
+{
+    requireThat(a.cols() == x.size(), "matVec: size mismatch");
+    std::vector<u32> z(a.rows());
+    nt::Barrett bar(a.modulus());
+    matMulRaw(a.data().data(), x.data(), z.data(), a.rows(), a.cols(), 1,
+              bar);
+    return z;
+}
+
+} // namespace cross::poly

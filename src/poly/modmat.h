@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Dense modular matrices over Z_q -- the currency of the matrix-form NTT
+ * (Fig. 10) and of MAT's offline permutation folding (Fig. 9).
+ *
+ * The reference product here is the "high-precision ModMatMul" of Table
+ * III: 32-bit entries, u64 accumulation with a lazy reduction window, one
+ * Barrett reduction per window. BAT (src/cross/bat.h) lowers the same
+ * product to INT8 and must agree bit-for-bit with this implementation.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "nt/barrett.h"
+
+namespace cross::poly {
+
+/** Row-major dense matrix over Z_q with u32 entries. */
+class ModMatrix
+{
+  public:
+    ModMatrix() = default;
+
+    /** Zero matrix of shape rows x cols over modulus q. */
+    ModMatrix(size_t rows, size_t cols, u32 q);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+    u32 modulus() const { return q_; }
+
+    u32 &at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    u32 at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    const std::vector<u32> &data() const { return data_; }
+    std::vector<u32> &data() { return data_; }
+
+    /** Identity matrix. */
+    static ModMatrix identity(size_t n, u32 q);
+
+    /**
+     * Permutation matrix P with P[r][map[r]] = 1, so (P @ x)[r] = x[map[r]].
+     * @p map must be a permutation of [0, n).
+     */
+    static ModMatrix permutation(const std::vector<u32> &map, u32 q);
+
+    /** Transposed copy. */
+    ModMatrix transposed() const;
+
+    /** Rows reordered: result.row(r) = this->row(map[r]). */
+    ModMatrix rowPermuted(const std::vector<u32> &map) const;
+
+    /** Columns reordered: result.col(c) = this->col(map[c]). */
+    ModMatrix colPermuted(const std::vector<u32> &map) const;
+
+    /** Entry-wise product (same shape, same modulus). */
+    ModMatrix hadamard(const ModMatrix &other) const;
+
+    /** Entry-wise modular inverse (all entries must be nonzero). */
+    ModMatrix entryInverse() const;
+
+    bool operator==(const ModMatrix &o) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    u32 q_ = 0;
+    std::vector<u32> data_;
+};
+
+/** Reference high-precision modular product A @ B mod q. */
+ModMatrix matMul(const ModMatrix &a, const ModMatrix &b);
+
+/** A @ x mod q for a column vector x. */
+std::vector<u32> matVec(const ModMatrix &a, const std::vector<u32> &x);
+
+/**
+ * Reference ModMatMul on raw row-major buffers:
+ * z (h x w) = a (h x v) @ b (v x w) mod q. Used where the right-hand side
+ * is polynomial data rather than a ModMatrix.
+ */
+void matMulRaw(const u32 *a, const u32 *b, u32 *z, size_t h, size_t v,
+               size_t w, const nt::Barrett &bar);
+
+} // namespace cross::poly

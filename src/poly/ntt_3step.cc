@@ -1,0 +1,122 @@
+#include "poly/ntt_3step.h"
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::poly {
+
+namespace {
+
+std::vector<u32>
+bitrevMap(u32 n)
+{
+    return bitReverseTable(n);
+}
+
+} // namespace
+
+ThreeStepPlan::ThreeStepPlan(const NttTables &tab, u32 r)
+    : n_(tab.degree()), r_(r), c_(0), q_(tab.modulus())
+{
+    requireThat(isPow2(r_) && r_ > 0 && n_ % r_ == 0,
+                "ThreeStepPlan: R must be a power of two dividing N");
+    c_ = n_ / r_;
+    requireThat(isPow2(c_), "ThreeStepPlan: C must be a power of two");
+
+    const u64 two_n = 2ULL * n_;
+    // w_R = psi^(2C): primitive R-th root; w_C = psi^(2R).
+    auto psi_pow = [&](u64 e) { return tab.psiPow(e % two_n); };
+
+    // Unfolded step matrices (Fig. 10 row 2, before permutation folding).
+    ModMatrix m1(r_, r_, q_), t(r_, c_, q_), m3(c_, c_, q_);
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 n1 = 0; n1 < r_; ++n1)
+            m1.at(k1, n1) = psi_pow(
+                (2ULL * c_ * n1 % two_n) * k1 + 1ULL * n1 * c_);
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 n2 = 0; n2 < c_; ++n2)
+            t.at(k1, n2) = psi_pow((2ULL * k1 + 1) * n2);
+    for (u32 n2 = 0; n2 < c_; ++n2)
+        for (u32 k2 = 0; k2 < c_; ++k2)
+            m3.at(n2, k2) = psi_pow((2ULL * r_ * n2 % two_n) * k2);
+
+    // Inverse step matrices (scaling R^-1 / C^-1 folded in).
+    const u32 r_inv = static_cast<u32>(nt::invMod(r_, q_));
+    const u32 c_inv = static_cast<u32>(nt::invMod(c_, q_));
+    const u64 psi_order_minus = two_n; // psi^(2N) == 1
+    auto psi_pow_neg = [&](u64 e) {
+        return tab.psiPow(psi_order_minus - (e % two_n));
+    };
+    ModMatrix m1i(r_, r_, q_), ti(r_, c_, q_), m3i(c_, c_, q_);
+    for (u32 n1 = 0; n1 < r_; ++n1)
+        for (u32 k1 = 0; k1 < r_; ++k1)
+            m1i.at(n1, k1) = static_cast<u32>(nt::mulMod(
+                psi_pow_neg((2ULL * c_ * n1 % two_n) * k1 +
+                            1ULL * n1 * c_),
+                r_inv, q_));
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 n2 = 0; n2 < c_; ++n2)
+            ti.at(k1, n2) = psi_pow_neg((2ULL * k1 + 1) * n2);
+    for (u32 k2 = 0; k2 < c_; ++k2)
+        for (u32 n2 = 0; n2 < c_; ++n2)
+            m3i.at(k2, n2) = static_cast<u32>(nt::mulMod(
+                psi_pow_neg((2ULL * r_ * n2 % two_n) * k2), c_inv, q_));
+
+    // MAT folding: bit-reversal permutations applied offline so the flat
+    // row-major output equals the canonical radix-2 bit-reversed layout.
+    const auto br_r = bitrevMap(r_);
+    const auto br_c = bitrevMap(c_);
+    // Row permutation folds into M1 and the elementwise T (both indexed by
+    // the output row); the column permutation folds into M3 only -- T's
+    // columns index the *inner* dimension n2, untouched by output order.
+    m1_ = m1.rowPermuted(br_r);
+    t_ = t.rowPermuted(br_r);
+    m3_ = m3.colPermuted(br_c);
+    m1Inv_ = m1i.colPermuted(br_r);
+    tInv_ = ti.rowPermuted(br_r);
+    m3Inv_ = m3i.rowPermuted(br_c);
+}
+
+std::vector<u32>
+ThreeStepPlan::forward(const std::vector<u32> &a) const
+{
+    requireThat(a.size() == n_, "ThreeStepPlan::forward: size mismatch");
+    nt::Barrett bar(q_);
+    // Step 1: column-wise R-point transforms == M1 @ A (A is R x C).
+    std::vector<u32> b(n_);
+    matMulRaw(m1_.data().data(), a.data(), b.data(), r_, r_, c_, bar);
+    // Step 2: element-wise twiddle multiply.
+    for (u32 i = 0; i < n_; ++i)
+        b[i] = static_cast<u32>(nt::mulMod(b[i], t_.data()[i], q_));
+    // Step 3: row-wise C-point transforms == B @ M3.
+    std::vector<u32> out(n_);
+    matMulRaw(b.data(), m3_.data().data(), out.data(), r_, c_, c_, bar);
+    return out;
+}
+
+std::vector<u32>
+ThreeStepPlan::inverse(const std::vector<u32> &a) const
+{
+    requireThat(a.size() == n_, "ThreeStepPlan::inverse: size mismatch");
+    nt::Barrett bar(q_);
+    // Undo step 3: Y = A @ M3inv.
+    std::vector<u32> y(n_);
+    matMulRaw(a.data(), m3Inv_.data().data(), y.data(), r_, c_, c_, bar);
+    // Undo step 2.
+    for (u32 i = 0; i < n_; ++i)
+        y[i] = static_cast<u32>(nt::mulMod(y[i], tInv_.data()[i], q_));
+    // Undo step 1: Out = M1inv @ Y.
+    std::vector<u32> out(n_);
+    matMulRaw(m1Inv_.data().data(), y.data(), out.data(), r_, r_, c_, bar);
+    return out;
+}
+
+u32
+defaultRowSplit(u32 n)
+{
+    u32 bits = ilog2(n);
+    return 1u << ((bits + 1) / 2);
+}
+
+} // namespace cross::poly

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Layout-invariant 3-step negacyclic NTT (the MAT-transformed algorithm of
+ * Fig. 10, row 2/3).
+ *
+ * The degree-N input is viewed as an R x C row-major matrix A and the
+ * transform is computed as
+ *
+ *     Out = ((M1 @ A) .* T) @ M3
+ *
+ * with every reordering the classic 4-step algorithm performs at runtime
+ * (matrix transpose, bit-reverse shuffle) folded *offline* into the three
+ * pre-known parameter matrices, exactly as Section IV-B2 prescribes:
+ *
+ *   M1[k1][n1] = w_R^(n1*k1) * psi^(n1*C)   row-permuted by bitrev_R
+ *   T [k1][n2] = psi^((2*k1+1)*n2)          row/col-permuted
+ *   M3[n2][k2] = w_C^(n2*k2)                col-permuted by bitrev_C
+ *
+ * (w_R = psi^(2C), w_C = psi^(2R); the psi factors make the transform
+ * negacyclic.) With the permutations folded, the flattened row-major
+ * output is *bit-for-bit identical* to the radix-2 Cooley-Tukey output in
+ * canonical bit-reversed order -- zero runtime permutes, zero transposes:
+ * the "layout invariant" property the paper claims. The inverse plan
+ * likewise consumes the canonical layout and emits natural order.
+ *
+ * Arithmetic cost is O(N * (R + C)) = O(N^1.5) vs O(N log N) for radix-2
+ * -- the deliberate trade described in the paper: more MACs, but they are
+ * dense MatMuls that BAT can feed to the MXU.
+ */
+#pragma once
+
+#include "poly/modmat.h"
+#include "poly/ntt_tables.h"
+
+namespace cross::poly {
+
+/** Precompiled 3-step plan for one (N = R*C, q). */
+class ThreeStepPlan
+{
+  public:
+    /**
+     * @param tab twiddle tables fixing psi (shared with the radix-2 path)
+     * @param r   row count R; must divide N, both R and N/R powers of two
+     */
+    ThreeStepPlan(const NttTables &tab, u32 r);
+
+    u32 degree() const { return n_; }
+    u32 rowCount() const { return r_; }
+    u32 colCount() const { return c_; }
+    u32 modulus() const { return q_; }
+
+    /** Forward transform; returns the canonical bit-reversed layout. */
+    std::vector<u32> forward(const std::vector<u32> &a) const;
+
+    /** Inverse transform from canonical layout to natural order. */
+    std::vector<u32> inverse(const std::vector<u32> &a) const;
+
+    /** @name Offline-compiled parameter matrices (fed to BAT / simulator).
+     *  @{ */
+    const ModMatrix &m1() const { return m1_; }
+    const ModMatrix &t() const { return t_; }
+    const ModMatrix &m3() const { return m3_; }
+    const ModMatrix &m1Inv() const { return m1Inv_; }
+    const ModMatrix &tInv() const { return tInv_; }
+    const ModMatrix &m3Inv() const { return m3Inv_; }
+    /** @} */
+
+  private:
+    u32 n_, r_, c_, q_;
+    ModMatrix m1_, t_, m3_;
+    ModMatrix m1Inv_, tInv_, m3Inv_;
+};
+
+/**
+ * Pick the (R, C) split for a given degree: R = 2^ceil(log2(sqrt(N)))
+ * unless the caller overrides, matching the paper's NTT configuration
+ * (one dimension pinned to the 128-lane width for small N).
+ */
+u32 defaultRowSplit(u32 n);
+
+} // namespace cross::poly

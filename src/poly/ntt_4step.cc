@@ -1,0 +1,103 @@
+#include "poly/ntt_4step.h"
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::poly {
+
+FourStepPlan::FourStepPlan(const NttTables &tab, u32 r)
+    : n_(tab.degree()), r_(r), c_(0), q_(tab.modulus())
+{
+    requireThat(isPow2(r_) && r_ > 0 && n_ % r_ == 0,
+                "FourStepPlan: R must be a power of two dividing N");
+    c_ = n_ / r_;
+    requireThat(isPow2(c_), "FourStepPlan: C must be a power of two");
+
+    const u64 two_n = 2ULL * n_;
+    auto psi_pow = [&](u64 e) { return tab.psiPow(e % two_n); };
+    auto psi_pow_neg = [&](u64 e) { return tab.psiPow(two_n - (e % two_n)); };
+
+    m1_ = ModMatrix(r_, r_, q_);
+    t_ = ModMatrix(r_, c_, q_);
+    m3_ = ModMatrix(c_, c_, q_);
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 n1 = 0; n1 < r_; ++n1)
+            m1_.at(k1, n1) = psi_pow(
+                (2ULL * c_ * n1 % two_n) * k1 + 1ULL * n1 * c_);
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 n2 = 0; n2 < c_; ++n2)
+            t_.at(k1, n2) = psi_pow((2ULL * k1 + 1) * n2);
+    for (u32 n2 = 0; n2 < c_; ++n2)
+        for (u32 k2 = 0; k2 < c_; ++k2)
+            m3_.at(n2, k2) = psi_pow((2ULL * r_ * n2 % two_n) * k2);
+
+    const u32 r_inv = static_cast<u32>(nt::invMod(r_, q_));
+    const u32 c_inv = static_cast<u32>(nt::invMod(c_, q_));
+    m1Inv_ = ModMatrix(r_, r_, q_);
+    tInv_ = t_.entryInverse();
+    m3Inv_ = ModMatrix(c_, c_, q_);
+    for (u32 n1 = 0; n1 < r_; ++n1)
+        for (u32 k1 = 0; k1 < r_; ++k1)
+            m1Inv_.at(n1, k1) = static_cast<u32>(nt::mulMod(
+                psi_pow_neg((2ULL * c_ * n1 % two_n) * k1 + 1ULL * n1 * c_),
+                r_inv, q_));
+    for (u32 k2 = 0; k2 < c_; ++k2)
+        for (u32 n2 = 0; n2 < c_; ++n2)
+            m3Inv_.at(k2, n2) = static_cast<u32>(nt::mulMod(
+                psi_pow_neg((2ULL * r_ * n2 % two_n) * k2), c_inv, q_));
+
+    bitrevN_ = bitReverseTable(n_);
+}
+
+std::vector<u32>
+FourStepPlan::forward(const std::vector<u32> &a) const
+{
+    requireThat(a.size() == n_, "FourStepPlan::forward: size mismatch");
+    nt::Barrett bar(q_);
+    // Steps 1-3 (same arithmetic as the 3-step plan, unpermuted params).
+    std::vector<u32> b(n_);
+    matMulRaw(m1_.data().data(), a.data(), b.data(), r_, r_, c_, bar);
+    for (u32 i = 0; i < n_; ++i)
+        b[i] = static_cast<u32>(nt::mulMod(b[i], t_.data()[i], q_));
+    std::vector<u32> out_grid(n_);
+    matMulRaw(b.data(), m3_.data().data(), out_grid.data(), r_, c_, c_, bar);
+
+    // Step 4a: explicit transpose -- out_grid[k1][k2] holds ahat[k1+R*k2];
+    // natural order is the column-major read.
+    std::vector<u32> natural(n_);
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 k2 = 0; k2 < c_; ++k2)
+            natural[k1 + r_ * k2] = out_grid[k1 * c_ + k2];
+
+    // Step 4b: explicit bit-reverse shuffle into the canonical layout.
+    std::vector<u32> canonical(n_);
+    for (u32 m = 0; m < n_; ++m)
+        canonical[m] = natural[bitrevN_[m]];
+    return canonical;
+}
+
+std::vector<u32>
+FourStepPlan::inverse(const std::vector<u32> &a) const
+{
+    requireThat(a.size() == n_, "FourStepPlan::inverse: size mismatch");
+    // Explicit un-shuffle and un-transpose back to the grid layout.
+    std::vector<u32> natural(n_);
+    for (u32 m = 0; m < n_; ++m)
+        natural[bitrevN_[m]] = a[m];
+    std::vector<u32> grid(n_);
+    for (u32 k1 = 0; k1 < r_; ++k1)
+        for (u32 k2 = 0; k2 < c_; ++k2)
+            grid[k1 * c_ + k2] = natural[k1 + r_ * k2];
+
+    nt::Barrett bar(q_);
+    std::vector<u32> y(n_);
+    matMulRaw(grid.data(), m3Inv_.data().data(), y.data(), r_, c_, c_, bar);
+    for (u32 i = 0; i < n_; ++i)
+        y[i] = static_cast<u32>(nt::mulMod(y[i], tInv_.data()[i], q_));
+    std::vector<u32> out(n_);
+    matMulRaw(m1Inv_.data().data(), y.data(), out.data(), r_, r_, c_, bar);
+    return out;
+}
+
+} // namespace cross::poly

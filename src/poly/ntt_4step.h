@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Classic 4-step negacyclic NTT with *explicit* runtime reordering -- the
+ * SoTA GPU decomposing algorithm (Fig. 10 row 1) that CROSS uses as its
+ * TPU baseline.
+ *
+ * Steps: (1) column-wise R-point transforms, (2) element-wise twiddles,
+ * (3) row-wise C-point transforms, (4) an explicit matrix transpose plus
+ * an explicit bit-reverse shuffle to land in the canonical layout. The
+ * arithmetic is identical to ThreeStepPlan; the difference -- and the
+ * entire point of MAT -- is that steps (4) are physical data movement
+ * here, which the simulator charges to the XLU.
+ */
+#pragma once
+
+#include "poly/modmat.h"
+#include "poly/ntt_tables.h"
+
+namespace cross::poly {
+
+/** Precompiled explicit 4-step plan for one (N = R*C, q). */
+class FourStepPlan
+{
+  public:
+    FourStepPlan(const NttTables &tab, u32 r);
+
+    u32 degree() const { return n_; }
+    u32 rowCount() const { return r_; }
+    u32 colCount() const { return c_; }
+
+    /**
+     * Forward transform; output in the canonical bit-reversed layout,
+     * bit-identical to ntt_ct forwardInPlace. Runtime performs a real
+     * transpose and a real bit-reverse permutation.
+     */
+    std::vector<u32> forward(const std::vector<u32> &a) const;
+
+    /** Inverse transform (explicit un-permute + un-transpose first). */
+    std::vector<u32> inverse(const std::vector<u32> &a) const;
+
+    const ModMatrix &m1() const { return m1_; }
+    const ModMatrix &t() const { return t_; }
+    const ModMatrix &m3() const { return m3_; }
+
+  private:
+    u32 n_, r_, c_, q_;
+    ModMatrix m1_, t_, m3_;
+    ModMatrix m1Inv_, tInv_, m3Inv_;
+    std::vector<u32> bitrevN_;
+};
+
+} // namespace cross::poly

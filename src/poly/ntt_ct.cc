@@ -1,0 +1,57 @@
+#include "poly/ntt_ct.h"
+
+#include "nt/modops.h"
+
+namespace cross::poly {
+
+void
+forwardInPlace(u32 *a, const NttTables &tab)
+{
+    const u32 n = tab.degree();
+    const u32 q = tab.modulus();
+    u32 t = n;
+    for (u32 m = 1; m < n; m <<= 1) {
+        t >>= 1;
+        for (u32 i = 0; i < m; ++i) {
+            const u32 j1 = 2 * i * t;
+            const u32 j2 = j1 + t;
+            const auto &s = tab.psiBr(m + i);
+            for (u32 j = j1; j < j2; ++j) {
+                const u32 u = a[j];
+                const u32 v = nt::shoupMul(a[j + t], s, q);
+                a[j] = static_cast<u32>(nt::addMod(u, v, q));
+                a[j + t] = static_cast<u32>(nt::subMod(u, v, q));
+            }
+        }
+    }
+}
+
+void
+inverseInPlace(u32 *a, const NttTables &tab)
+{
+    const u32 n = tab.degree();
+    const u32 q = tab.modulus();
+    u32 t = 1;
+    for (u32 m = n; m > 1; m >>= 1) {
+        u32 j1 = 0;
+        const u32 h = m >> 1;
+        for (u32 i = 0; i < h; ++i) {
+            const u32 j2 = j1 + t;
+            const auto &s = tab.psiInvBr(h + i);
+            for (u32 j = j1; j < j2; ++j) {
+                const u32 u = a[j];
+                const u32 v = a[j + t];
+                a[j] = static_cast<u32>(nt::addMod(u, v, q));
+                a[j + t] =
+                    nt::shoupMul(static_cast<u32>(nt::subMod(u, v, q)), s, q);
+            }
+            j1 += 2 * t;
+        }
+        t <<= 1;
+    }
+    const auto &ninv = tab.nInv();
+    for (u32 j = 0; j < n; ++j)
+        a[j] = nt::shoupMul(a[j], ninv, q);
+}
+
+} // namespace cross::poly

@@ -1,0 +1,315 @@
+#include "poly/ring.h"
+
+#include <cmath>
+
+#include "common/bitops.h"
+#include "common/check.h"
+#include "nt/modops.h"
+
+namespace cross::poly {
+
+Ring::Ring(u32 n, std::vector<u64> moduli)
+    : n_(n), basis_(std::move(moduli))
+{
+    requireThat(isPow2(n_) && n_ >= 4, "Ring: degree must be a power of 2");
+    tables_.reserve(basis_.size());
+    for (size_t i = 0; i < basis_.size(); ++i)
+        tables_.emplace_back(n_, static_cast<u32>(basis_.modulus(i)));
+}
+
+const CoeffAutoMap &
+Ring::coeffAutoMap(u32 k) const
+{
+    auto it = coeffAutoCache_.find(k);
+    if (it != coeffAutoCache_.end())
+        return it->second;
+    requireThat(k % 2 == 1, "automorphism index must be odd");
+    CoeffAutoMap m;
+    m.target.resize(n_);
+    m.negate.resize(n_);
+    const u64 two_n = 2ULL * n_;
+    for (u32 j = 0; j < n_; ++j) {
+        const u64 e = (static_cast<u64>(j) * k) % two_n;
+        if (e < n_) {
+            m.target[j] = static_cast<u32>(e);
+            m.negate[j] = 0;
+        } else {
+            m.target[j] = static_cast<u32>(e - n_);
+            m.negate[j] = 1;
+        }
+    }
+    return coeffAutoCache_.emplace(k, std::move(m)).first->second;
+}
+
+const std::vector<u32> &
+Ring::evalAutoMap(u32 k) const
+{
+    auto it = evalAutoCache_.find(k);
+    if (it != evalAutoCache_.end())
+        return it->second;
+    requireThat(k % 2 == 1, "automorphism index must be odd");
+    const u32 bits = ilog2(n_);
+    const u64 two_n = 2ULL * n_;
+    std::vector<u32> map(n_);
+    for (u32 m = 0; m < n_; ++m) {
+        // Canonical layout: slot m holds a(psi^(2*bitrev(m)+1)).
+        const u64 j = bitReverse(m, bits);
+        const u64 e = ((2 * j + 1) * k) % two_n; // odd
+        const u64 j_src = (e - 1) / 2;           // < N
+        map[m] = static_cast<u32>(bitReverse(j_src, bits));
+    }
+    return evalAutoCache_.emplace(k, std::move(map)).first->second;
+}
+
+RnsPoly::RnsPoly(const Ring &ring, size_t nlimbs, bool eval_domain)
+    : ring_(&ring), eval_(eval_domain)
+{
+    requireThat(nlimbs >= 1 && nlimbs <= ring.limbCount(),
+                "RnsPoly: limb count out of range");
+    slots_.resize(nlimbs);
+    for (size_t i = 0; i < nlimbs; ++i)
+        slots_[i] = static_cast<u32>(i);
+    limbs_.assign(nlimbs, std::vector<u32>(ring.degree(), 0));
+}
+
+RnsPoly::RnsPoly(const Ring &ring, std::vector<u32> slots, bool eval_domain)
+    : ring_(&ring), eval_(eval_domain), slots_(std::move(slots))
+{
+    requireThat(!slots_.empty(), "RnsPoly: need at least one limb");
+    for (u32 s : slots_)
+        requireThat(s < ring.limbCount(), "RnsPoly: slot out of range");
+    limbs_.assign(slots_.size(), std::vector<u32>(ring.degree(), 0));
+}
+
+RnsPoly
+RnsPoly::selectSlots(const std::vector<u32> &ring_idx) const
+{
+    RnsPoly out(*ring_, ring_idx, eval_);
+    for (size_t i = 0; i < ring_idx.size(); ++i) {
+        bool found = false;
+        for (size_t j = 0; j < slots_.size(); ++j) {
+            if (slots_[j] == ring_idx[i]) {
+                out.limbs_[i] = limbs_[j];
+                found = true;
+                break;
+            }
+        }
+        requireThat(found, "selectSlots: requested modulus not present");
+    }
+    return out;
+}
+
+RnsPoly
+RnsPoly::uniform(const Ring &ring, size_t nlimbs, bool eval, Rng &rng)
+{
+    RnsPoly p(ring, nlimbs, eval);
+    for (size_t i = 0; i < nlimbs; ++i) {
+        const u64 q = p.limbModulus(i);
+        for (auto &x : p.limbs_[i])
+            x = static_cast<u32>(rng.uniform(q));
+    }
+    return p;
+}
+
+RnsPoly
+RnsPoly::ternary(const Ring &ring, size_t nlimbs, Rng &rng)
+{
+    RnsPoly p(ring, nlimbs, false);
+    std::vector<i64> raw(ring.degree());
+    for (auto &x : raw) {
+        const u64 t = rng.uniform(3);
+        x = t == 2 ? -1 : static_cast<i64>(t);
+    }
+    for (size_t i = 0; i < nlimbs; ++i) {
+        const u64 q = p.limbModulus(i);
+        for (u32 j = 0; j < ring.degree(); ++j) {
+            p.limbs_[i][j] = static_cast<u32>(
+                raw[j] < 0 ? q + static_cast<u64>(raw[j]) : raw[j]);
+        }
+    }
+    return p;
+}
+
+RnsPoly
+RnsPoly::gaussian(const Ring &ring, size_t nlimbs, Rng &rng, double sigma)
+{
+    RnsPoly p(ring, nlimbs, false);
+    std::vector<i64> raw(ring.degree());
+    for (auto &x : raw)
+        x = static_cast<i64>(std::llround(rng.gaussian(sigma)));
+    for (size_t i = 0; i < nlimbs; ++i) {
+        const u64 q = p.limbModulus(i);
+        for (u32 j = 0; j < ring.degree(); ++j) {
+            i64 v = raw[j] % static_cast<i64>(q);
+            if (v < 0)
+                v += q;
+            p.limbs_[i][j] = static_cast<u32>(v);
+        }
+    }
+    return p;
+}
+
+void
+RnsPoly::addInPlace(const RnsPoly &o)
+{
+    internalCheck(eval_ == o.eval_ && limbs_.size() <= o.limbs_.size(),
+                  "RnsPoly::add: domain/limb mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        internalCheck(slots_[i] == o.slots_[i], "RnsPoly::add: slots");
+        const u64 q = limbModulus(i);
+        for (u32 j = 0; j < ring_->degree(); ++j) {
+            limbs_[i][j] = static_cast<u32>(
+                nt::addMod(limbs_[i][j], o.limbs_[i][j], q));
+        }
+    }
+}
+
+void
+RnsPoly::subInPlace(const RnsPoly &o)
+{
+    internalCheck(eval_ == o.eval_ && limbs_.size() <= o.limbs_.size(),
+                  "RnsPoly::sub: domain/limb mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        internalCheck(slots_[i] == o.slots_[i], "RnsPoly::sub: slots");
+        const u64 q = limbModulus(i);
+        for (u32 j = 0; j < ring_->degree(); ++j) {
+            limbs_[i][j] = static_cast<u32>(
+                nt::subMod(limbs_[i][j], o.limbs_[i][j], q));
+        }
+    }
+}
+
+void
+RnsPoly::negateInPlace()
+{
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const u64 q = limbModulus(i);
+        for (auto &x : limbs_[i])
+            x = static_cast<u32>(nt::negMod(x, q));
+    }
+}
+
+void
+RnsPoly::mulPointwiseInPlace(const RnsPoly &o)
+{
+    internalCheck(eval_ && o.eval_, "mulPointwise: both must be in eval");
+    internalCheck(limbs_.size() <= o.limbs_.size(),
+                  "mulPointwise: limb mismatch");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        internalCheck(slots_[i] == o.slots_[i], "mulPointwise: slots");
+        const auto &mont = ring_->basis().mont(slots_[i]);
+        for (u32 j = 0; j < ring_->degree(); ++j)
+            limbs_[i][j] = mont.mulPlain(limbs_[i][j], o.limbs_[i][j]);
+    }
+}
+
+void
+RnsPoly::mulScalarPerLimbInPlace(const std::vector<u64> &scalars)
+{
+    internalCheck(scalars.size() >= limbs_.size(),
+                  "mulScalarPerLimb: scalar count");
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        const u32 q = static_cast<u32>(limbModulus(i));
+        const auto c =
+            nt::shoupPrecompute(static_cast<u32>(scalars[i] % q), q);
+        for (auto &x : limbs_[i])
+            x = nt::shoupMul(x, c, q);
+    }
+}
+
+void
+RnsPoly::mulConstantInPlace(u64 c)
+{
+    std::vector<u64> scalars(limbs_.size());
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        scalars[i] = c % limbModulus(i);
+    mulScalarPerLimbInPlace(scalars);
+}
+
+void
+RnsPoly::toEval()
+{
+    internalCheck(!eval_, "toEval: already in eval domain");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        forwardInPlace(limbs_[i].data(), ring_->tables(slots_[i]));
+    eval_ = true;
+}
+
+void
+RnsPoly::toCoeff()
+{
+    internalCheck(eval_, "toCoeff: already in coeff domain");
+    for (size_t i = 0; i < limbs_.size(); ++i)
+        inverseInPlace(limbs_[i].data(), ring_->tables(slots_[i]));
+    eval_ = false;
+}
+
+RnsPoly
+RnsPoly::automorphism(u32 k) const
+{
+    RnsPoly out(*ring_, slots_, eval_);
+    const u32 n = ring_->degree();
+    if (eval_) {
+        const auto &map = ring_->evalAutoMap(k);
+        for (size_t i = 0; i < limbs_.size(); ++i)
+            for (u32 m = 0; m < n; ++m)
+                out.limbs_[i][m] = limbs_[i][map[m]];
+    } else {
+        const auto &map = ring_->coeffAutoMap(k);
+        for (size_t i = 0; i < limbs_.size(); ++i) {
+            const u64 q = limbModulus(i);
+            for (u32 j = 0; j < n; ++j) {
+                const u32 v = limbs_[i][j];
+                out.limbs_[i][map.target[j]] = map.negate[j]
+                    ? static_cast<u32>(nt::negMod(v, q))
+                    : v;
+            }
+        }
+    }
+    return out;
+}
+
+void
+RnsPoly::dropLastLimb()
+{
+    internalCheck(limbs_.size() > 1, "dropLastLimb: would empty the poly");
+    limbs_.pop_back();
+    slots_.pop_back();
+}
+
+void
+RnsPoly::truncateLimbs(size_t n)
+{
+    internalCheck(n >= 1 && n <= limbs_.size(), "truncateLimbs: bad count");
+    limbs_.resize(n);
+    slots_.resize(n);
+}
+
+bool
+RnsPoly::operator==(const RnsPoly &o) const
+{
+    return ring_ == o.ring_ && eval_ == o.eval_ && slots_ == o.slots_ &&
+        limbs_ == o.limbs_;
+}
+
+std::vector<u32>
+negacyclicMulSchoolbook(const std::vector<u32> &a, const std::vector<u32> &b,
+                        u64 q)
+{
+    const size_t n = a.size();
+    internalCheck(b.size() == n, "schoolbook: size mismatch");
+    std::vector<u32> z(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            const u64 p = nt::mulMod(a[i], b[j], q);
+            const size_t k = i + j;
+            if (k < n)
+                z[k] = static_cast<u32>(nt::addMod(z[k], p, q));
+            else
+                z[k - n] = static_cast<u32>(nt::subMod(z[k - n], p, q));
+        }
+    }
+    return z;
+}
+
+} // namespace cross::poly

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Residue Number System basis: a set of pairwise-coprime NTT primes
+ * {q_0..q_{L-1}} with the CRT precomputations the paper lists in Table I
+ * and Section II-A3 (Q, Q_hat_i = Q/q_i, Q_hat_i^-1 mod q_i).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.h"
+#include "nt/barrett.h"
+#include "nt/bigint.h"
+#include "nt/montgomery.h"
+
+namespace cross::rns {
+
+/** An RNS basis plus per-modulus reduction contexts and CRT constants. */
+class RnsBasis
+{
+  public:
+    /** Build from explicit moduli (pairwise coprime, odd, < 2^31). */
+    explicit RnsBasis(std::vector<u64> moduli);
+
+    size_t size() const { return moduli_.size(); }
+    u64 modulus(size_t i) const { return moduli_[i]; }
+    const std::vector<u64> &moduli() const { return moduli_; }
+
+    const nt::Montgomery &mont(size_t i) const { return mont_[i]; }
+    const nt::Barrett &barrett(size_t i) const { return barrett_[i]; }
+
+    /** Q = prod q_i as a big integer. */
+    const nt::BigUInt &bigModulus() const { return bigQ_; }
+
+    /** [ (Q/q_i)^-1 ]_{q_i}. */
+    u64 qHatInv(size_t i) const { return qHatInv_[i]; }
+
+    /** Q/q_i as a big integer. */
+    const nt::BigUInt &qHat(size_t i) const { return qHat_[i]; }
+
+    /** [ Q/q_i ]_p for an arbitrary external modulus p. */
+    u64 qHatMod(size_t i, u64 p) const;
+
+    /** [ Q ]_p for an arbitrary external modulus p. */
+    u64 bigModulusMod(u64 p) const;
+
+    /** Residues x mod q_i of a big integer. */
+    std::vector<u64> decompose(const nt::BigUInt &x) const;
+
+    /** Unique x in [0, Q) with the given residues (CRT composition). */
+    nt::BigUInt compose(const std::vector<u64> &residues) const;
+
+    /** Basis made of a subset [first, first+count) of this basis. */
+    RnsBasis subBasis(size_t first, size_t count) const;
+
+    /** Concatenation of this basis and @p other (moduli stay distinct). */
+    RnsBasis concat(const RnsBasis &other) const;
+
+  private:
+    std::vector<u64> moduli_;
+    std::vector<nt::Montgomery> mont_;
+    std::vector<nt::Barrett> barrett_;
+    nt::BigUInt bigQ_;
+    std::vector<nt::BigUInt> qHat_;
+    std::vector<u64> qHatInv_;
+};
+
+} // namespace cross::rns

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Basis Conversion (BConv), paper Section F2 / Fig. 15b.
+ *
+ * Converts RNS residues from basis B1 = {q_i} to basis B2 = {p_j}:
+ *
+ *   Conv(a)_j = ( sum_i [a_i * qHatInv_i]_{q_i} * [Q/q_i]_{p_j} ) mod p_j
+ *
+ * split into the two steps the paper schedules separately:
+ *   Step 1: L x N-VecModMul   (b_i = a_i * qHatInv_i mod q_i)
+ *   Step 2: (N, L, L')-MatModMul  (the latency-dominant part that BAT
+ *           turns into an INT8 MXU matmul, Table VI)
+ *
+ * This is the standard *approximate* conversion: the result represents
+ * x + alpha*Q (mod p_j) for some 0 <= alpha < L, which HE schemes absorb
+ * into noise. Tests verify exactness of the computed sum against BigUInt.
+ */
+#pragma once
+
+#include <vector>
+
+#include "nt/shoup.h"
+#include "rns/basis.h"
+
+namespace cross::rns {
+
+/** Limb-major data layout: data[i][n] = coefficient n modulo modulus i. */
+using LimbMatrix = std::vector<std::vector<u32>>;
+
+/** Precomputed conversion between two RNS bases. */
+class BasisConversion
+{
+  public:
+    BasisConversion(const RnsBasis &from, const RnsBasis &to);
+
+    const RnsBasis &from() const { return from_; }
+    const RnsBasis &to() const { return to_; }
+
+    /** Step 1: b_i = a_i * qHatInv_i mod q_i (per-limb VecModMul). */
+    void step1(const LimbMatrix &in, LimbMatrix &out) const;
+
+    /** Step 2: c_j = sum_i b_i * [Q/q_i]_{p_j} mod p_j. */
+    void step2(const LimbMatrix &b, LimbMatrix &out) const;
+
+    /** Both steps. Output gets shape [to.size()][N]. */
+    void apply(const LimbMatrix &in, LimbMatrix &out) const;
+
+    /** Step-2 parameter matrix entry [Q/q_i]_{p_j}; fed to BAT offline. */
+    u32 table(size_t i, size_t j) const { return table_[i][j]; }
+
+    /**
+     * How many step-2 products can be accumulated in a u64 before a
+     * reduction is needed (the "lazy window"); exposed for the simulator.
+     */
+    size_t reduceEvery() const { return reduceEvery_; }
+
+  private:
+    RnsBasis from_;
+    RnsBasis to_;
+    // table_[i][j] = [Q/q_i]_{p_j}
+    std::vector<std::vector<u32>> table_;
+    // Shoup precomputation of qHatInv per source limb for step 1.
+    std::vector<nt::ShoupConst> qHatInvShoup_;
+    size_t reduceEvery_;
+};
+
+} // namespace cross::rns

@@ -1,0 +1,169 @@
+#include "tpu/device_config.h"
+
+#include "common/check.h"
+
+namespace cross::tpu {
+
+namespace {
+
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+DeviceConfig
+makeV4()
+{
+    DeviceConfig d;
+    d.name = "TPUv4";
+    d.vmSetup = "v4-8";
+    d.clockGhz = 1.05;
+    d.mxuDim = 128;
+    d.tcInt8Gops = 139800;          // Table IV, per tensor core
+    d.hbmGBps = 572 * kGiB / 1e9;   // stored as GB/s decimal
+    d.vmemReadGBps = 2003 * kGiB / 1e9;
+    d.vmemWriteGBps = 1001 * kGiB / 1e9;
+    d.onChipBytes = 80 * kMiB;      // 16 MiB VMEM + CMEM share per TC
+    d.vmemBudgetBytes = 6 * kMiB;   // CMEM lets XLA keep more resident
+    d.tcWatts = 24;                 // ~192 W chip TDP / 8 logical cores
+    d.defaultTcCount = 8;
+    d.dispatchUs = 6.0;
+    d.opOverheadUs = 0.10;
+    return d;
+}
+
+DeviceConfig
+makeV5e()
+{
+    DeviceConfig d;
+    d.name = "TPUv5e";
+    d.vmSetup = "v5litepod-4";
+    d.clockGhz = 1.67;
+    d.mxuDim = 128;
+    d.tcInt8Gops = 202700;
+    d.hbmGBps = 763 * kGiB / 1e9;
+    d.vmemReadGBps = 17166 * kGiB / 1e9;
+    d.vmemWriteGBps = 5722 * kGiB / 1e9;
+    d.onChipBytes = 48 * kMiB;
+    d.vmemBudgetBytes = 2 * kMiB;
+    d.tcWatts = 55;                 // e-class single-core chip
+    d.defaultTcCount = 4;
+    d.dispatchUs = 4.5;
+    d.opOverheadUs = 0.06;
+    return d;
+}
+
+DeviceConfig
+makeV5p()
+{
+    DeviceConfig d;
+    d.name = "TPUv5p";
+    d.vmSetup = "v5p-8";
+    d.clockGhz = 1.75;
+    d.mxuDim = 128;
+    d.tcInt8Gops = 236700;
+    d.hbmGBps = 1287 * kGiB / 1e9;
+    d.vmemReadGBps = 20027 * kGiB / 1e9;
+    d.vmemWriteGBps = 6676 * kGiB / 1e9;
+    d.onChipBytes = 96 * kMiB;
+    d.vmemBudgetBytes = 6 * kMiB;
+    d.tcWatts = 47;                 // ~half of a 2-core p-class chip
+    d.defaultTcCount = 8;
+    d.dispatchUs = 4.5;
+    d.opOverheadUs = 0.06;
+    return d;
+}
+
+DeviceConfig
+makeV6e()
+{
+    DeviceConfig d;
+    d.name = "TPUv6e";
+    d.vmSetup = "v6e-8";
+    d.clockGhz = 0.94;
+    d.mxuDim = 256;                 // Table IV: 256x256 from v6 on
+    d.tcInt8Gops = 918000;
+    d.hbmGBps = 1526 * kGiB / 1e9;
+    d.vmemReadGBps = 21696 * kGiB / 1e9;
+    d.vmemWriteGBps = 15020 * kGiB / 1e9;
+    d.onChipBytes = 64 * kMiB;
+    d.vmemBudgetBytes = 2.5 * kMiB;
+    d.tcWatts = 72;                 // e-class single-core chip
+    d.defaultTcCount = 8;
+    d.dispatchUs = 4.0;
+    d.opOverheadUs = 0.05;
+    return d;
+}
+
+} // namespace
+
+const DeviceConfig &
+tpuV4()
+{
+    static const DeviceConfig d = makeV4();
+    return d;
+}
+
+const DeviceConfig &
+tpuV5e()
+{
+    static const DeviceConfig d = makeV5e();
+    return d;
+}
+
+const DeviceConfig &
+tpuV5p()
+{
+    static const DeviceConfig d = makeV5p();
+    return d;
+}
+
+const DeviceConfig &
+tpuV6e()
+{
+    static const DeviceConfig d = makeV6e();
+    return d;
+}
+
+const std::vector<DeviceConfig> &
+allTpus()
+{
+    static const std::vector<DeviceConfig> v = {tpuV4(), tpuV5e(), tpuV5p(),
+                                                tpuV6e()};
+    return v;
+}
+
+const DeviceConfig &
+deviceByName(const std::string &name)
+{
+    for (const auto &d : allTpus()) {
+        if (d.name == name)
+            return d;
+    }
+    requireThat(false, "deviceByName: unknown device " + name);
+    return tpuV4(); // unreachable
+}
+
+const std::vector<Fig5Device> &
+fig5Devices()
+{
+    // Public board specs behind Fig. 5's efficiency scatter.
+    static const std::vector<Fig5Device> v = {
+        {"AMD MI100", "GPU", "7nm", 300, 184},
+        {"NVIDIA A100", "GPU", "7nm", 400, 624},
+        {"AMD Alveo U280", "FPGA", "16nm", 225, 24},
+        {"TPUv4", "AI ASIC", "7nm", 192, 275},
+        {"MTIA", "AI ASIC", "7nm", 25, 102},
+        {"AMD MI250X", "GPU", "6nm", 560, 383},
+        {"NVIDIA H100", "GPU", "4N", 700, 1979},
+        {"NVIDIA L40s", "GPU", "4N", 350, 733},
+        {"TPU v5e", "AI ASIC", "5nm", 220, 394},
+        {"MTIA v2", "AI ASIC", "5nm", 90, 354},
+        {"AMD MI300X", "GPU", "5nm", 750, 1307},
+        {"NVIDIA B100", "GPU", "4NP", 700, 3500},
+        {"NVIDIA RTX 4090", "GPU", "4N", 450, 661},
+        {"NVIDIA GB200", "GPU", "4NP", 1200, 5000},
+        {"TPU v6e", "AI ASIC", "5nm", 300, 918},
+    };
+    return v;
+}
+
+} // namespace cross::tpu

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Device catalog for the TPU performance model.
+ *
+ * SUBSTITUTION NOTE (see DESIGN.md): the paper measures real TPU VMs via
+ * JAX/XLA. Without hardware access, this module encodes the paper's own
+ * per-tensor-core specifications (Table IV) plus publicly documented
+ * architecture parameters (Fig. 4: 128 lanes x 8 sublanes x 2 ALUs VPU,
+ * 128x128 MXU -- 256x256 from v6 on), and drives an analytical
+ * functional+timing model (sim.h). Calibration constants (dispatch
+ * overhead, achievable-efficiency fractions) are fit once against the
+ * paper's Table VII NTT throughput and then held fixed for every other
+ * experiment.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::tpu {
+
+/** Per-tensor-core specification of one accelerator generation. */
+struct DeviceConfig
+{
+    std::string name;       ///< e.g. "TPUv6e"
+    std::string vmSetup;    ///< e.g. "v6e-8" (Table IV row)
+    double clockGhz;        ///< core clock
+    u32 mxuDim;             ///< systolic array dimension (128 or 256)
+    double tcInt8Gops;      ///< peak INT8 GOPS per tensor core (Table IV)
+    double hbmGBps;         ///< HBM bandwidth per tensor core, GiB/s
+    double vmemReadGBps;    ///< VMEM read bandwidth, GiB/s
+    double vmemWriteGBps;   ///< VMEM write bandwidth, GiB/s
+    double onChipBytes;     ///< usable on-chip capacity per tensor core
+    double vmemBudgetBytes; ///< per-program working-set budget (XLA slice)
+    double tcWatts;         ///< per-tensor-core power draw estimate
+    u32 defaultTcCount;     ///< tensor cores in the Table IV VM setup
+    double dispatchUs;      ///< per-kernel-launch overhead (XLA dispatch)
+    double opOverheadUs;    ///< per-fused-op issue overhead
+
+    /** VPU peak: 128 lanes x 8 sublanes x 2 ALUs x clock, int32 ops/s. */
+    double vpuOpsPerSec() const { return 2048.0 * clockGhz * 1e9; }
+    /** MXU peak INT8 MACs/s (2 ops per MAC). */
+    double mxuMacsPerSec() const { return tcInt8Gops * 1e9 / 2.0; }
+    /** MXUs per tensor core implied by the peak and the array size. */
+    u32
+    mxusPerCore() const
+    {
+        const double per_mxu =
+            static_cast<double>(mxuDim) * mxuDim * clockGhz * 1e9;
+        const double n = mxuMacsPerSec() / per_mxu;
+        return n < 1.0 ? 1u : static_cast<u32>(n + 0.5);
+    }
+};
+
+/** @name Table IV TPU generations. @{ */
+const DeviceConfig &tpuV4();
+const DeviceConfig &tpuV5e();
+const DeviceConfig &tpuV5p();
+const DeviceConfig &tpuV6e();
+/** @} */
+
+/** All four generations, v4 first. */
+const std::vector<DeviceConfig> &allTpus();
+
+/** Look up by name ("TPUv4" ... "TPUv6e"); throws on unknown name. */
+const DeviceConfig &deviceByName(const std::string &name);
+
+/** One point of the Fig. 5 efficiency scatter. */
+struct Fig5Device
+{
+    std::string name;
+    std::string kind;  ///< "GPU", "AI ASIC", "FPGA"
+    std::string node;  ///< process node class
+    double watts;      ///< board/chip power
+    double int8Tops;   ///< peak INT8 throughput
+};
+
+/** The device population of Fig. 5. */
+const std::vector<Fig5Device> &fig5Devices();
+
+} // namespace cross::tpu

@@ -1,0 +1,215 @@
+#include "tpu/sim.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/check.h"
+
+namespace cross::tpu {
+
+const char *
+opCatName(OpCat cat)
+{
+    switch (cat) {
+      case OpCat::NttMatMul: return "NTT-MatMul";
+      case OpCat::InttMatMul: return "INTT-MatMul";
+      case OpCat::BConvMatMul: return "BConv-MatMul";
+      case OpCat::VecModOps: return "VecModOps";
+      case OpCat::TypeConversion: return "Type Conversion";
+      case OpCat::Permutation: return "Permutation";
+      case OpCat::CopyReshape: return "Copy+Reshape";
+      case OpCat::Other: return "Other";
+    }
+    return "?";
+}
+
+void
+KernelCost::append(const KernelCost &other, double scale)
+{
+    computeUs += other.computeUs * scale;
+    fixedUs += other.fixedUs * scale;
+    for (const auto &[cat, us] : other.byCat)
+        byCat[cat] += us * scale;
+    paramBytes += static_cast<u64>(other.paramBytes * scale);
+    dataBytes += static_cast<u64>(other.dataBytes * scale);
+    mxuMacs += static_cast<u64>(other.mxuMacs * scale);
+    vpuOps += static_cast<u64>(other.vpuOps * scale);
+}
+
+KernelSim::KernelSim(const DeviceConfig &dev, std::string name) : dev_(dev)
+{
+    cost_.name = std::move(name);
+}
+
+void
+KernelSim::charge(OpCat cat, double compute_us, double mem_us)
+{
+    const double us = std::max(compute_us, mem_us) + dev_.opOverheadUs;
+    cost_.computeUs += us;
+    cost_.byCat[cat] += us;
+}
+
+void
+KernelSim::mxuMatMul(OpCat cat, u64 m, u64 k, u64 n, u32 in_bytes,
+                     u32 out_bytes)
+{
+    // Pad m and k to the systolic dimension, n to the sublane granularity.
+    const u64 mp = roundUp(m, dev_.mxuDim);
+    const u64 kp = roundUp(k, dev_.mxuDim);
+    const u64 np = roundUp(n, 8);
+    const u64 macs = mp * kp * np;
+    cost_.mxuMacs += macs;
+
+    // Tile-level systolic model. The left operand (the pre-known BAT
+    // parameter matrix) is the stationary weight set: when its
+    // (dim x dim) tiles all fit across the core's MXUs, the pipeline
+    // fill is paid once per batch (fixedUs) and each item only streams
+    // its np columns. When the tile count exceeds the MXUs, weights
+    // reload per item and the dim-deep fill is charged every time --
+    // which is what makes large-degree NTT matmuls (KC x KC at fixed
+    // R = 128) disproportionally expensive (Table VII decline).
+    const u64 tiles = (mp / dev_.mxuDim) * (kp / dev_.mxuDim);
+    const u64 mxus = dev_.mxusPerCore();
+    const u64 rounds = ceilDiv(tiles, mxus);
+    double cycles = 0;
+    if (tiles <= mxus) {
+        cost_.fixedUs += static_cast<double>(tiles) * dev_.mxuDim /
+            (dev_.clockGhz * 1e9) * 1e6;
+        cycles = static_cast<double>(np);
+    } else {
+        cycles = static_cast<double>(rounds) *
+            static_cast<double>(dev_.mxuDim + np);
+    }
+    const double compute_us = cycles / (dev_.clockGhz * 1e9) * 1e6;
+    const double in_b = static_cast<double>(mp * kp + kp * np) * in_bytes;
+    const double out_b = static_cast<double>(mp * np) * out_bytes;
+    const double mem_us = (in_b / (dev_.vmemReadGBps * 1e9) +
+                           out_b / (dev_.vmemWriteGBps * 1e9)) *
+        1e6;
+    charge(cat, compute_us, mem_us);
+}
+
+namespace {
+
+// Achieved fraction of VPU peak: dependency chains and dual-issue limits
+// keep modular-arithmetic loops below the 2-ALU ideal. Calibrated once
+// against the paper's Table VIII per-tensor-core HE-Mult latency.
+constexpr double kVpuEfficiency = 0.6;
+
+} // namespace
+
+void
+KernelSim::vpuOp(OpCat cat, u64 elems, double ops_per_elem,
+                 u32 read_bytes_per_elem)
+{
+    const double ops = static_cast<double>(elems) * ops_per_elem;
+    cost_.vpuOps += static_cast<u64>(ops);
+    const double compute_us =
+        ops / (dev_.vpuOpsPerSec() * kVpuEfficiency) * 1e6;
+    const double read_b =
+        static_cast<double>(elems) * read_bytes_per_elem;
+    const double write_b = static_cast<double>(elems) * 4.0;
+    const double mem_us = (read_b / (dev_.vmemReadGBps * 1e9) +
+                           write_b / (dev_.vmemWriteGBps * 1e9)) *
+        1e6;
+    charge(cat, compute_us, mem_us);
+}
+
+void
+KernelSim::permute(OpCat cat, u64 elems, u32 bytes_per_elem,
+                   double efficiency)
+{
+    requireThat(efficiency > 0 && efficiency <= 1.0,
+                "permute: efficiency out of range");
+    const double bytes = static_cast<double>(elems) * bytes_per_elem;
+    const double mem_us =
+        bytes / (dev_.vmemReadGBps * 1e9 * efficiency) * 1e6 +
+        bytes / (dev_.vmemWriteGBps * 1e9 * efficiency) * 1e6;
+    charge(cat, 0.0, mem_us);
+}
+
+void
+KernelSim::transpose(OpCat cat, u64 rows, u64 cols, u32 bytes_per_elem)
+{
+    // XLU tile transpose: better than gather/scatter, worse than a copy.
+    permute(cat, rows * cols, bytes_per_elem, 0.25);
+}
+
+void
+KernelSim::typeConvert(u64 elems)
+{
+    // Unpack/pack between one 32-bit register and four 8-bit tiles:
+    // shift+mask per chunk on the VPU plus a relayout write.
+    vpuOp(OpCat::TypeConversion, elems, 4.0, 4 /* one u32 read */);
+}
+
+void
+KernelSim::copyReshape(u64 bytes)
+{
+    const double mem_us = (bytes / (dev_.vmemReadGBps * 1e9) +
+                           bytes / (dev_.vmemWriteGBps * 1e9)) *
+        1e6;
+    charge(OpCat::CopyReshape, 0.0, mem_us);
+}
+
+void
+KernelSim::param(u64 bytes)
+{
+    cost_.paramBytes += bytes;
+}
+
+void
+KernelSim::data(u64 bytes)
+{
+    cost_.dataBytes += bytes;
+}
+
+BatchedRun
+runBatched(const DeviceConfig &dev, const KernelCost &kernel, u64 batch,
+           u32 tc_count)
+{
+    requireThat(batch >= 1, "runBatched: batch must be >= 1");
+    BatchedRun r;
+
+    // On-chip residency against the per-program working-set budget:
+    // params stream once iff they fit next to a double-buffered item;
+    // a batch working set beyond the budget evicts and re-fetches --
+    // the Fig. 11b decline past the optimal batch size.
+    const double budget = dev.vmemBudgetBytes;
+    const double working =
+        static_cast<double>(kernel.paramBytes) +
+        2.0 * static_cast<double>(kernel.dataBytes);
+    const double batch_set = static_cast<double>(kernel.paramBytes) +
+        static_cast<double>(batch) * kernel.dataBytes;
+    // Params stay resident only while the whole batch set fits; beyond
+    // that the scheduler evicts them between items and every item pays
+    // the refetch -- the post-peak throughput roll-off of Fig. 11b.
+    const bool params_resident = working <= budget && batch_set <= budget;
+
+    const double hbm_bytes =
+        static_cast<double>(batch) * kernel.dataBytes +
+        (params_resident ? 1.0 : 0.0) * kernel.paramBytes;
+    const double hbm_us = hbm_bytes / (dev.hbmGBps * 1e9) * 1e6;
+    // Non-resident parameters are cold misses on every item: they stall
+    // rather than overlap with compute (the post-peak Fig. 11b decline).
+    const double stall_us = params_resident
+        ? 0.0
+        : static_cast<double>(batch) * kernel.paramBytes /
+            (dev.hbmGBps * 1e9) * 1e6;
+    const double compute_us = kernel.fixedUs +
+        static_cast<double>(batch) * kernel.computeUs;
+
+    r.totalUs = dev.dispatchUs + std::max(compute_us, hbm_us) + stall_us;
+    r.perItemUs = r.totalUs / static_cast<double>(batch);
+    r.itemsPerSec = 1e6 / r.perItemUs * tc_count;
+
+    // Category attribution: op categories scale with batch; dispatch and
+    // any HBM stall beyond compute land in Other.
+    for (const auto &[cat, us] : kernel.byCat)
+        r.byCat[cat] += us * static_cast<double>(batch);
+    r.byCat[OpCat::Other] += dev.dispatchUs + kernel.fixedUs +
+        std::max(0.0, hbm_us - compute_us) + stall_us;
+    return r;
+}
+
+} // namespace cross::tpu

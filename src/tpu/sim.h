@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Analytical TPU kernel cost model.
+ *
+ * A kernel is built by emitting ops into a KernelSim; each op is priced as
+ * a per-unit roofline: max(compute time on its unit, VMEM traffic time),
+ * plus a small issue overhead. Kernel-level latency then adds XLA dispatch
+ * overhead and HBM traffic with a batching / on-chip-residency model.
+ *
+ * Every op carries an OpCat so experiments can regenerate the paper's
+ * latency breakdowns (Fig. 12, Table IX) with the exact categories the
+ * XLA trace viewer reports.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "tpu/device_config.h"
+
+namespace cross::tpu {
+
+/** Latency categories used by the paper's breakdown figures. */
+enum class OpCat
+{
+    NttMatMul,
+    InttMatMul,
+    BConvMatMul,
+    VecModOps,
+    TypeConversion,
+    Permutation,
+    CopyReshape,
+    Other,
+};
+
+/** Human-readable category name (matches Fig. 12 legend). */
+const char *opCatName(OpCat cat);
+
+/** Cost summary of one compiled kernel on one tensor core. */
+struct KernelCost
+{
+    std::string name;
+    double computeUs = 0;                 ///< sum of op times (per item)
+    double fixedUs = 0;                   ///< once-per-batch setup (MXU
+                                          ///< weight fills of stationary
+                                          ///< parameter tiles)
+    std::map<OpCat, double> byCat;        ///< per-category op time
+    u64 paramBytes = 0;                   ///< batch-reusable operands
+    u64 dataBytes = 0;                    ///< per-item streamed bytes
+    u64 mxuMacs = 0;                      ///< padded INT8 MACs issued
+    u64 vpuOps = 0;                       ///< 32-bit VPU ops issued
+
+    /** Merge another kernel's ops into this one (sequential fusion). */
+    void append(const KernelCost &other, double scale = 1.0);
+};
+
+/** Emits priced ops; call finish() to obtain the KernelCost. */
+class KernelSim
+{
+  public:
+    KernelSim(const DeviceConfig &dev, std::string name);
+
+    const DeviceConfig &device() const { return dev_; }
+
+    /**
+     * INT8 MXU matmul (m x k) @ (k x n). Dimensions are padded to the
+     * systolic array size on m and k and to the 8-sublane granularity on
+     * n, modelling the partial-utilisation penalty the paper describes
+     * for reduction dims not divisible by 128.
+     */
+    void mxuMatMul(OpCat cat, u64 m, u64 k, u64 n, u32 in_bytes = 1,
+                   u32 out_bytes = 4);
+
+    /**
+     * Element-wise VPU work: @p ops_per_elem 32-bit ops per element.
+     * @p read_bytes_per_elem covers the operand reads (default: two u32
+     * operands); every element also writes one u32 result. On the
+     * low-VMEM-bandwidth generations (TPUv4, Table IV) this makes
+     * vectorised kernels memory-bound.
+     */
+    void vpuOp(OpCat cat, u64 elems, double ops_per_elem,
+               u32 read_bytes_per_elem = 8);
+
+    /**
+     * Cross-lane permutation (XLU gather/scatter). @p efficiency is the
+     * achieved fraction of VMEM bandwidth; fine-grained shuffles of
+     * sub-tile blocks run far below peak.
+     */
+    void permute(OpCat cat, u64 elems, u32 bytes_per_elem = 4,
+                 double efficiency = 0.125);
+
+    /** Explicit XLU transpose of a rows x cols tile. */
+    void transpose(OpCat cat, u64 rows, u64 cols, u32 bytes_per_elem = 4);
+
+    /** 32-bit -> 4x8-bit relayout (or back): BAT's runtime chunking. */
+    void typeConvert(u64 elems);
+
+    /** XLA-induced copy/reshape traffic of @p bytes. */
+    void copyReshape(u64 bytes);
+
+    /** Register batch-reusable parameter bytes (twiddles, keys, primes). */
+    void param(u64 bytes);
+
+    /** Register per-item streamed data bytes (inputs + outputs). */
+    void data(u64 bytes);
+
+    /** Finalize. */
+    KernelCost finish() const { return cost_; }
+
+  private:
+    void charge(OpCat cat, double compute_us, double mem_us);
+
+    const DeviceConfig &dev_;
+    KernelCost cost_;
+};
+
+/** Result of executing a kernel @p batch times on @p tcCount cores. */
+struct BatchedRun
+{
+    double totalUs = 0;        ///< wall time for the whole batch, one core
+    double perItemUs = 0;      ///< amortised single-item latency
+    double itemsPerSec = 0;    ///< aggregate across tcCount cores
+    std::map<OpCat, double> byCat; ///< per-category totals incl. overheads
+};
+
+/**
+ * Batching model: kernel launch overhead is paid once per batch; param
+ * bytes stream from HBM once if (params + double-buffered working set)
+ * fit on-chip, otherwise once per item; data bytes stream per item.
+ * HBM transfer overlaps compute (roofline max).
+ */
+BatchedRun runBatched(const DeviceConfig &dev, const KernelCost &kernel,
+                      u64 batch, u32 tc_count = 1);
+
+} // namespace cross::tpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * HE machine-learning workload estimators (Section V-D).
+ *
+ * Methodology is the paper's own: enumerate the HE-operator sequence of
+ * the workload, multiply by per-operator latencies profiled on the
+ * simulated device ("the estimated latency is obtained by multiplying the
+ * overall number of HE kernel invocations with each profiled realistic
+ * latency"). Two workloads:
+ *
+ *  - HELR [30]: binary logistic regression, batches of 1024 images of
+ *    14x14 = 196 features, one gradient-descent iteration per batch;
+ *  - MNIST inference [67]: Conv-ReLU-AvgPool x2 -> FC -> ReLU -> FC on
+ *    3x32x32 inputs, batch 64, N = 2^13, L = 18, no bootstrapping.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ckks/schedule.h"
+
+namespace cross::workloads {
+
+/** One HE-operator group of a workload schedule. */
+struct OpGroup
+{
+    std::string stage;   ///< human-readable pipeline stage
+    ckks::HeOp op;
+    size_t level;        ///< modulus-chain level it executes at
+    u64 count;           ///< invocations (already x ciphertext count)
+};
+
+/** Workload = named list of operator groups + packing bookkeeping. */
+struct Workload
+{
+    std::string name;
+    ckks::CkksParams params;
+    u64 itemsPerRun;     ///< images per batch / samples per iteration
+    std::vector<OpGroup> ops;
+};
+
+/** HELR: one logistic-regression training iteration (batch 1024). */
+Workload helrIteration();
+
+/** MNIST CNN inference, batch 64. */
+Workload mnistInference();
+
+/** Cost summary on a simulated device. */
+struct WorkloadEstimate
+{
+    double totalUs = 0;
+    double perItemUs = 0;    ///< amortised per image / per sample
+    u64 heOps = 0;
+    std::vector<std::pair<std::string, double>> byStageUs;
+};
+
+/**
+ * Price a workload on @p tc_count tensor cores of @p dev (ops parallelise
+ * across ciphertexts, so cores divide the total).
+ */
+WorkloadEstimate estimateWorkload(const Workload &w,
+                                  const tpu::DeviceConfig &dev,
+                                  const lowering::Config &cfg,
+                                  u32 tc_count);
+
+} // namespace cross::workloads

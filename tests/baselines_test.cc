@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Integrity tests for the published-results tables: the speedup factors
+ * the paper quotes in prose must be recomputable from the stored rows,
+ * and the energy-efficiency arithmetic must behave.
+ */
+#include <gtest/gtest.h>
+
+#include "baselines/efficiency.h"
+#include "baselines/published.h"
+
+namespace cross::baselines {
+namespace {
+
+const HeSystem &
+findSystem(const std::string &name)
+{
+    for (const auto &s : table8Baselines())
+        if (s.name == name)
+            return s;
+    throw std::runtime_error("missing system " + name);
+}
+
+const PaperCrossRow &
+findCross(const std::string &baseline)
+{
+    for (const auto &r : paperCrossTable8())
+        if (r.baseline == baseline)
+            return r;
+    throw std::runtime_error("missing cross row " + baseline);
+}
+
+TEST(Published, Table8RowsComplete)
+{
+    ASSERT_EQ(table8Baselines().size(), 8u);
+    for (const auto &s : table8Baselines()) {
+        EXPECT_GT(s.watts, 0) << s.name;
+        EXPECT_GE(s.tcCount, 2u) << s.name;
+        EXPECT_GT(s.multUs, 0) << s.name;
+        EXPECT_GT(s.crossLimbs, 0u) << s.name;
+    }
+}
+
+TEST(Published, PaperQuotedSpeedupsRecompute)
+{
+    // Section V-C a): speedups are gray/green of Table VIII.
+    struct Quote
+    {
+        std::string system;
+        double mult, rotate;
+    };
+    const Quote quotes[] = {
+        {"OpenFHE", 415, 498}, // vs CROSS v6e-8 509/414
+        {"FIDESlib", 1.55, 2.23},
+        {"FAB", 1.21, 1.45},
+        {"WarpDrive", 6.00, 9.54},
+    };
+    for (const auto &q : quotes) {
+        const auto &base = findSystem(q.system);
+        const auto &cross = findCross(q.system == "OpenFHE"
+                                          ? "OpenFHE/CraterLake"
+                                          : q.system);
+        EXPECT_NEAR(base.multUs / cross.multUs, q.mult, q.mult * 0.03)
+            << q.system;
+        EXPECT_NEAR(base.rotateUs / cross.rotateUs, q.rotate,
+                    q.rotate * 0.03)
+            << q.system;
+    }
+}
+
+TEST(Published, CheddarComparisonMatchesPaper)
+{
+    const auto &cheddar = findSystem("Cheddar");
+    const auto &cross = findCross("Cheddar");
+    EXPECT_NEAR(cheddar.multUs / cross.multUs, 1.10, 0.03);
+    EXPECT_NEAR(cheddar.rotateUs / cross.rotateUs, 1.21, 0.03);
+}
+
+TEST(Published, Table7CrossoverShape)
+{
+    // Fig. 11a / Table VII: CROSS (v6e) beats WarpDrive at N = 2^12
+    // (1.2x) but loses at N = 2^14 -- the O(N^1.5) vs O(N log N) cross.
+    const auto &tpus = table7PaperTpus();
+    const auto &warp = table7Baselines()[1];
+    const auto &v6e = tpus.back();
+    EXPECT_GT(v6e.kNttPerSecN12 / warp.kNttPerSecN12, 1.1);
+    EXPECT_LT(v6e.kNttPerSecN14 / warp.kNttPerSecN14, 1.0);
+    // 13.1x over TensorFHE+ at N = 2^12.
+    const auto &tf = table7Baselines()[0];
+    EXPECT_NEAR(v6e.kNttPerSecN12 / tf.kNttPerSecN12, 13.1, 0.2);
+}
+
+TEST(Published, Table9Speedups)
+{
+    // v6e-8 bootstraps 1.5x faster than Cheddar, 5x slower than
+    // CraterLake (Section V-E).
+    const double v6e = table9PaperTpus().back().latencyMs;
+    EXPECT_NEAR(table9Baselines()[1].latencyMs / v6e, 1.47, 0.1);
+    EXPECT_NEAR(v6e / table9Baselines()[2].latencyMs, 5.5, 1.0);
+}
+
+TEST(Published, Table5SpeedupBand)
+{
+    for (const auto &r : table5Paper()) {
+        const double speedup = r.baselineUs / r.batUs;
+        EXPECT_GT(speedup, 1.2) << r.h;
+        EXPECT_LT(speedup, 1.7) << r.h;
+    }
+    // Speedup grows with matrix size (memory-bound floor at small dims).
+    const auto &rows = table5Paper();
+    EXPECT_GT(rows.back().baselineUs / rows.back().batUs,
+              rows.front().baselineUs / rows.front().batUs);
+}
+
+TEST(Published, Table6SpeedupBand)
+{
+    for (const auto &r : table6Paper()) {
+        const double speedup = r.baselineUs / r.batUs;
+        EXPECT_GT(speedup, 2.0);
+        EXPECT_LT(speedup, 8.0);
+    }
+}
+
+TEST(Published, TableXGapBand)
+{
+    // Radix-2 CT NTT is ~25-31x slower than MAT NTT on TPUv4.
+    for (const auto &r : tableXPaper()) {
+        const double gap = r.radix2Us / r.matUs;
+        EXPECT_GT(gap, 20.0) << r.logN;
+        EXPECT_LT(gap, 35.0) << r.logN;
+    }
+}
+
+TEST(Efficiency, RatioArithmetic)
+{
+    // CROSS at 100 us on 8 cores of 72 W vs baseline 533 us at 450 W:
+    const double r = efficiencyRatio(100, 8, 72, 533, 450);
+    // (1e6/100)/(576) vs (1e6/533)/450 -> 17.36 vs 4.17 -> ~4.16x
+    EXPECT_NEAR(r, (1e6 / 100 / (8 * 72)) / (1e6 / 533 / 450), 1e-9);
+    EXPECT_GT(r, 1.0);
+    EXPECT_EQ(efficiencyRatio(-1, 8, 72, 533, 450), 0.0);
+    EXPECT_EQ(baselineThroughputPerWatt(0, 100), 0.0);
+}
+
+} // namespace
+} // namespace cross::baselines

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * BFV tests: batching encoder round trips, encrypt/decrypt, homomorphic
+ * add / multiply / rotate against exact Z_t arithmetic, and key-switch
+ * noise sanity. BFV is exact (no approximation tolerance): every check
+ * is an integer equality.
+ */
+#include <gtest/gtest.h>
+
+#include "bfv/bfv.h"
+#include "common/rng.h"
+
+namespace cross::bfv {
+namespace {
+
+class BfvFixture : public ::testing::Test
+{
+  protected:
+    BfvFixture()
+        : ctx(BfvParams::testSet(1 << 10, 4, 16)), encoder(ctx),
+          keygen(ctx, 77), evaluator(ctx), rng(78)
+    {
+        pk = keygen.publicKey();
+    }
+
+    std::vector<u64>
+    randomSlots(u64 seed)
+    {
+        Rng r(seed);
+        std::vector<u64> v(ctx.degree());
+        for (auto &x : v)
+            x = r.uniform(ctx.plainModulus());
+        return v;
+    }
+
+    BfvContext ctx;
+    BfvEncoder encoder;
+    BfvKeyGenerator keygen;
+    BfvEvaluator evaluator;
+    BfvPublicKey pk;
+    Rng rng;
+};
+
+TEST_F(BfvFixture, ContextInvariants)
+{
+    EXPECT_EQ(ctx.plainModulus() % (2 * ctx.degree()), 1u);
+    EXPECT_GT(ctx.bCount(), ctx.qCount()); // B > 2NQ guarantee
+    // Delta * t <= Q < (Delta + 1) * t.
+    const auto qt = ctx.bigQ();
+    u64 rem = 0;
+    const auto delta = qt.divmodSmall(ctx.plainModulus(), rem);
+    EXPECT_EQ(delta.modSmall(ctx.ring().modulus(0)),
+              ctx.deltaModQ(0) % ctx.ring().modulus(0));
+}
+
+TEST_F(BfvFixture, EncodeDecodeRoundTrip)
+{
+    const auto values = randomSlots(1);
+    EXPECT_EQ(encoder.decode(encoder.encode(values)), values);
+}
+
+TEST_F(BfvFixture, EncodePartialPadsWithZeros)
+{
+    const std::vector<u64> values = {1, 2, 3};
+    const auto decoded = encoder.decode(encoder.encode(values));
+    EXPECT_EQ(decoded[0], 1u);
+    EXPECT_EQ(decoded[2], 3u);
+    for (size_t i = 3; i < decoded.size(); ++i)
+        EXPECT_EQ(decoded[i], 0u);
+}
+
+TEST_F(BfvFixture, EncryptDecryptExact)
+{
+    const auto values = randomSlots(2);
+    const auto ct = evaluator.encrypt(encoder.encode(values), pk, rng);
+    const auto decoded =
+        encoder.decode(evaluator.decrypt(ct, keygen.secretKey()));
+    EXPECT_EQ(decoded, values);
+}
+
+TEST_F(BfvFixture, HomomorphicAdd)
+{
+    const auto a = randomSlots(3);
+    const auto b = randomSlots(4);
+    const auto ca = evaluator.encrypt(encoder.encode(a), pk, rng);
+    const auto cb = evaluator.encrypt(encoder.encode(b), pk, rng);
+    const auto sum = encoder.decode(
+        evaluator.decrypt(evaluator.add(ca, cb), keygen.secretKey()));
+    const u64 t = ctx.plainModulus();
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(sum[i], (a[i] + b[i]) % t);
+}
+
+TEST_F(BfvFixture, HomomorphicMultiplyExact)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = randomSlots(5);
+    const auto b = randomSlots(6);
+    const auto ca = evaluator.encrypt(encoder.encode(a), pk, rng);
+    const auto cb = evaluator.encrypt(encoder.encode(b), pk, rng);
+    const auto prod = encoder.decode(evaluator.decrypt(
+        evaluator.multiply(ca, cb, rlk), keygen.secretKey()));
+    const u64 t = ctx.plainModulus();
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(prod[i], a[i] * b[i] % t) << "slot " << i;
+}
+
+TEST_F(BfvFixture, MultiplyThenAdd)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = randomSlots(7);
+    const auto b = randomSlots(8);
+    const auto c = randomSlots(9);
+    const auto ca = evaluator.encrypt(encoder.encode(a), pk, rng);
+    const auto cb = evaluator.encrypt(encoder.encode(b), pk, rng);
+    const auto cc = evaluator.encrypt(encoder.encode(c), pk, rng);
+    const auto result = encoder.decode(evaluator.decrypt(
+        evaluator.add(evaluator.multiply(ca, cb, rlk), cc),
+        keygen.secretKey()));
+    const u64 t = ctx.plainModulus();
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(result[i], (a[i] * b[i] + c[i]) % t);
+}
+
+TEST_F(BfvFixture, RotationPermutesSlots)
+{
+    // Galois element 5 acts on the NTT-mod-t slot order exactly as in
+    // CKKS: a cyclic rotation within each conjugacy orbit. Verify against
+    // the plaintext automorphism rather than a hardcoded pattern.
+    const u32 k = 5;
+    const auto key = keygen.rotationKey(k);
+    const auto values = randomSlots(10);
+    const auto ct = evaluator.encrypt(encoder.encode(values), pk, rng);
+    const auto rotated = encoder.decode(
+        evaluator.decrypt(evaluator.rotate(ct, k, key),
+                          keygen.secretKey()));
+
+    // Expected: apply the same automorphism to the plaintext polynomial.
+    auto pt = encoder.encode(values);
+    poly::RnsPoly tmp(ctx.ring(), 1, false);
+    // Plaintext automorphism in coefficient domain modulo t.
+    std::vector<u32> expect_coeffs(ctx.degree());
+    const u64 two_n = 2ULL * ctx.degree();
+    const u32 t = ctx.plainModulus();
+    for (u32 j = 0; j < ctx.degree(); ++j) {
+        const u64 e = (static_cast<u64>(j) * k) % two_n;
+        const u32 v = pt.coeffs[j];
+        if (e < ctx.degree())
+            expect_coeffs[e] = v;
+        else
+            expect_coeffs[e - ctx.degree()] =
+                static_cast<u32>(nt::negMod(v, t));
+    }
+    BfvPlaintext expect_pt;
+    expect_pt.coeffs = expect_coeffs;
+    EXPECT_EQ(rotated, encoder.decode(expect_pt));
+}
+
+TEST_F(BfvFixture, KeySwitchPreservesDecryption)
+{
+    // keySwitch(c, swk_{s->s}) must decrypt to c * s.
+    const auto swk = keygen.relinKey(); // targets s^2
+    const auto values = randomSlots(11);
+    const auto ct = evaluator.encrypt(encoder.encode(values), pk, rng);
+    // relinearising c1 * s^2 is exercised inside multiply; here check the
+    // degree-2 pipeline end to end via squaring.
+    const auto sq = encoder.decode(evaluator.decrypt(
+        evaluator.multiply(ct, ct, swk), keygen.secretKey()));
+    const u64 t = ctx.plainModulus();
+    for (size_t i = 0; i < values.size(); ++i)
+        EXPECT_EQ(sq[i], values[i] * values[i] % t);
+}
+
+TEST_F(BfvFixture, KernelLogCoversExpectedKinds)
+{
+    ckks::KernelLog log;
+    BfvEvaluator ev(ctx, &log);
+    const auto rlk = keygen.relinKey();
+    const auto ct = ev.encrypt(encoder.encode(randomSlots(12)), pk, rng);
+    (void)ev.multiply(ct, ct, rlk);
+    bool has_ntt = false, has_bconv = false, has_mul = false;
+    for (const auto &c : log.calls()) {
+        has_ntt |= c.kind == ckks::KernelKind::Ntt;
+        has_bconv |= c.kind == ckks::KernelKind::BConv;
+        has_mul |= c.kind == ckks::KernelKind::VecModMul;
+    }
+    EXPECT_TRUE(has_ntt);
+    EXPECT_TRUE(has_bconv);
+    EXPECT_TRUE(has_mul);
+}
+
+TEST(BfvParams, Validation)
+{
+    auto make = [](const BfvParams &p) { BfvContext ctx(p); };
+    make(BfvParams::testSet()); // sane params construct fine
+    EXPECT_THROW(make(BfvParams::testSet(100, 4)),
+                 std::invalid_argument); // non power of two
+    auto p = BfvParams::testSet();
+    p.logt = 30; // t !<< q
+    EXPECT_THROW(make(p), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cross::bfv

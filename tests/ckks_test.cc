@@ -1,0 +1,417 @@
+/**
+ * @file
+ * End-to-end CKKS tests: encoder round trips, encrypt/decrypt, the four
+ * backbone HE operators against plaintext arithmetic, rotation /
+ * conjugation slot semantics, multiplicative depth, and the contract
+ * between the functional evaluator's kernel log and the pure schedule
+ * enumerator that the TPU cost model replays.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "ckks/bootstrap.h"
+#include "ckks/context.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+#include "ckks/schedule.h"
+#include "common/rng.h"
+
+namespace cross::ckks {
+namespace {
+
+constexpr double kScale = static_cast<double>(1ULL << 26);
+
+std::vector<Complex>
+randomSlots(size_t count, u64 seed, double mag = 1.0)
+{
+    Rng rng(seed);
+    std::vector<Complex> v(count);
+    for (auto &x : v)
+        x = Complex((rng.real() * 2 - 1) * mag, (rng.real() * 2 - 1) * mag);
+    return v;
+}
+
+double
+maxError(const std::vector<Complex> &a, const std::vector<Complex> &b)
+{
+    double e = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        e = std::max(e, std::abs(a[i] - b[i]));
+    return e;
+}
+
+class CkksFixture : public ::testing::Test
+{
+  protected:
+    CkksFixture()
+        : ctx(CkksParams::testSet(1 << 10, 5, 2)), encoder(ctx),
+          keygen(ctx, 42), encryptor(ctx, keygen.publicKey(), 43),
+          decryptor(ctx, keygen.secretKey()), evaluator(ctx)
+    {
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+    CkksDecryptor decryptor;
+    CkksEvaluator evaluator;
+};
+
+// ---------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------
+TEST_F(CkksFixture, EncodeDecodeRoundTrip)
+{
+    const auto values = randomSlots(encoder.slotCount(), 1);
+    const auto pt = encoder.encode(values, kScale, ctx.qCount());
+    const auto decoded = encoder.decode(pt);
+    EXPECT_LT(maxError(values, decoded), 1e-5);
+}
+
+TEST_F(CkksFixture, EncodePartialVectorPadsWithZeros)
+{
+    const auto values = randomSlots(8, 2);
+    const auto decoded =
+        encoder.decode(encoder.encode(values, kScale, 2));
+    for (size_t i = 0; i < 8; ++i)
+        EXPECT_LT(std::abs(decoded[i] - values[i]), 1e-5);
+    for (size_t i = 8; i < decoded.size(); ++i)
+        EXPECT_LT(std::abs(decoded[i]), 1e-5);
+}
+
+TEST_F(CkksFixture, EncodeRejectsOverflowingScale)
+{
+    std::vector<Complex> big(4, Complex(1.0, 0));
+    // 2^40 overflows a single 28-bit limb...
+    EXPECT_THROW(encoder.encode(big, std::ldexp(1.0, 40), 1),
+                 std::invalid_argument);
+    // ...but is fine against two limbs (Q/2 ~ 2^55): double rescaling
+    // relies on this.
+    EXPECT_NO_THROW(encoder.encode(big, std::ldexp(1.0, 40), 2));
+    // And the i64 lift bound always applies.
+    EXPECT_THROW(encoder.encode(big, std::ldexp(1.0, 71), 5),
+                 std::invalid_argument);
+}
+
+TEST_F(CkksFixture, EncoderIsLinear)
+{
+    const auto a = randomSlots(encoder.slotCount(), 3);
+    const auto b = randomSlots(encoder.slotCount(), 4);
+    auto pa = encoder.encode(a, kScale, 3);
+    const auto pb = encoder.encode(b, kScale, 3);
+    pa.poly.addInPlace(pb.poly);
+    const auto sum = encoder.decode(pa);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(sum[i] - (a[i] + b[i])), 1e-5);
+}
+
+// ---------------------------------------------------------------------
+// Encrypt / decrypt
+// ---------------------------------------------------------------------
+TEST_F(CkksFixture, EncryptDecryptRoundTrip)
+{
+    const auto values = randomSlots(encoder.slotCount(), 5);
+    const auto ct =
+        encryptor.encrypt(encoder.encode(values, kScale, ctx.qCount()));
+    const auto decoded = encoder.decode(decryptor.decrypt(ct));
+    // Fresh-encryption noise ~ sigma*N at scale 2^26.
+    EXPECT_LT(maxError(values, decoded), 1e-3);
+}
+
+TEST_F(CkksFixture, FreshCiphertextHasFullLevel)
+{
+    const auto ct = encryptor.encrypt(
+        encoder.encode(randomSlots(4, 6), kScale, ctx.qCount()));
+    EXPECT_EQ(ct.limbs(), ctx.qCount());
+    EXPECT_DOUBLE_EQ(ct.scale, kScale);
+}
+
+// ---------------------------------------------------------------------
+// HE-Add / HE-Sub
+// ---------------------------------------------------------------------
+TEST_F(CkksFixture, HomomorphicAddSub)
+{
+    const auto a = randomSlots(encoder.slotCount(), 7, 0.5);
+    const auto b = randomSlots(encoder.slotCount(), 8, 0.5);
+    const auto ca =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto cb =
+        encryptor.encrypt(encoder.encode(b, kScale, ctx.qCount()));
+
+    const auto sum = encoder.decode(decryptor.decrypt(evaluator.add(ca, cb)));
+    const auto diff =
+        encoder.decode(decryptor.decrypt(evaluator.sub(ca, cb)));
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_LT(std::abs(sum[i] - (a[i] + b[i])), 1e-3);
+        EXPECT_LT(std::abs(diff[i] - (a[i] - b[i])), 1e-3);
+    }
+}
+
+TEST_F(CkksFixture, AddPlain)
+{
+    const auto a = randomSlots(encoder.slotCount(), 9, 0.5);
+    const auto b = randomSlots(encoder.slotCount(), 10, 0.5);
+    const auto ca =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto pb = encoder.encode(b, kScale, ctx.qCount());
+    const auto sum =
+        encoder.decode(decryptor.decrypt(evaluator.addPlain(ca, pb)));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(sum[i] - (a[i] + b[i])), 1e-3);
+}
+
+// ---------------------------------------------------------------------
+// HE-Mult + relinearisation + rescale
+// ---------------------------------------------------------------------
+TEST_F(CkksFixture, HomomorphicMultiply)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = randomSlots(encoder.slotCount(), 11, 0.8);
+    const auto b = randomSlots(encoder.slotCount(), 12, 0.8);
+    const auto ca =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto cb =
+        encryptor.encrypt(encoder.encode(b, kScale, ctx.qCount()));
+
+    auto prod = evaluator.multiply(ca, cb, rlk);
+    EXPECT_DOUBLE_EQ(prod.scale, kScale * kScale);
+    prod = evaluator.rescale(prod);
+    EXPECT_EQ(prod.limbs(), ctx.qCount() - 1);
+
+    const auto decoded = encoder.decode(decryptor.decrypt(prod));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(decoded[i] - a[i] * b[i]), 1e-2);
+}
+
+TEST_F(CkksFixture, MultiplyPlain)
+{
+    const auto a = randomSlots(encoder.slotCount(), 13, 0.8);
+    const auto w = randomSlots(encoder.slotCount(), 14, 0.8);
+    const auto ca =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto pw = encoder.encode(w, kScale, ctx.qCount());
+    auto prod = evaluator.rescale(evaluator.multiplyPlain(ca, pw));
+    const auto decoded = encoder.decode(decryptor.decrypt(prod));
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_LT(std::abs(decoded[i] - a[i] * w[i]), 1e-2);
+}
+
+TEST_F(CkksFixture, MultiplicativeDepthChain)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = randomSlots(encoder.slotCount(), 15, 0.9);
+    auto ct = encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+
+    // Square twice: depth 2 with rescale after each multiply.
+    auto sq = evaluator.rescale(evaluator.multiply(ct, ct, rlk));
+    auto quad = evaluator.rescale(evaluator.multiply(sq, sq, rlk));
+    EXPECT_EQ(quad.limbs(), ctx.qCount() - 2);
+
+    const auto decoded = encoder.decode(decryptor.decrypt(quad));
+    for (size_t i = 0; i < a.size(); ++i) {
+        const Complex expect = std::pow(a[i], 4);
+        EXPECT_LT(std::abs(decoded[i] - expect), 5e-2);
+    }
+}
+
+TEST_F(CkksFixture, RescaleDividesScale)
+{
+    const auto a = randomSlots(4, 16, 0.5);
+    auto ct = encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    ct.scale = kScale; // fresh
+    const auto rlk = keygen.relinKey();
+    auto prod = evaluator.multiply(ct, ct, rlk);
+    const double before = prod.scale;
+    auto rs = evaluator.rescale(prod);
+    const double q_l =
+        static_cast<double>(ctx.qModulus(ctx.qCount() - 1));
+    EXPECT_NEAR(rs.scale, before / q_l, before / q_l * 1e-12);
+}
+
+// ---------------------------------------------------------------------
+// Rotation / conjugation
+// ---------------------------------------------------------------------
+TEST_F(CkksFixture, RotationRotatesSlots)
+{
+    for (i64 steps : {1, 2, 7}) {
+        const u32 k = encoder.rotationAutomorphism(steps);
+        const auto rot_key = keygen.rotationKey(k);
+        const auto a = randomSlots(encoder.slotCount(), 17 + steps, 0.8);
+        const auto ct =
+            encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+        const auto rotated = evaluator.rotate(ct, k, rot_key);
+        const auto decoded = encoder.decode(decryptor.decrypt(rotated));
+        const size_t half = encoder.slotCount();
+        for (size_t j = 0; j < half; ++j) {
+            const Complex expect = a[(j + static_cast<size_t>(steps)) % half];
+            EXPECT_LT(std::abs(decoded[j] - expect), 1e-2)
+                << "steps=" << steps << " slot=" << j;
+        }
+    }
+}
+
+TEST_F(CkksFixture, ConjugationConjugatesSlots)
+{
+    const u32 k = encoder.conjugationAutomorphism();
+    const auto conj_key = keygen.rotationKey(k);
+    const auto a = randomSlots(encoder.slotCount(), 23, 0.8);
+    const auto ct =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto decoded =
+        encoder.decode(decryptor.decrypt(evaluator.rotate(ct, k, conj_key)));
+    for (size_t j = 0; j < a.size(); ++j)
+        EXPECT_LT(std::abs(decoded[j] - std::conj(a[j])), 1e-2);
+}
+
+TEST_F(CkksFixture, RotationComposition)
+{
+    // rot(rot(x, 1), 2) == rot(x, 3)
+    const u32 k1 = encoder.rotationAutomorphism(1);
+    const u32 k2 = encoder.rotationAutomorphism(2);
+    const auto key1 = keygen.rotationKey(k1);
+    const auto key2 = keygen.rotationKey(k2);
+    const auto a = randomSlots(encoder.slotCount(), 24, 0.8);
+    const auto ct =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto r12 =
+        evaluator.rotate(evaluator.rotate(ct, k1, key1), k2, key2);
+    const auto decoded = encoder.decode(decryptor.decrypt(r12));
+    const size_t half = encoder.slotCount();
+    for (size_t j = 0; j < half; ++j)
+        EXPECT_LT(std::abs(decoded[j] - a[(j + 3) % half]), 2e-2);
+}
+
+// ---------------------------------------------------------------------
+// Schedule enumerator == functional kernel log
+// ---------------------------------------------------------------------
+class ScheduleMatch : public ::testing::TestWithParam<HeOp>
+{
+};
+
+TEST_P(ScheduleMatch, EnumeratorPredictsEvaluatorKernels)
+{
+    const HeOp op = GetParam();
+    CkksContext ctx(CkksParams::testSet(1 << 9, 5, 2));
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx, 99);
+    CkksEncryptor enc(ctx, keygen.publicKey(), 100);
+    CkksDecryptor dec(ctx, keygen.secretKey());
+    KernelLog log;
+    CkksEvaluator ev(ctx, &log);
+
+    const auto a = randomSlots(4, 25, 0.5);
+    const auto ca = enc.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto cb = enc.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+
+    log.clear();
+    switch (op) {
+      case HeOp::Add:
+        (void)ev.add(ca, cb);
+        break;
+      case HeOp::Mult:
+        (void)ev.multiply(ca, cb, rlk);
+        break;
+      case HeOp::Rescale:
+        (void)ev.rescale(ca);
+        break;
+      case HeOp::Rotate:
+        (void)ev.rotate(ca, k, rot_key);
+        break;
+    }
+
+    const auto predicted =
+        enumerateKernels(op, ctx.params(), ctx.qCount() - 1);
+    ASSERT_EQ(log.calls().size(), predicted.size()) << heOpName(op);
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        EXPECT_TRUE(log.calls()[i].sameShape(predicted[i]))
+            << heOpName(op) << " kernel " << i << ": got "
+            << kernelKindName(log.calls()[i].kind) << "("
+            << log.calls()[i].limbs << "->" << log.calls()[i].limbsOut
+            << "), want " << kernelKindName(predicted[i].kind) << "("
+            << predicted[i].limbs << "->" << predicted[i].limbsOut << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, ScheduleMatch,
+                         ::testing::Values(HeOp::Add, HeOp::Mult,
+                                           HeOp::Rescale, HeOp::Rotate));
+
+TEST(Schedule, LowerLevelsShrinkKernelCounts)
+{
+    const auto p = CkksParams::testSet(1 << 10, 6, 3);
+    const auto full = enumerateKernels(HeOp::Mult, p, 5);
+    const auto low = enumerateKernels(HeOp::Mult, p, 2);
+    EXPECT_GT(full.size(), low.size());
+}
+
+// ---------------------------------------------------------------------
+// Cost model and bootstrapping estimator sanity
+// ---------------------------------------------------------------------
+TEST(CostModel, OrderingAndPositivity)
+{
+    const auto p = CkksParams::paperSet('A');
+    lowering::Config cfg;
+    HeOpCostModel model(tpu::tpuV6e(), cfg, p);
+    const size_t lvl = p.limbs - 1;
+    const double add = model.opLatencyUs(HeOp::Add, lvl);
+    const double mult = model.opLatencyUs(HeOp::Mult, lvl);
+    const double rescale = model.opLatencyUs(HeOp::Rescale, lvl);
+    const double rotate = model.opLatencyUs(HeOp::Rotate, lvl);
+    EXPECT_GT(add, 0);
+    EXPECT_GT(mult, add);
+    EXPECT_GT(rotate, add);
+    EXPECT_GT(mult, rescale);
+}
+
+TEST(CostModel, MoreLimbsCostMore)
+{
+    lowering::Config cfg;
+    const auto pd = CkksParams::paperSet('D');
+    HeOpCostModel model(tpu::tpuV6e(), cfg, pd);
+    EXPECT_GT(model.opLatencyUs(HeOp::Mult, 50),
+              model.opLatencyUs(HeOp::Mult, 20));
+}
+
+TEST(CostModel, BreakdownSumsToTotalish)
+{
+    const auto p = CkksParams::paperSet('D');
+    lowering::Config cfg;
+    HeOpCostModel model(tpu::tpuV6e(), cfg, p);
+    const auto bd = model.opBreakdown(HeOp::Mult, p.limbs - 1);
+    double sum = 0;
+    for (const auto &[cat, us] : bd)
+        sum += us;
+    EXPECT_GT(sum, 0);
+}
+
+TEST(Bootstrap, EstimateIsConsistent)
+{
+    const auto p = CkksParams::paperSet('D');
+    lowering::Config cfg;
+    const auto est = estimateBootstrap(tpu::tpuV6e(), cfg, p);
+    EXPECT_GT(est.totalUs, 0);
+    EXPECT_GT(est.kernelLaunches, est.heOps);
+    double sum = 0;
+    for (const auto &[k, us] : est.byKernelUs)
+        sum += us;
+    EXPECT_NEAR(sum, est.totalUs, est.totalUs * 1e-9);
+    // Automorphism should be the dominant share (Table IX: 35.6%).
+    EXPECT_GT(est.fraction("Automorphism"), 0.15);
+}
+
+TEST(Bootstrap, RejectsShortChains)
+{
+    const auto p = CkksParams::testSet(1 << 10, 4, 2);
+    EXPECT_THROW(enumerateBootstrapOps(p, {}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cross::ckks

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the common utilities: bit tricks, the deterministic RNG
+ * (reproducibility is a stated project guarantee), the table printer the
+ * bench harnesses rely on, and the wall timer.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "common/timer.h"
+
+namespace cross {
+namespace {
+
+// ---------------------------------------------------------------------
+// bitops
+// ---------------------------------------------------------------------
+TEST(BitOps, IsPow2)
+{
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(2));
+    EXPECT_FALSE(isPow2(3));
+    EXPECT_TRUE(isPow2(1ULL << 63));
+    EXPECT_FALSE(isPow2((1ULL << 63) + 1));
+}
+
+TEST(BitOps, ILog2)
+{
+    EXPECT_EQ(ilog2(1), 0u);
+    EXPECT_EQ(ilog2(2), 1u);
+    EXPECT_EQ(ilog2(3), 1u);
+    EXPECT_EQ(ilog2(1024), 10u);
+    EXPECT_EQ(ilog2(~0ULL), 63u);
+}
+
+TEST(BitOps, BitReverse)
+{
+    EXPECT_EQ(bitReverse(0b001, 3), 0b100u);
+    EXPECT_EQ(bitReverse(0b110, 3), 0b011u);
+    EXPECT_EQ(bitReverse(0, 10), 0u);
+    // Involution property over a full table.
+    const auto table = bitReverseTable(64);
+    for (u32 i = 0; i < 64; ++i)
+        EXPECT_EQ(table[table[i]], i);
+}
+
+TEST(BitOps, BitReversePermuteIsInvolution)
+{
+    std::vector<int> v(16);
+    for (int i = 0; i < 16; ++i)
+        v[i] = i;
+    auto w = v;
+    bitReversePermute(w);
+    EXPECT_NE(w, v);
+    bitReversePermute(w);
+    EXPECT_EQ(w, v);
+}
+
+TEST(BitOps, CeilDivAndRoundUp)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4u);
+    EXPECT_EQ(ceilDiv(9, 3), 3u);
+    EXPECT_EQ(roundUp(100, 128), 128u);
+    EXPECT_EQ(roundUp(128, 128), 128u);
+    EXPECT_EQ(roundUp(129, 128), 256u);
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+    Rng c(124);
+    EXPECT_NE(Rng(123).next(), c.next());
+}
+
+TEST(Rng, UniformRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.uniform(97), 97u);
+    for (int i = 0; i < 1000; ++i) {
+        const u64 v = rng.range(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+    EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform)
+{
+    Rng rng(8);
+    const int buckets = 16, samples = 160000;
+    std::vector<int> hist(buckets, 0);
+    for (int i = 0; i < samples; ++i)
+        ++hist[rng.uniform(buckets)];
+    for (int h : hist) {
+        EXPECT_GT(h, samples / buckets * 0.9);
+        EXPECT_LT(h, samples / buckets * 1.1);
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(9);
+    const double sigma = 3.2;
+    double sum = 0, sumsq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.gaussian(sigma);
+        sum += x;
+        sumsq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sumsq / n), sigma, 0.1);
+}
+
+TEST(Rng, TernaryVecValues)
+{
+    Rng rng(10);
+    const u64 q = 97;
+    const auto v = rng.ternaryVec(1000, q);
+    int zeros = 0;
+    for (u64 x : v) {
+        EXPECT_TRUE(x == 0 || x == 1 || x == q - 1);
+        zeros += x == 0;
+    }
+    // Roughly a third of each.
+    EXPECT_GT(zeros, 250);
+    EXPECT_LT(zeros, 420);
+}
+
+// ---------------------------------------------------------------------
+// TablePrinter / formatters
+// ---------------------------------------------------------------------
+TEST(TablePrinter, AlignsColumnsAndPrintsTitle)
+{
+    TablePrinter t("demo");
+    t.header({"a", "long-header", "c"});
+    t.row({"1", "2", "3"});
+    t.row({"wide-cell", "x"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("long-header"), std::string::npos);
+    // Ragged row printed without crashing; separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("wide-cell"), std::string::npos);
+}
+
+TEST(Formatters, Values)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtX(1.25), "1.25x");
+    EXPECT_EQ(fmtX(2.0, 1), "2.0x");
+    EXPECT_EQ(fmtPct(0.512), "51.2%");
+    EXPECT_EQ(fmtUs(4.567), "4.567");
+    EXPECT_EQ(fmtUs(45.67), "45.67");
+    EXPECT_EQ(fmtUs(4567.8), "4567.8");
+}
+
+// ---------------------------------------------------------------------
+// WallTimer
+// ---------------------------------------------------------------------
+TEST(WallTimer, MeasuresElapsedTime)
+{
+    WallTimer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const double s = t.seconds();
+    EXPECT_GT(s, 0.005);
+    EXPECT_LT(s, 1.0);
+    EXPECT_NEAR(t.micros(), t.seconds() * 1e6, t.micros() * 0.5);
+    t.reset();
+    EXPECT_LT(t.seconds(), 0.01);
+}
+
+} // namespace
+} // namespace cross

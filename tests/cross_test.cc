@@ -1,0 +1,507 @@
+/**
+ * @file
+ * Tests for the CROSS compiler core: BAT (dense INT8 lowering of modular
+ * arithmetic), the sparse Toeplitz GPU baseline, Algorithm 5's
+ * fold/carry offline compilation, lazy reduction, the fallback chunk
+ * convolution, MAT permutation folding, and the lowering cost model's
+ * qualitative orderings.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bitops.h"
+#include "common/rng.h"
+#include "cross/bat.h"
+#include "cross/lazy_reduce.h"
+#include "cross/lowering.h"
+#include "cross/mat.h"
+#include "cross/sparse_baseline.h"
+#include "nt/modops.h"
+#include "nt/primes.h"
+#include "poly/ring.h"
+
+namespace cross::bat {
+namespace {
+
+// ---------------------------------------------------------------------
+// Chunk helpers
+// ---------------------------------------------------------------------
+TEST(Chunks, DecomposeMergeRoundTrip)
+{
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+        const u64 a = rng.next() >> rng.uniform(33);
+        const u32 k = 8;
+        const auto c = chunkDecompose(a, k);
+        std::vector<u64> wide(c.begin(), c.end());
+        EXPECT_EQ(chunkMerge(wide), a);
+    }
+}
+
+TEST(Chunks, CountMatchesModulusWidth)
+{
+    EXPECT_EQ(chunkCount(268369921u), 4u);  // 28-bit
+    EXPECT_EQ(chunkCount(12289u), 2u);      // 14-bit
+    EXPECT_EQ(chunkCount(3u), 1u);
+    EXPECT_EQ(chunkCount((1u << 31) - 1), 4u);
+}
+
+TEST(Chunks, DecomposeRejectsOverflow)
+{
+    EXPECT_THROW(chunkDecompose(1ULL << 20, 2), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// DirectScalarBAT: the core reconstruction property.
+// ---------------------------------------------------------------------
+class BatScalarTest : public ::testing::TestWithParam<u32> // modulus bits
+{
+};
+
+TEST_P(BatScalarTest, ReconstructionProperty)
+{
+    const u32 bits = GetParam();
+    Rng rng(bits);
+    for (int iter = 0; iter < 40; ++iter) {
+        const u32 q = static_cast<u32>(
+            nt::generateNttPrimes(bits, 1, 2 * 64)[iter % 1]);
+        const u32 k = chunkCount(q);
+        const u32 a = static_cast<u32>(rng.uniform(q));
+        const auto m = directScalarBat(a, q, k);
+        for (int j = 0; j < 25; ++j) {
+            const u32 b = static_cast<u32>(rng.uniform(q));
+            const auto bc = chunkDecompose(b, k);
+            // sum_i (sum_j M[i][j] b_j) 2^(8i) == a*b (mod q)
+            u128 merged = 0;
+            for (u32 i = 0; i < k; ++i) {
+                u64 psum = 0;
+                for (u32 jj = 0; jj < k; ++jj)
+                    psum += static_cast<u64>(m.at(i, jj)) * bc[jj];
+                merged += static_cast<u128>(psum) << (8 * i);
+            }
+            EXPECT_EQ(static_cast<u64>(merged % q), nt::mulMod(a, b, q))
+                << "q=" << q << " a=" << a << " b=" << b;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ModulusWidths, BatScalarTest,
+                         ::testing::Values(20u, 24u, 28u, 30u));
+
+TEST(BatScalar, MulMatchesReference)
+{
+    const u32 q = 268369921;
+    nt::Barrett bar(q);
+    Rng rng(5);
+    for (int i = 0; i < 300; ++i) {
+        const u32 a = static_cast<u32>(rng.uniform(q));
+        const u32 b = static_cast<u32>(rng.uniform(q));
+        const auto block = directScalarBat(a, q, chunkCount(q));
+        EXPECT_EQ(batScalarMul(block, b, bar), nt::mulMod(a, b, q));
+    }
+}
+
+// ---------------------------------------------------------------------
+// BAT ModMatMul vs high-precision reference
+// ---------------------------------------------------------------------
+class BatMatMulTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> // h, v, w
+{
+};
+
+TEST_P(BatMatMulTest, MatchesReferenceBitExact)
+{
+    const auto [h, v, w] = GetParam();
+    const u32 q = 268369921;
+    Rng rng(h * 100 + v * 10 + w);
+    poly::ModMatrix a(h, v, q), b(v, w, q);
+    for (auto &x : a.data())
+        x = static_cast<u32>(rng.uniform(q));
+    for (auto &x : b.data())
+        x = static_cast<u32>(rng.uniform(q));
+    EXPECT_TRUE(batMatMul(a, b) == poly::matMul(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BatMatMulTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 4, 4),
+                      std::make_tuple(8, 3, 5), std::make_tuple(16, 16, 1),
+                      std::make_tuple(5, 17, 9),
+                      std::make_tuple(32, 32, 32)));
+
+TEST(BatMatMul, OfflineLeftHasBlockStructure)
+{
+    const u32 q = 268369921;
+    const u32 k = chunkCount(q);
+    poly::ModMatrix a(2, 3, q);
+    Rng rng(9);
+    for (auto &x : a.data())
+        x = static_cast<u32>(rng.uniform(q));
+    const auto dense = offlineCompileLeft(a, k);
+    EXPECT_EQ(dense.rows, 2 * k);
+    EXPECT_EQ(dense.cols, 3 * k);
+    // Each K x K block equals the scalar BAT of the corresponding entry.
+    for (size_t r = 0; r < 2; ++r) {
+        for (size_t c = 0; c < 3; ++c) {
+            const auto blk = directScalarBat(a.at(r, c), q, k);
+            for (u32 i = 0; i < k; ++i)
+                for (u32 j = 0; j < k; ++j)
+                    EXPECT_EQ(dense.at(r * k + i, c * k + j), blk.at(i, j));
+        }
+    }
+}
+
+TEST(ByteMatMul, RejectsAccumulatorOverflow)
+{
+    ByteMatrix a(1, 40000), b(40000, 1);
+    EXPECT_THROW(byteMatMul(a, b), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Sparse Toeplitz baseline (Fig. 7 / Alg. 5)
+// ---------------------------------------------------------------------
+TEST(Sparse, ToeplitzStructureAndZeros)
+{
+    const std::vector<u8> chunks = {1, 2, 3, 4};
+    const auto t = constructToeplitz(chunks);
+    EXPECT_EQ(t.rows, 7u);
+    EXPECT_EQ(t.cols, 4u);
+    // Diagonal bands: X[i+j][j] = chunks[i].
+    for (u32 j = 0; j < 4; ++j)
+        for (u32 i = 0; i < 4; ++i)
+            EXPECT_EQ(t.at(i + j, j), chunks[i]);
+    // ~43% zeros for K = 4 (12 of 28) -- the waste BAT removes.
+    EXPECT_NEAR(toeplitzZeroFraction(4), 12.0 / 28.0, 1e-12);
+}
+
+TEST(Sparse, ScalarMulMatchesReference)
+{
+    const u32 q = 268369921;
+    nt::Barrett bar(q);
+    Rng rng(11);
+    for (int i = 0; i < 300; ++i) {
+        const u32 a = static_cast<u32>(rng.uniform(q));
+        const u32 b = static_cast<u32>(rng.uniform(q));
+        EXPECT_EQ(sparseScalarMul(a, b, bar), nt::mulMod(a, b, q));
+    }
+}
+
+TEST(Sparse, MatMulMatchesReference)
+{
+    const u32 q = 268369921;
+    Rng rng(12);
+    poly::ModMatrix a(6, 9, q), b(9, 4, q);
+    for (auto &x : a.data())
+        x = static_cast<u32>(rng.uniform(q));
+    for (auto &x : b.data())
+        x = static_cast<u32>(rng.uniform(q));
+    EXPECT_TRUE(sparseMatMul(a, b) == poly::matMul(a, b));
+}
+
+TEST(Sparse, Alg5CompilationIsReconstructionEquivalent)
+{
+    // The fold/carry fixpoint (Alg. 5) and DirectScalarBAT (Alg. 2) may
+    // produce different matrices, but both must reconstruct a*b mod q.
+    Rng rng(13);
+    for (u32 bits : {20u, 28u, 30u}) {
+        const u32 q = static_cast<u32>(
+            nt::generateNttPrimes(bits, 1, 2 * 64)[0]);
+        const u32 k = chunkCount(q);
+        nt::Barrett bar(q);
+        for (int iter = 0; iter < 30; ++iter) {
+            const u32 a = static_cast<u32>(rng.uniform(q));
+            const auto m = offlineCompileViaToeplitz(a, q, k);
+            EXPECT_EQ(m.rows, k);
+            EXPECT_EQ(m.cols, k);
+            for (int j = 0; j < 10; ++j) {
+                const u32 b = static_cast<u32>(rng.uniform(q));
+                EXPECT_EQ(batScalarMul(m, b, bar), nt::mulMod(a, b, q))
+                    << "q=" << q << " a=" << a << " b=" << b;
+            }
+        }
+    }
+}
+
+TEST(Sparse, CarryPropagationRestoresByteRange)
+{
+    WideMatrix x(4, 2);
+    x.at(0, 0) = 300;
+    x.at(1, 0) = 255;
+    x.at(0, 1) = 1000;
+    carryPropagation(x);
+    // The ascending sweep resolves carry cascades in one pass.
+    for (u32 r = 0; r < 4; ++r)
+        for (u32 c = 0; c < 2; ++c)
+            EXPECT_LE(x.at(r, c), 255u);
+    EXPECT_EQ(x.at(0, 0), 44u); // 300 & 0xff
+    // The column's merged value is preserved exactly.
+    u64 col0 = 0, col1 = 0;
+    for (u32 r = 0; r < 4; ++r) {
+        col0 += static_cast<u64>(x.at(r, 0)) << (8 * r);
+        col1 += static_cast<u64>(x.at(r, 1)) << (8 * r);
+    }
+    EXPECT_EQ(col0, 300u + 255u * 256u);
+    EXPECT_EQ(col1, 1000u);
+}
+
+// ---------------------------------------------------------------------
+// Lazy reduction and fallback convolution
+// ---------------------------------------------------------------------
+TEST(LazyReduce, MatchesModulo)
+{
+    Rng rng(14);
+    for (u32 bits : {24u, 28u, 30u}) {
+        const u32 q = static_cast<u32>(
+            nt::generateNttPrimes(bits, 1, 2 * 64)[0]);
+        LazyReduceTable tab(q);
+        for (int i = 0; i < 500; ++i) {
+            const u64 psum = rng.next();
+            EXPECT_EQ(tab.reduce(psum), psum % q) << "q=" << q;
+        }
+        EXPECT_EQ(tab.reduce(0), 0u);
+        EXPECT_EQ(tab.reduce(~0ULL), ~0ULL % q);
+    }
+}
+
+TEST(FallbackConv, ExactWideProduct)
+{
+    Rng rng(15);
+    for (int i = 0; i < 1000; ++i) {
+        const u32 a = static_cast<u32>(rng.next());
+        const u32 b = static_cast<u32>(rng.next());
+        EXPECT_EQ(mulViaChunkConvolution(a, b),
+                  static_cast<u64>(a) * b);
+    }
+    EXPECT_EQ(mulViaChunkConvolution(0, 12345), 0u);
+    EXPECT_EQ(mulViaChunkConvolution(~0u, ~0u),
+              static_cast<u64>(~0u) * ~0u);
+}
+
+} // namespace
+} // namespace cross::bat
+
+namespace cross::mat {
+namespace {
+
+TEST(Mat, InvertPermutation)
+{
+    const std::vector<u32> p = {2, 0, 3, 1};
+    const auto inv = invertPermutation(p);
+    for (u32 i = 0; i < 4; ++i)
+        EXPECT_EQ(inv[p[i]], i);
+    EXPECT_THROW(invertPermutation({0, 0}), std::invalid_argument);
+}
+
+TEST(Mat, FoldOutputPermutation)
+{
+    const u32 q = 12289;
+    Rng rng(16);
+    poly::ModMatrix m(8, 8, q);
+    for (auto &x : m.data())
+        x = static_cast<u32>(rng.uniform(q));
+    std::vector<u32> x(8), map = {3, 1, 4, 0, 6, 2, 7, 5};
+    for (auto &v : x)
+        v = static_cast<u32>(rng.uniform(q));
+
+    const auto y = poly::matVec(m, x);
+    const auto folded = foldOutputPermutation(m, map);
+    const auto yf = poly::matVec(folded, x);
+    for (u32 i = 0; i < 8; ++i)
+        EXPECT_EQ(yf[i], y[map[i]]);
+}
+
+TEST(Mat, FoldInputPermutation)
+{
+    const u32 q = 12289;
+    Rng rng(17);
+    poly::ModMatrix m(6, 6, q);
+    for (auto &x : m.data())
+        x = static_cast<u32>(rng.uniform(q));
+    std::vector<u32> x(6), map = {5, 3, 0, 1, 4, 2};
+    for (auto &v : x)
+        v = static_cast<u32>(rng.uniform(q));
+    std::vector<u32> xp(6);
+    for (u32 i = 0; i < 6; ++i)
+        xp[i] = x[map[i]];
+
+    const auto folded = foldInputPermutation(m, map);
+    EXPECT_EQ(poly::matVec(folded, x), poly::matVec(m, xp));
+}
+
+TEST(Mat, BitReverseIsRowColSeparable)
+{
+    // The property that lets MAT fold the NTT bit-reversal offline.
+    const u32 r = 8, c = 16, n = r * c;
+    const u32 bits = ilog2(n);
+    std::vector<u32> perm(n);
+    // perm[m] = br_N(m) laid out on the r x c grid (row-major, row = high
+    // bits): br_N(row*c + col) = br_C(col)*r + br_R(row), re-gridded.
+    for (u32 m = 0; m < n; ++m) {
+        const u32 t = static_cast<u32>(bitReverse(m, bits));
+        // map natural index t onto the same row-major grid
+        perm[m] = (t % r) * c + t / r;
+    }
+    const auto sep = separableRowColPermutation(perm, r, c);
+    ASSERT_TRUE(sep.has_value());
+    for (u32 row = 0; row < r; ++row)
+        EXPECT_EQ(sep->first[row], bitReverse(row, ilog2(r)));
+    for (u32 col = 0; col < c; ++col)
+        EXPECT_EQ(sep->second[col], bitReverse(col, ilog2(c)));
+}
+
+TEST(Mat, RandomPermutationIsNotSeparable)
+{
+    // A cyclic shift by 1 of the flattened vector mixes rows and columns.
+    const u32 r = 4, c = 4, n = 16;
+    std::vector<u32> perm(n);
+    for (u32 i = 0; i < n; ++i)
+        perm[i] = (i + 1) % n;
+    EXPECT_FALSE(separableRowColPermutation(perm, r, c).has_value());
+}
+
+TEST(Mat, IdentityIsSeparable)
+{
+    std::vector<u32> perm(64);
+    for (u32 i = 0; i < 64; ++i)
+        perm[i] = i;
+    EXPECT_TRUE(separableRowColPermutation(perm, 8, 8).has_value());
+}
+
+TEST(Mat, AutomorphismMapsAreMostlyNotSeparable)
+{
+    // Section V-E: MAT cannot embed general automorphism permutations --
+    // this is why Rotate keeps a 21% runtime Permutation share (Fig. 12).
+    poly::Ring ring(64, nt::generateNttPrimes(20, 1, 128));
+    int not_separable = 0;
+    for (u32 k : {5u, 25u, 125u % 128u, 127u}) {
+        const auto &map = ring.evalAutoMap(k);
+        if (!separableRowColPermutation(map, 8, 8).has_value())
+            ++not_separable;
+    }
+    EXPECT_GE(not_separable, 3);
+}
+
+} // namespace
+} // namespace cross::mat
+
+namespace cross::lowering {
+namespace {
+
+using tpu::tpuV6e;
+
+double
+totalUs(const tpu::KernelCost &c, u64 batch = 1)
+{
+    return tpu::runBatched(tpuV6e(), c, batch).perItemUs;
+}
+
+TEST(Lowering, BatBeatsSparseOnMatMul)
+{
+    Config bat_cfg, sparse_cfg;
+    sparse_cfg.useBat = false;
+    Lowering bat(tpuV6e(), bat_cfg), sparse(tpuV6e(), sparse_cfg);
+    for (u64 dim : {512u, 1024u, 2048u}) {
+        const double b = totalUs(bat.modMatMul(dim, 256, 256));
+        const double s = totalUs(sparse.modMatMul(dim, 256, 256));
+        EXPECT_LT(b, s) << "dim=" << dim;
+        // Table V band: speedups between ~1.2x and ~2x.
+        EXPECT_GT(s / b, 1.1);
+        EXPECT_LT(s / b, 2.5);
+    }
+}
+
+TEST(Lowering, MatRemovesReorderCost)
+{
+    Config three, four;
+    four.ntt = NttAlgo::FourStepExplicit;
+    Lowering l3(tpuV6e(), three), l4(tpuV6e(), four);
+    const double t3 = totalUs(l3.ntt(1 << 16, 256, 1));
+    const double t4 = totalUs(l4.ntt(1 << 16, 256, 1));
+    EXPECT_LT(t3, t4);
+    // The 4-step pays for a transpose + bit-reverse shuffle.
+    const auto c4 = l4.ntt(1 << 16, 256, 1);
+    EXPECT_GT(c4.byCat.at(tpu::OpCat::Permutation), 0.0);
+    const auto c3 = l3.ntt(1 << 16, 256, 1);
+    EXPECT_EQ(c3.byCat.count(tpu::OpCat::Permutation), 0u);
+}
+
+TEST(Lowering, Radix2IsWorstOnTpu)
+{
+    // Table X: ~26-30x gap between butterfly NTT and the MAT 3-step form.
+    Config three, radix;
+    radix.ntt = NttAlgo::Radix2;
+    Lowering l3(tpuV6e(), three), lr(tpuV6e(), radix);
+    for (u32 logn : {12u, 14u, 16u}) {
+        const u32 n = 1u << logn;
+        const u32 r = 1u << ((logn + 1) / 2);
+        // 128-batch, as in the paper's Table X measurement.
+        const double t3 = totalUs(l3.ntt(n, r, 8), 128);
+        const double tr = totalUs(lr.ntt(n, r, 8), 128);
+        EXPECT_GT(tr / t3, 4.0) << "N=2^" << logn;
+    }
+}
+
+TEST(Lowering, ModRedOrderingOnVpu)
+{
+    // Fig. 13a: Montgomery < Barrett < Shoup on the TPU VPU.
+    Config mont, barrett, shoup;
+    barrett.modred = ModRed::Barrett;
+    shoup.modred = ModRed::Shoup;
+    const double m =
+        totalUs(Lowering(tpuV6e(), mont).vecModMul(1 << 16, 51));
+    const double b =
+        totalUs(Lowering(tpuV6e(), barrett).vecModMul(1 << 16, 51));
+    const double s =
+        totalUs(Lowering(tpuV6e(), shoup).vecModMul(1 << 16, 51));
+    EXPECT_LT(m, b);
+    EXPECT_LT(b, s);
+}
+
+TEST(Lowering, BatLazyStarvesTheMxu)
+{
+    // Appendix J: K = 4 reduction dim under-utilises a 256x256 array.
+    Config mont, lazy;
+    lazy.modred = ModRed::BatLazy;
+    const double m =
+        totalUs(Lowering(tpuV6e(), mont).vecModMul(1 << 16, 51));
+    const double l =
+        totalUs(Lowering(tpuV6e(), lazy).vecModMul(1 << 16, 51));
+    EXPECT_GT(l / m, 3.0);
+}
+
+TEST(Lowering, BConvBatSpeedup)
+{
+    Config bat_cfg, base_cfg;
+    base_cfg.useBat = false;
+    Lowering bat(tpuV6e(), bat_cfg), base(tpuV6e(), base_cfg);
+    for (auto [lin, lout] : {std::pair<u32, u32>{12, 28},
+                             {16, 40},
+                             {24, 56}}) {
+        const double b = totalUs(bat.bconv(1 << 16, lin, lout));
+        const double s = totalUs(base.bconv(1 << 16, lin, lout));
+        EXPECT_GT(s / b, 1.5) << lin << "->" << lout;
+        EXPECT_LT(s / b, 12.0) << lin << "->" << lout;
+    }
+}
+
+TEST(Lowering, CostsScaleWithShape)
+{
+    Config cfg;
+    Lowering l(tpuV6e(), cfg);
+    EXPECT_GT(totalUs(l.ntt(1 << 16, 256, 8)),
+              totalUs(l.ntt(1 << 14, 128, 8)));
+    EXPECT_GT(totalUs(l.vecModMul(1 << 16, 32)),
+              totalUs(l.vecModMul(1 << 16, 8)));
+    EXPECT_GT(totalUs(l.automorphism(1 << 16, 32)),
+              totalUs(l.automorphism(1 << 16, 8)));
+}
+
+TEST(Lowering, ModredOpCounts)
+{
+    EXPECT_LT(modredVpuOps(ModRed::Montgomery),
+              modredVpuOps(ModRed::Barrett));
+    EXPECT_LT(modredVpuOps(ModRed::Barrett), modredVpuOps(ModRed::Shoup));
+    EXPECT_GT(vecModMulVpuOps(ModRed::Montgomery), 10.0);
+}
+
+} // namespace
+} // namespace cross::lowering

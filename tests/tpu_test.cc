@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the TPU simulator: device catalog integrity, op pricing
+ * behaviour (padding, rooflines, category accounting) and the batching /
+ * residency model behind Fig. 11b.
+ */
+#include <gtest/gtest.h>
+
+#include "tpu/device_config.h"
+#include "tpu/sim.h"
+
+namespace cross::tpu {
+namespace {
+
+TEST(DeviceCatalog, GenerationsPresentAndOrdered)
+{
+    const auto &tpus = allTpus();
+    ASSERT_EQ(tpus.size(), 4u);
+    EXPECT_EQ(tpus[0].name, "TPUv4");
+    EXPECT_EQ(tpus[3].name, "TPUv6e");
+    // Peak INT8 throughput grows across generations (Table IV).
+    for (size_t i = 1; i < tpus.size(); ++i)
+        EXPECT_GT(tpus[i].tcInt8Gops, tpus[i - 1].tcInt8Gops);
+    // Only v6 has the 256x256 MXU.
+    EXPECT_EQ(tpuV4().mxuDim, 128u);
+    EXPECT_EQ(tpuV6e().mxuDim, 256u);
+}
+
+TEST(DeviceCatalog, LookupByName)
+{
+    EXPECT_EQ(deviceByName("TPUv5p").name, "TPUv5p");
+    EXPECT_THROW(deviceByName("TPUv9"), std::invalid_argument);
+}
+
+TEST(DeviceCatalog, MxuVpuThroughputGapMotivatesBat)
+{
+    // Section III-B1: the MXU:VPU ratio is huge on TPUs (vs ~4x on GPUs),
+    // the entire motivation for BAT.
+    for (const auto &d : allTpus()) {
+        const double ratio = d.tcInt8Gops * 1e9 / d.vpuOpsPerSec();
+        EXPECT_GT(ratio, 30.0) << d.name;
+    }
+}
+
+TEST(DeviceCatalog, Fig5DevicesHaveSaneEfficiency)
+{
+    const auto &devs = fig5Devices();
+    EXPECT_GE(devs.size(), 10u);
+    double best_gpu = 0, best_asic = 0;
+    for (const auto &d : devs) {
+        EXPECT_GT(d.watts, 0);
+        EXPECT_GT(d.int8Tops, 0);
+        const double eff = d.int8Tops / d.watts;
+        if (d.kind == "GPU")
+            best_gpu = std::max(best_gpu, eff);
+        if (d.kind == "AI ASIC")
+            best_asic = std::max(best_asic, eff);
+    }
+    // Fig. 5's takeaway: AI ASICs sit on the best TOPs/W frontier.
+    EXPECT_GT(best_asic, 1.0);
+    EXPECT_GT(best_asic, 0.5 * best_gpu);
+}
+
+// ---------------------------------------------------------------------
+// KernelSim op pricing
+// ---------------------------------------------------------------------
+TEST(KernelSim, MxuPaddingPenalty)
+{
+    // A k = 100 reduction dim costs the same as k = 128 (zero padding),
+    // the partial-utilisation effect Table VI mentions.
+    KernelSim a(tpuV4(), "a"), b(tpuV4(), "b");
+    a.mxuMatMul(OpCat::NttMatMul, 128, 100, 64);
+    b.mxuMatMul(OpCat::NttMatMul, 128, 128, 64);
+    const auto ca = a.finish(), cb = b.finish();
+    EXPECT_DOUBLE_EQ(ca.computeUs + ca.fixedUs, cb.computeUs + cb.fixedUs);
+    // ...and k = 129 spills into a second weight tile (more fill).
+    KernelSim c(tpuV4(), "c");
+    c.mxuMatMul(OpCat::NttMatMul, 128, 129, 64);
+    const auto cc = c.finish();
+    EXPECT_GT(cc.computeUs + cc.fixedUs, cb.computeUs + cb.fixedUs);
+}
+
+TEST(KernelSim, VpuScalesLinearly)
+{
+    KernelSim a(tpuV6e(), "a"), b(tpuV6e(), "b");
+    a.vpuOp(OpCat::VecModOps, 1 << 20, 10.0);
+    b.vpuOp(OpCat::VecModOps, 1 << 21, 10.0);
+    const double ta = a.finish().computeUs - tpuV6e().opOverheadUs;
+    const double tb = b.finish().computeUs - tpuV6e().opOverheadUs;
+    EXPECT_NEAR(tb / ta, 2.0, 0.01);
+}
+
+TEST(KernelSim, PermuteEfficiencyOrdering)
+{
+    KernelSim fine(tpuV6e(), "fine"), coarse(tpuV6e(), "coarse");
+    fine.permute(OpCat::Permutation, 1 << 20, 4, 1.0 / 256);
+    coarse.permute(OpCat::Permutation, 1 << 20, 4, 0.5);
+    EXPECT_GT(fine.finish().computeUs, coarse.finish().computeUs);
+    KernelSim bad(tpuV6e(), "bad");
+    EXPECT_THROW(bad.permute(OpCat::Permutation, 8, 4, 0.0),
+                 std::invalid_argument);
+}
+
+TEST(KernelSim, CategoriesAccumulate)
+{
+    KernelSim s(tpuV6e(), "k");
+    s.mxuMatMul(OpCat::NttMatMul, 256, 256, 256);
+    s.vpuOp(OpCat::VecModOps, 1 << 16, 17.0);
+    s.typeConvert(1 << 16);
+    s.copyReshape(1 << 20);
+    s.permute(OpCat::Permutation, 1 << 12);
+    const auto c = s.finish();
+    double sum = 0;
+    for (const auto &[cat, us] : c.byCat)
+        sum += us;
+    EXPECT_NEAR(sum, c.computeUs, 1e-9);
+    EXPECT_EQ(c.byCat.size(), 5u);
+    EXPECT_GT(c.mxuMacs, 0u);
+    EXPECT_GT(c.vpuOps, 0u);
+}
+
+TEST(KernelSim, AppendScalesAndMerges)
+{
+    KernelSim s(tpuV6e(), "k");
+    s.vpuOp(OpCat::VecModOps, 1 << 16, 8.0);
+    s.param(100);
+    s.data(200);
+    const auto c = s.finish();
+    KernelCost total;
+    total.append(c, 2.0);
+    EXPECT_NEAR(total.computeUs, 2 * c.computeUs, 1e-9);
+    EXPECT_EQ(total.paramBytes, 200u);
+    EXPECT_EQ(total.dataBytes, 400u);
+}
+
+// ---------------------------------------------------------------------
+// Batching model (Fig. 11b mechanics)
+// ---------------------------------------------------------------------
+KernelCost
+syntheticKernel(const DeviceConfig &dev, u64 param_bytes, u64 data_bytes)
+{
+    KernelSim s(dev, "synthetic");
+    s.vpuOp(OpCat::VecModOps, 1 << 14, 4.0);
+    s.param(param_bytes);
+    s.data(data_bytes);
+    return s.finish();
+}
+
+TEST(Batching, DispatchAmortises)
+{
+    const auto &dev = tpuV6e();
+    const auto k = syntheticKernel(dev, 1 << 20, 1 << 16);
+    const auto b1 = runBatched(dev, k, 1);
+    const auto b32 = runBatched(dev, k, 32);
+    EXPECT_LT(b32.perItemUs, b1.perItemUs);
+    EXPECT_NEAR(b1.totalUs, dev.dispatchUs + std::max(k.computeUs,
+                    (double)(k.paramBytes + k.dataBytes) /
+                        (dev.hbmGBps * 1e9) * 1e6),
+                1e-6);
+}
+
+TEST(Batching, CapacityOverflowDegradesThroughput)
+{
+    const auto &dev = tpuV6e();
+    // Params + working set near the residency budget: larger batches
+    // overflow and evict.
+    const u64 params = static_cast<u64>(dev.vmemBudgetBytes * 0.6);
+    const u64 data = static_cast<u64>(dev.vmemBudgetBytes * 0.05);
+    const auto k = syntheticKernel(dev, params, data);
+
+    double best_per_item = 1e100;
+    u64 best_batch = 0;
+    double last = 0;
+    for (u64 batch : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+        const auto r = runBatched(dev, k, batch);
+        if (r.perItemUs < best_per_item) {
+            best_per_item = r.perItemUs;
+            best_batch = batch;
+        }
+        last = r.perItemUs;
+    }
+    // The optimum is at a moderate batch; batch-64 exceeds capacity and
+    // is worse than the peak (the Fig. 11b roll-off).
+    EXPECT_GT(best_batch, 1u);
+    EXPECT_LT(best_batch, 64u);
+    EXPECT_GT(last, best_per_item);
+}
+
+TEST(Batching, TensorCoresScaleThroughput)
+{
+    const auto k = syntheticKernel(tpuV6e(), 1 << 20, 1 << 16);
+    const auto one = runBatched(tpuV6e(), k, 8, 1);
+    const auto eight = runBatched(tpuV6e(), k, 8, 8);
+    EXPECT_NEAR(eight.itemsPerSec / one.itemsPerSec, 8.0, 1e-9);
+}
+
+TEST(Batching, RejectsZeroBatch)
+{
+    const auto k = syntheticKernel(tpuV6e(), 16, 16);
+    EXPECT_THROW(runBatched(tpuV6e(), k, 0), std::invalid_argument);
+}
+
+TEST(Batching, CategoryTotalsIncludeOverheads)
+{
+    const auto k = syntheticKernel(tpuV6e(), 1 << 20, 1 << 16);
+    const auto r = runBatched(tpuV6e(), k, 4);
+    double sum = 0;
+    for (const auto &[cat, us] : r.byCat)
+        sum += us;
+    EXPECT_NEAR(sum, r.totalUs, r.totalUs * 0.05 + 1e-6);
+    EXPECT_GT(r.byCat.at(OpCat::Other), 0.0);
+}
+
+} // namespace
+} // namespace cross::tpu

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the ML workload estimators (HELR, MNIST): structural sanity
+ * of the schedules and scaling behaviour of the cost estimates.
+ */
+#include <gtest/gtest.h>
+
+#include "workloads/ml_workloads.h"
+
+namespace cross::workloads {
+namespace {
+
+TEST(Workloads, HelrStructure)
+{
+    const auto w = helrIteration();
+    EXPECT_EQ(w.itemsPerRun, 1024u);
+    EXPECT_FALSE(w.ops.empty());
+    for (const auto &g : w.ops) {
+        EXPECT_LT(g.level, w.params.limbs) << g.stage;
+        EXPECT_GT(g.count, 0u) << g.stage;
+    }
+    // Rotations dominate the op count (rotate-accumulate trees).
+    u64 rotations = 0, total = 0;
+    for (const auto &g : w.ops) {
+        total += g.count;
+        if (g.op == ckks::HeOp::Rotate)
+            rotations += g.count;
+    }
+    EXPECT_GT(rotations * 3, total);
+}
+
+TEST(Workloads, MnistStructure)
+{
+    const auto w = mnistInference();
+    EXPECT_EQ(w.itemsPerRun, 64u);
+    EXPECT_EQ(w.params.n, 1u << 13);
+    EXPECT_EQ(w.params.limbs, 18u);
+    // Levels decrease monotonically through the pipeline stages.
+    size_t prev = w.params.limbs;
+    for (const auto &g : w.ops) {
+        EXPECT_LE(g.level, prev) << g.stage;
+        prev = std::max(prev, g.level);
+    }
+}
+
+TEST(Workloads, EstimatePositiveAndScalesWithCores)
+{
+    lowering::Config cfg;
+    const auto w = helrIteration();
+    const auto one = estimateWorkload(w, tpu::tpuV6e(), cfg, 1);
+    const auto eight = estimateWorkload(w, tpu::tpuV6e(), cfg, 8);
+    EXPECT_GT(one.totalUs, 0);
+    EXPECT_NEAR(one.totalUs / eight.totalUs, 8.0, 1e-6);
+    EXPECT_GT(one.heOps, 100u);
+
+    double stage_sum = 0;
+    for (const auto &[stage, us] : one.byStageUs)
+        stage_sum += us;
+    EXPECT_NEAR(stage_sum, one.totalUs, one.totalUs * 1e-9);
+}
+
+TEST(Workloads, MnistPerImageInPlausibleBand)
+{
+    // Paper: 270 ms/image amortised on v6e-8. The estimator should land
+    // within an order of magnitude (EXPERIMENTS.md records the delta).
+    lowering::Config cfg;
+    const auto est =
+        estimateWorkload(mnistInference(), tpu::tpuV6e(), cfg, 8);
+    EXPECT_GT(est.perItemUs, 27'00.0);    // > 2.7 ms
+    EXPECT_LT(est.perItemUs, 2'700'000.0); // < 2.7 s
+}
+
+TEST(Workloads, NewerTpuIsFaster)
+{
+    lowering::Config cfg;
+    const auto w = mnistInference();
+    const auto v4 = estimateWorkload(w, tpu::tpuV4(), cfg, 8);
+    const auto v6e = estimateWorkload(w, tpu::tpuV6e(), cfg, 8);
+    EXPECT_LT(v6e.totalUs, v4.totalUs);
+}
+
+TEST(Workloads, RejectsZeroCores)
+{
+    lowering::Config cfg;
+    EXPECT_THROW(estimateWorkload(helrIteration(), tpu::tpuV6e(), cfg, 0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cross::workloads
