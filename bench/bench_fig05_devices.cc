@@ -11,9 +11,10 @@
 #include "tpu/device_config.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "fig05_devices");
     bench::banner("Figure 5",
                   "device efficiency scatter: INT8 TOPs vs power",
                   "public board specifications");
@@ -30,6 +31,10 @@ main()
     for (const auto &d : devices) {
         t.row({d.name, d.kind, d.node, fmtF(d.watts, 0),
                fmtF(d.int8Tops, 0), fmtF(d.int8Tops / d.watts, 2)});
+        // TOPs/W is a rate, recorded in the throughput slot.
+        rep.add("fig5/tops_per_watt",
+                {{"device", d.name}, {"kind", d.kind}}, 0.0,
+                d.int8Tops / d.watts);
     }
     t.print(std::cout);
 
@@ -49,5 +54,5 @@ main()
               << ", FPGA: " << fmtF(best_fpga, 2) << "\n"
               << "Takeaway (paper): AI ASICs deliver the best energy "
                  "efficiency among practical devices.\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

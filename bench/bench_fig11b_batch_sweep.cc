@@ -11,9 +11,10 @@
 #include "tpu/sim.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "fig11b_batch_sweep");
     bench::banner("Figure 11b",
                   "NTT throughput vs batch size (normalised to batch 1)",
                   bench::kSimNote);
@@ -54,6 +55,10 @@ main()
                 peak_batch[i] = batch;
             }
             row.push_back(fmtF(run.itemsPerSec / base[i], 2));
+            rep.addUs("fig11b/ntt",
+                      {{"set", sets[i].name},
+                       {"batch", std::to_string(batch)}},
+                      run.perItemUs, run.itemsPerSec);
         }
         t.row(row);
     }
@@ -67,5 +72,5 @@ main()
     std::cout << "\nPaper (one v6e core): 32 (7.7x) / 16 (2.9x) / 16 "
                  "(1.5x) / 8 (1.4x). Shape: higher degrees peak at "
                  "smaller batches and gain less.\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

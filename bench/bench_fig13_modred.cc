@@ -30,8 +30,9 @@ const Alg kAlgs[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter rep(argc, argv, "fig13_modred");
     bench::banner("Figure 13a/13b",
                   "modular reduction ablation: VecModMul and NTT vs batch",
                   bench::kSimNote);
@@ -52,8 +53,12 @@ main()
                 cfg.modred = alg.modred;
                 lowering::Lowering lower(dev, cfg);
                 const auto k = lower.vecModMul(n, 2 * limbs);
-                row.push_back(
-                    fmtUs(tpu::runBatched(dev, k, batch).perItemUs));
+                const double us = tpu::runBatched(dev, k, batch).perItemUs;
+                row.push_back(fmtUs(us));
+                rep.addUs("fig13a/vecmodmul",
+                          {{"modred", alg.name},
+                           {"batch", std::to_string(batch)}},
+                          us);
             }
             t.row(row);
         }
@@ -88,8 +93,12 @@ main()
                     cfg.useBat = false;
                 lowering::Lowering lower(dev, cfg);
                 const auto k = lower.ntt(n, 256, limbs);
-                row.push_back(fmtF(
-                    tpu::runBatched(dev, k, batch).perItemUs / ref, 2));
+                const double us = tpu::runBatched(dev, k, batch).perItemUs;
+                row.push_back(fmtF(us / ref, 2));
+                rep.addUs("fig13b/ntt",
+                          {{"modred", alg.name},
+                           {"batch", std::to_string(batch)}},
+                          us);
             }
             t.row(row);
         }
@@ -99,5 +108,5 @@ main()
                      "Shape: the BAT-optimised MatMul magnifies the gap "
                      "between Montgomery and Shoup.\n";
     }
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

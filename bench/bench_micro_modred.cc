@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "gbench_main.h"
 #include "cross/bat.h"
 #include "cross/lazy_reduce.h"
 #include "cross/sparse_baseline.h"
@@ -181,4 +182,4 @@ BENCHMARK(BM_FallbackChunkConv);
 
 } // namespace
 
-BENCHMARK_MAIN();
+CROSS_BENCHMARK_MAIN("micro_modred");

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "gbench_main.h"
 #include "nt/primes.h"
 #include "poly/ntt_3step.h"
 #include "poly/ntt_4step.h"
@@ -108,4 +109,4 @@ BENCHMARK(BM_BConv)->Arg(4)->Arg(8)->Arg(12);
 
 } // namespace
 
-BENCHMARK_MAIN();
+CROSS_BENCHMARK_MAIN("micro_ntt");

@@ -18,9 +18,10 @@
 #include "tpu/sim.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "table05_bat_matmul");
     bench::banner("Table V", "BAT vs sparse baseline ModMatMul latency",
                   bench::kSimNote);
 
@@ -39,8 +40,10 @@ main()
         std::cout << "functional check (32x24x16, q=2^28-ish): BAT "
                   << (bat_ok ? "exact" : "MISMATCH") << ", sparse baseline "
                   << (sparse_ok ? "exact" : "MISMATCH") << "\n";
-        if (!bat_ok || !sparse_ok)
+        if (!bat_ok || !sparse_ok) {
+            rep.cancel();
             return 1;
+        }
     }
 
     lowering::Config bat_cfg;
@@ -61,10 +64,16 @@ main()
                std::to_string(row.w), fmtUs(bus), fmtUs(cus),
                fmtX(bus / cus), fmtUs(row.baselineUs), fmtUs(row.batUs),
                fmtX(row.baselineUs / row.batUs)});
+        const std::string shape = std::to_string(row.h) + "x" +
+            std::to_string(row.v) + "x" + std::to_string(row.w);
+        rep.addUs("table5/modmatmul",
+                  {{"shape", shape}, {"lowering", "sparse"}}, bus);
+        rep.addUs("table5/modmatmul",
+                  {{"shape", shape}, {"lowering", "bat"}}, cus);
     }
     t.print(std::cout);
     std::cout << "\nShape check: BAT wins everywhere; speedup grows with "
                  "matrix size as the kernels leave the memory-bound "
                  "regime (paper band 1.26x-1.62x).\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

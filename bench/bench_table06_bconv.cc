@@ -15,9 +15,10 @@
 #include "tpu/sim.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "table06_bconv");
     bench::banner("Table VI", "BConv with vs without BAT",
                   bench::kSimNote);
 
@@ -48,8 +49,10 @@ main()
         }
         std::cout << "functional check (4 -> 6 limbs vs BigUInt): "
                   << (ok ? "exact" : "MISMATCH") << "\n";
-        if (!ok)
+        if (!ok) {
+            rep.cancel();
             return 1;
+        }
     }
 
     lowering::Config bat_cfg, base_cfg;
@@ -69,6 +72,16 @@ main()
                fmtUs(bus), fmtUs(cus), fmtX(bus / cus),
                fmtUs(row.baselineUs), fmtUs(row.batUs),
                fmtX(row.baselineUs / row.batUs)});
+        rep.addUs("table6/bconv",
+                  {{"limbs_in", std::to_string(row.limbsIn)},
+                   {"limbs_out", std::to_string(row.limbsOut)},
+                   {"lowering", "baseline"}},
+                  bus);
+        rep.addUs("table6/bconv",
+                  {{"limbs_in", std::to_string(row.limbsIn)},
+                   {"limbs_out", std::to_string(row.limbsOut)},
+                   {"lowering", "bat"}},
+                  cus);
     }
     t.print(std::cout);
     std::cout << "\nShape check: moving BConv step 2 from the VPU to the "
@@ -76,5 +89,5 @@ main()
                  "paper's first two rows use wider (double-rescaled) "
                  "moduli, which our equal-width sweep does not replicate; "
                  "the speedup band is the comparable quantity.\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

@@ -39,8 +39,9 @@ peakKnttPerSec(const tpu::DeviceConfig &dev, u32 n)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::Reporter rep(argc, argv, "table07_ntt_throughput");
     bench::banner("Table VII + Fig. 11a",
                   "NTT throughput (kNTT/s) vs GPU baselines",
                   bench::kSimNote);
@@ -57,8 +58,13 @@ main()
     std::vector<std::array<double, 3>> measured;
     for (const auto &dev : tpu::allTpus()) {
         std::array<double, 3> k{};
-        for (int i = 0; i < 3; ++i)
+        for (int i = 0; i < 3; ++i) {
             k[i] = peakKnttPerSec(dev, degrees[i]);
+            rep.add("table7/ntt_throughput",
+                    {{"device", dev.name},
+                     {"n", std::to_string(degrees[i])}},
+                    0.0, k[i] * 1e3);
+        }
         measured.push_back(k);
         t.row({dev.name + " (" + dev.vmSetup + ")", fmtF(k[0], 0),
                fmtF(k[1], 0), fmtF(k[2], 0), "simulated"});
@@ -94,5 +100,5 @@ main()
               << fmtX(v6e[2] / wd_k[2]) << " at N=2^14\n"
               << "Paper: 1.2x / 0.82x / 0.38x -- CROSS wins at small "
                  "degrees and cedes at N=2^14 (O(N^1.5) vs O(N log N)).\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

@@ -13,9 +13,10 @@
 #include "tpu/sim.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "table09_bootstrap");
     bench::banner("Table IX",
                   "packed CKKS bootstrapping latency + breakdown (Set D)",
                   bench::kSimNote);
@@ -36,6 +37,7 @@ main()
         const double ms = est.totalUs / 1000.0 / dev.defaultTcCount;
         t.row({dev.name + " (" + dev.vmSetup + ")", fmtF(ms, 1),
                "simulated"});
+        rep.addUs("table9/bootstrap", {{"device", dev.name}}, ms * 1e3);
         if (dev.name == "TPUv6e") {
             v6e_ms = ms;
             v6e_est = est;
@@ -64,5 +66,5 @@ main()
                  "permutations).\n"
               << "HE ops in pipeline: " << v6e_est.heOps
               << ", kernel launches: " << v6e_est.kernelLaunches << "\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

@@ -13,9 +13,10 @@
 #include "tpu/sim.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "tableX_ct_vs_mat");
     bench::banner("Table X (appendix)",
                   "radix-2 CT NTT vs MAT 3-step NTT on TPUv4, 128-batch",
                   bench::kSimNote);
@@ -39,10 +40,13 @@ main()
                std::to_string(n / row.r), fmtUs(cus), fmtUs(mus),
                fmtX(cus / mus, 1), fmtUs(row.radix2Us), fmtUs(row.matUs),
                fmtX(row.radix2Us / row.matUs, 1)});
+        const std::string logn = "2^" + std::to_string(row.logN);
+        rep.addUs("tableX/ntt", {{"n", logn}, {"algo", "radix2"}}, cus);
+        rep.addUs("tableX/ntt", {{"n", logn}, {"algo", "mat"}}, mus);
     }
     t.print(std::cout);
     std::cout << "\nShape check: the butterfly NTT's per-stage "
                  "bit-complement shuffles dominate on the coarse-grained "
                  "XLU despite the lower arithmetic complexity.\n";
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

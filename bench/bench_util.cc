@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Implementation of the --json benchmark reporter (see bench_util.h).
+ */
+#include "bench_util.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cross::bench {
+
+namespace {
+
+/** Format a double as a JSON number (JSON has no NaN/Inf). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+Reporter::Reporter(int &argc, char **argv, std::string bench_name)
+    : benchName_(std::move(bench_name))
+{
+    // Consume --json <path> / --json=<path>, compacting argv in place.
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--json") == 0) {
+            if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+                // Refuse to eat a following flag as the output path.
+                std::cerr << argv[0] << ": error: --json requires a path\n";
+                std::exit(2);
+            }
+            path_ = argv[++i];
+        } else if (std::strncmp(arg, "--json=", 7) == 0) {
+            path_ = arg + 7;
+            if (path_.empty()) {
+                std::cerr << argv[0] << ": error: --json requires a path\n";
+                std::exit(2);
+            }
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    // Fail fast on an unwritable path: a benchmark that cannot deliver
+    // the artifact it was asked for must not exit 0 after a full run.
+    // flush() writes path + ".tmp" then renames, so probe exactly that.
+    if (!path_.empty()) {
+        const std::string tmp = path_ + ".tmp";
+        // Existence (not readability) check: an unreadable-but-present
+        // file must never be mistaken for absent and deleted below.
+        std::error_code ec;
+        const bool existed = std::filesystem::exists(tmp, ec) || ec;
+        std::ofstream probe(tmp, std::ios::app);
+        if (!probe) {
+            std::cerr << argv[0] << ": error: cannot open " << tmp
+                      << " for writing\n";
+            std::exit(2);
+        }
+        probe.close();
+        if (!existed)
+            std::remove(tmp.c_str()); // the probe created it; undo
+    }
+}
+
+Reporter::~Reporter()
+{
+    try {
+        flush();
+    } catch (...) {
+        // A failed report must not terminate the benchmark.
+    }
+}
+
+void
+Reporter::add(Record r)
+{
+    if (!std::isfinite(r.nsPerOp) || !std::isfinite(r.itemsPerSec)) {
+        // A NaN/Inf must not enter the artifact as a plausible number.
+        std::cerr << "[bench] dropping non-finite record '" << r.name
+                  << "'\n";
+        return;
+    }
+    records_.push_back(std::move(r));
+}
+
+void
+Reporter::add(std::string name,
+              std::vector<std::pair<std::string, std::string>> params,
+              double ns_per_op, double items_per_sec)
+{
+    // Route through add(Record) so the non-finite guard always applies.
+    add(Record{std::move(name), std::move(params), ns_per_op,
+               items_per_sec});
+}
+
+void
+Reporter::addUs(std::string name,
+                std::vector<std::pair<std::string, std::string>> params,
+                double us_per_op, double items_per_sec)
+{
+    add(std::move(name), std::move(params), us_per_op * 1e3, items_per_sec);
+}
+
+bool
+Reporter::flush()
+{
+    if (path_.empty() || flushed_)
+        return true;
+    flushed_ = true; // one attempt; the destructor must not retry
+    if (records_.empty()) {
+        // A run that measured nothing (e.g. a --benchmark_filter that
+        // matched no benchmark) must not replace a good artifact.
+        std::cerr << "[bench] no records captured; not writing " << path_
+                  << "\n";
+        return false;
+    }
+    const std::string tmp = path_ + ".tmp";
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) {
+        std::cerr << "[bench] cannot open " << tmp << " for writing\n";
+        return false;
+    }
+    os << "{\n"
+       << "  \"schema\": \"cross-bench-v1\",\n"
+       << "  \"bench\": \"" << jsonEscape(benchName_) << "\",\n"
+       << "  \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+        const Record &r = records_[i];
+        os << "    {\"name\": \"" << jsonEscape(r.name) << "\", "
+           << "\"params\": {";
+        for (size_t p = 0; p < r.params.size(); ++p) {
+            os << (p ? ", " : "") << "\"" << jsonEscape(r.params[p].first)
+               << "\": \"" << jsonEscape(r.params[p].second) << "\"";
+        }
+        os << "}, \"ns_per_op\": " << jsonNumber(r.nsPerOp)
+           << ", \"items_per_sec\": " << jsonNumber(r.itemsPerSec) << "}"
+           << (i + 1 < records_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    os.flush();
+    if (!os.good()) {
+        os.close();
+        std::remove(tmp.c_str());
+        std::cerr << "[bench] write to " << tmp << " failed\n";
+        return false;
+    }
+    os.close();
+    if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        std::cerr << "[bench] cannot rename " << tmp << " to " << path_
+                  << "\n";
+        return false;
+    }
+    std::cerr << "[bench] wrote " << records_.size() << " record(s) to "
+              << path_ << "\n";
+    return true;
+}
+
+} // namespace cross::bench

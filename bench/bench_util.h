@@ -1,18 +1,117 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses in bench/. Every binary
- * regenerates one table or figure of the paper and prints a banner
- * stating what it reproduces and on which substrate (simulated TPU vs
- * host CPU), so bench_output.txt reads as a self-contained lab notebook.
+ * Shared harness for the experiment binaries in bench/.
+ *
+ * Every binary regenerates one table or figure of the paper and prints a
+ * banner stating what it reproduces and on which substrate (simulated
+ * TPU vs host CPU), so bench_output.txt reads as a self-contained lab
+ * notebook.
+ *
+ * In addition to the human-readable tables, every benchmark accepts
+ *
+ *     --json <path>   (or --json=<path>)
+ *
+ * and then also emits a machine-readable JSON file of BENCH records:
+ *
+ *     {
+ *       "schema": "cross-bench-v1",
+ *       "bench": "<binary name>",
+ *       "records": [
+ *         {"name": "...", "params": {"k": "v", ...},
+ *          "ns_per_op": 123.4, "items_per_sec": 5.6e6},
+ *         ...
+ *       ]
+ *     }
+ *
+ * so the perf trajectory of the repo can accumulate as BENCH_*.json
+ * artifacts across PRs. A Reporter with no --json flag is inert; the
+ * tables keep printing either way.
  */
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
 
 namespace cross::bench {
+
+/** One benchmark measurement destined for the JSON file. */
+struct Record
+{
+    /** Metric name, e.g. "fig13a/vecmodmul". */
+    std::string name;
+    /** Free-form parameter key/value pairs, e.g. {"batch", "64"}. */
+    std::vector<std::pair<std::string, std::string>> params;
+    /** Nanoseconds per operation (0 when the metric is a pure rate). */
+    double nsPerOp = 0.0;
+    /** Operations per second (0 when unknown). */
+    double itemsPerSec = 0.0;
+};
+
+/**
+ * Collects Records and writes them as JSON when --json was requested.
+ *
+ * The constructor scans argv for `--json <path>` / `--json=<path>`,
+ * consumes the flag (compacting argc/argv in place so downstream parsers
+ * such as Google Benchmark never see it) and leaves every other argument
+ * untouched. The file is written by flush(), or by the destructor if the
+ * benchmark forgot.
+ */
+class Reporter
+{
+  public:
+    /** @param bench_name value of the "bench" key, e.g. "fig13_modred" */
+    Reporter(int &argc, char **argv, std::string bench_name);
+
+    Reporter(const Reporter &) = delete;
+    Reporter &operator=(const Reporter &) = delete;
+
+    ~Reporter();
+
+    /** True when --json was passed. */
+    bool jsonRequested() const { return !path_.empty(); }
+
+    /** Append one record. */
+    void add(Record r);
+
+    /** Convenience: append a record with a time in nanoseconds. */
+    void add(std::string name,
+             std::vector<std::pair<std::string, std::string>> params,
+             double ns_per_op, double items_per_sec = 0.0);
+
+    /** Convenience: append a record with a time in microseconds. */
+    void addUs(std::string name,
+               std::vector<std::pair<std::string, std::string>> params,
+               double us_per_op, double items_per_sec = 0.0);
+
+    /**
+     * Write the JSON file now (no-op without --json). Writes to a temp
+     * file and renames over the target so a failed write never destroys
+     * a previous good artifact, and refuses to write when no records
+     * were captured. @return true unless a requested write failed or
+     * captured no records (a no---json run and a cancel()led reporter
+     * both return true).
+     */
+    bool flush();
+
+    /**
+     * Suppress the file write entirely. Call on a failure exit so a
+     * partial/empty report never clobbers a previous good artifact.
+     */
+    void cancel() { flushed_ = true; }
+
+  private:
+    std::string benchName_;
+    std::string path_;
+    std::vector<Record> records_;
+    bool flushed_ = false;
+};
+
+/** JSON string escaping (quotes, backslashes, control characters). */
+std::string jsonEscape(const std::string &s);
 
 /** Print the experiment banner. */
 inline void

@@ -11,9 +11,10 @@
 #include "workloads/ml_workloads.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace cross;
+    bench::Reporter rep(argc, argv, "workloads_ml");
     bench::banner("Section V-D (MNIST + HELR)",
                   "HE ML workload latency estimates",
                   bench::kSimNote);
@@ -35,6 +36,8 @@ main()
                   << fmtF(est.perItemUs / 1000, 1)
                   << " ms (paper: 270 ms, 10x faster than Orion; "
                   << est.heOps << " HE ops total)\n\n";
+        rep.addUs("workloads/mnist_per_image", {{"device", "v6e-8"}},
+                  est.perItemUs, 1e6 / est.perItemUs);
     }
 
     // HELR on one v6e tensor core.
@@ -51,6 +54,8 @@ main()
         std::cout << "Iteration latency: " << fmtF(est.totalUs / 1000, 1)
                   << " ms (paper: 84 ms per iteration, 1.06x Cheddar's "
                      "throughput/W)\n";
+        rep.addUs("workloads/helr_iteration", {{"device", "v6e-1TC"}},
+                  est.totalUs);
     }
-    return 0;
+    return rep.flush() ? 0 : 1;
 }

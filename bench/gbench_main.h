@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Drop-in main() for the Google-Benchmark-based microbenchmarks that
+ * adds the shared `--json <path>` mode of bench_util.h on top of the
+ * normal --benchmark_* flags.
+ *
+ * Usage (instead of BENCHMARK_MAIN()):
+ *
+ *     CROSS_BENCHMARK_MAIN("micro_ntt");
+ *
+ * The Reporter consumes --json before benchmark::Initialize() sees it;
+ * stdout keeps honouring --benchmark_format (console and json are
+ * wrapped for capture; other formats run natively and reject --json).
+ * Each real benchmark run is mirrored into one Record: "BM_Foo/1024"
+ * becomes name "BM_Foo" with param args="1024", ns/op is the
+ * per-iteration real time and items_per_sec comes from
+ * SetItemsProcessed() when present. Aggregate rows from
+ * --benchmark_repetitions are derived statistics, not measurements,
+ * and are not mirrored.
+ */
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace cross::bench {
+
+/**
+ * True when a run produced no usable measurement. Google Benchmark
+ * renamed Run::error_occurred to Run::skipped in v1.8.0; expression
+ * SFINAE keeps this header building against both generations.
+ */
+template <typename R>
+inline auto
+runWasSkipped(const R &run, int) -> decltype(bool(run.error_occurred))
+{
+    return run.error_occurred;
+}
+
+template <typename R>
+inline auto
+runWasSkipped(const R &run, long) -> decltype((void)run.skipped, bool())
+{
+    return static_cast<int>(run.skipped) != 0;
+}
+
+/**
+ * Display reporter that mirrors every real run into a Reporter and
+ * delegates the actual console/json rendering to the wrapped reporter,
+ * so --benchmark_format keeps working under --json.
+ */
+class JsonCaptureReporter : public benchmark::BenchmarkReporter
+{
+  public:
+    JsonCaptureReporter(Reporter &rep,
+                        std::unique_ptr<benchmark::BenchmarkReporter> inner)
+        : rep_(rep), inner_(std::move(inner))
+    {
+    }
+
+    bool
+    ReportContext(const Context &context) override
+    {
+        inner_->SetOutputStream(&GetOutputStream());
+        inner_->SetErrorStream(&GetErrorStream());
+        return inner_->ReportContext(context);
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (runWasSkipped(run, 0) || run.run_type == Run::RT_Aggregate)
+                continue;
+            Record r;
+            const std::string full = run.benchmark_name();
+            const auto slash = full.find('/');
+            r.name = full.substr(0, slash);
+            if (slash != std::string::npos)
+                r.params.emplace_back("args", full.substr(slash + 1));
+            // Under --benchmark_repetitions the N runs share name and
+            // args; the index keeps their records distinguishable.
+            if (run.repetitions > 1)
+                r.params.emplace_back(
+                    "rep", std::to_string(run.repetition_index));
+            if (run.iterations > 0)
+                r.nsPerOp = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e9;
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                r.itemsPerSec = it->second.value;
+            rep_.add(std::move(r));
+        }
+        inner_->ReportRuns(runs);
+    }
+
+    void Finalize() override { inner_->Finalize(); }
+
+  private:
+    Reporter &rep_;
+    std::unique_ptr<benchmark::BenchmarkReporter> inner_;
+};
+
+/** Truthiness of a bool-flag value, per Google Benchmark's rules. */
+inline bool
+boolValueIsTruthy(std::string v)
+{
+    if (v.empty())
+        return true;
+    for (char &c : v)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    if (v.size() == 1)
+        return std::isalnum(static_cast<unsigned char>(v[0])) &&
+            v != "0" && v != "f" && v != "n";
+    return v != "false" && v != "no" && v != "off";
+}
+
+/** Truthiness of a "--flag[=value]" arg. */
+inline bool
+boolFlagIsTruthy(const char *arg)
+{
+    const char *eq = std::strchr(arg, '=');
+    return eq == nullptr || boolValueIsTruthy(eq + 1);
+}
+
+/** True when @p arg is exactly "--<name>" or "--<name>=...". */
+inline bool
+matchesFlag(const char *arg, const char *name)
+{
+    const size_t n = std::strlen(name);
+    return std::strncmp(arg, name, n) == 0 &&
+        (arg[n] == '\0' || arg[n] == '=');
+}
+
+/** Shared main body: --json capture around RunSpecifiedBenchmarks. */
+inline int
+gbenchMain(int argc, char **argv, const char *bench_name)
+{
+    Reporter rep(argc, argv, bench_name);
+    // Note display-affecting flags before Initialize eats them. Google
+    // Benchmark reads flag defaults from env vars; argv overrides each
+    // flag independently, so track the two aggregate flags separately.
+    std::string fmt = "console";
+    bool report_agg = false, display_agg = false;
+    if (const char *env = std::getenv("BENCHMARK_FORMAT"))
+        fmt = env;
+    if (const char *env = std::getenv("BENCHMARK_REPORT_AGGREGATES_ONLY"))
+        report_agg = boolValueIsTruthy(env);
+    if (const char *env = std::getenv("BENCHMARK_DISPLAY_AGGREGATES_ONLY"))
+        display_agg = boolValueIsTruthy(env);
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--benchmark_format=", 19) == 0)
+            fmt = argv[i] + 19;
+        else if (matchesFlag(argv[i], "--benchmark_report_aggregates_only"))
+            report_agg = boolFlagIsTruthy(argv[i]);
+        else if (matchesFlag(argv[i],
+                             "--benchmark_display_aggregates_only"))
+            display_agg = boolFlagIsTruthy(argv[i]);
+    }
+    const bool aggregates_only = report_agg || display_agg;
+    if (aggregates_only && rep.jsonRequested()) {
+        // Those flags starve the display reporter of the per-run results
+        // the JSON records mirror; a good run would capture nothing.
+        std::cerr << argv[0] << ": error: --json captures per-run records "
+                  << "and is not supported with aggregates-only "
+                  << "reporting\n";
+        rep.cancel();
+        return 1;
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+        rep.cancel(); // do not clobber a previous good artifact
+        benchmark::Shutdown();
+        return 1;
+    }
+    if (!rep.jsonRequested()) {
+        // No capture needed: fully native behaviour, any format.
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+        return 0;
+    }
+    if (fmt != "console" && fmt != "json") {
+        // Formats we cannot wrap (e.g. csv) cannot be captured.
+        std::cerr << argv[0] << ": error: --json is not supported "
+                  << "with --benchmark_format=" << fmt << "\n";
+        rep.cancel();
+        benchmark::Shutdown();
+        return 1;
+    }
+    std::unique_ptr<benchmark::BenchmarkReporter> inner;
+    if (fmt == "json")
+        inner = std::make_unique<benchmark::JSONReporter>();
+    else
+        inner = std::make_unique<benchmark::ConsoleReporter>();
+    JsonCaptureReporter capture(rep, std::move(inner));
+    benchmark::RunSpecifiedBenchmarks(&capture);
+    const bool ok = rep.flush();
+    benchmark::Shutdown();
+    return ok ? 0 : 1;
+}
+
+} // namespace cross::bench
+
+#define CROSS_BENCHMARK_MAIN(name)                                          \
+    int main(int argc, char **argv)                                         \
+    {                                                                       \
+        return cross::bench::gbenchMain(argc, argv, name);                  \
+    }

@@ -1,0 +1,34 @@
+# Test driver for the bench_smoke CTest entry: runs a benchmark binary
+# in --json mode and validates the emitted file parses as JSON and
+# contains at least one record. Invoked as
+#   cmake -DBENCH_BIN=... -DOUT_JSON=... [-DBENCH_ARGS=a;b;c] -P RunBenchSmoke.cmake
+
+if(NOT BENCH_BIN OR NOT OUT_JSON)
+    message(FATAL_ERROR "RunBenchSmoke.cmake requires BENCH_BIN and OUT_JSON")
+endif()
+
+file(REMOVE "${OUT_JSON}")
+
+execute_process(
+    COMMAND "${BENCH_BIN}" --json "${OUT_JSON}" ${BENCH_ARGS}
+    RESULT_VARIABLE rv)
+if(NOT rv EQUAL 0)
+    message(FATAL_ERROR "${BENCH_BIN} exited with ${rv}")
+endif()
+
+if(NOT EXISTS "${OUT_JSON}")
+    message(FATAL_ERROR "--json did not produce ${OUT_JSON}")
+endif()
+
+file(READ "${OUT_JSON}" content)
+
+# string(JSON) fatally errors on malformed JSON, which is the check.
+string(JSON bench_name GET "${content}" "bench")
+string(JSON record_count LENGTH "${content}" "records")
+if(record_count LESS 1)
+    message(FATAL_ERROR "no benchmark records in ${OUT_JSON}")
+endif()
+string(JSON first_ns GET "${content}" "records" 0 "ns_per_op")
+
+message(STATUS "bench '${bench_name}': ${record_count} record(s), "
+               "first ns_per_op=${first_ns}")

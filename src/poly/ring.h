@@ -155,4 +155,12 @@ class RnsPoly
 std::vector<u32> negacyclicMulSchoolbook(const std::vector<u32> &a,
                                          const std::vector<u32> &b, u64 q);
 
+/**
+ * Reference negacyclic product via Karatsuba (O(N^1.585)); bit-identical
+ * to negacyclicMulSchoolbook but fast enough to serve as ground truth at
+ * N >= 4096, where schoolbook's 16M+ modmuls per call dominate test time.
+ */
+std::vector<u32> negacyclicMulKaratsuba(const std::vector<u32> &a,
+                                        const std::vector<u32> &b, u64 q);
+
 } // namespace cross::poly

@@ -60,13 +60,11 @@ TEST_P(NttCtTest, RoundTrip)
 TEST_P(NttCtTest, PointwiseMultIsNegacyclicConvolution)
 {
     const u32 n = GetParam();
-    if (n > 512)
-        GTEST_SKIP() << "schoolbook too slow";
     const u32 q = testPrime(n);
     NttTables tab(n, q);
     auto a = randomPoly(n, q, n + 1);
     auto b = randomPoly(n, q, n + 2);
-    const auto expect = negacyclicMulSchoolbook(a, b, q);
+    const auto expect = negacyclicMulKaratsuba(a, b, q);
 
     forwardInPlace(a.data(), tab);
     forwardInPlace(b.data(), tab);
@@ -120,6 +118,21 @@ TEST(Schoolbook, NegacyclicWraparound)
     EXPECT_EQ(z[0], q - 1);
     for (u32 i = 1; i < n; ++i)
         EXPECT_EQ(z[i], 0u);
+}
+
+// The fast reference must be bit-identical to schoolbook, including at
+// sizes that exercise both the recursion and the odd-length fallback.
+TEST(Karatsuba, MatchesSchoolbook)
+{
+    // 66 halves to 33, hitting the odd-length schoolbook fallback.
+    for (u32 n : {8u, 66u, 96u, 256u, 512u}) {
+        const u32 q = testPrime(256); // any NTT prime works as a modulus
+        const auto a = randomPoly(n, q, 11 * n);
+        const auto b = randomPoly(n, q, 11 * n + 1);
+        EXPECT_EQ(negacyclicMulKaratsuba(a, b, q),
+                  negacyclicMulSchoolbook(a, b, q))
+            << "n=" << n;
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -202,8 +215,6 @@ TEST_P(ThreeStepTest, LayoutInvariantPipeline)
     // NTT -> pointwise multiply -> INTT entirely in 3-step form equals the
     // negacyclic ring product; no permutation anywhere in the pipeline.
     const auto [n, r] = GetParam();
-    if (n > 512)
-        GTEST_SKIP() << "schoolbook too slow";
     const u32 q = testPrime(n);
     NttTables tab(n, q);
     ThreeStepPlan plan(tab, r);
@@ -213,7 +224,7 @@ TEST_P(ThreeStepTest, LayoutInvariantPipeline)
     const auto eb = plan.forward(b);
     for (u32 i = 0; i < n; ++i)
         ea[i] = static_cast<u32>(nt::mulMod(ea[i], eb[i], q));
-    EXPECT_EQ(plan.inverse(ea), negacyclicMulSchoolbook(a, b, q));
+    EXPECT_EQ(plan.inverse(ea), negacyclicMulKaratsuba(a, b, q));
 }
 
 INSTANTIATE_TEST_SUITE_P(
