@@ -66,6 +66,52 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+u64
+consumeUintFlag(int &argc, char **argv, const std::string &name, u64 def)
+{
+    const std::string flag = "--" + name;
+    const std::string flag_eq = flag + "=";
+    std::string value;
+    bool found = false;
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (flag == arg) {
+            if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+                std::cerr << argv[0] << ": error: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            value = argv[++i];
+            found = true;
+        } else if (std::strncmp(arg, flag_eq.c_str(), flag_eq.size()) ==
+                   0) {
+            value = arg + flag_eq.size();
+            found = true;
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+
+    if (!found)
+        return def;
+    // strtoull silently wraps "-1"; require an all-digit value.
+    const bool all_digits = !value.empty() &&
+        value.find_first_not_of("0123456789") == std::string::npos;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+    if (!all_digits || end == nullptr || *end != '\0') {
+        std::cerr << argv[0] << ": error: " << flag
+                  << " expects a non-negative integer, got '" << value
+                  << "'\n";
+        std::exit(2);
+    }
+    return static_cast<u64>(v);
+}
+
 Reporter::Reporter(int &argc, char **argv, std::string bench_name)
     : benchName_(std::move(bench_name))
 {

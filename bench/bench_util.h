@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/table.h"
+#include "common/types.h"
 
 namespace cross::bench {
 
@@ -112,6 +113,16 @@ class Reporter
 
 /** JSON string escaping (quotes, backslashes, control characters). */
 std::string jsonEscape(const std::string &s);
+
+/**
+ * Scan argv for `--<name> <value>` / `--<name>=<value>`, consume the
+ * flag (compacting argc/argv in place, like Reporter does for --json)
+ * and return the parsed non-negative integer, or @p def when the flag
+ * is absent. Exits with an error on a malformed value. Used for the
+ * harness-wide `--threads` / `--batch` runtime configuration.
+ */
+u64 consumeUintFlag(int &argc, char **argv, const std::string &name,
+                    u64 def);
 
 /** Print the experiment banner. */
 inline void

@@ -1,0 +1,131 @@
+#include "ckks/batch_evaluator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace cross::ckks {
+
+BatchEvaluator::CtVec
+BatchEvaluator::mapBatch(
+    size_t count,
+    const std::function<Ciphertext(const CkksEvaluator &, size_t)> &fn)
+    const
+{
+    CtVec out(count);
+    // Per-item logs: merged in item order below, so the merged log is
+    // independent of scheduling (== the sequential log).
+    std::vector<KernelLog> logs(log_ ? count : 0);
+    parallelFor(0, count, [&](size_t i) {
+        CkksEvaluator ev(ctx_, log_ ? &logs[i] : nullptr);
+        out[i] = fn(ev, i);
+    });
+    if (log_) {
+        for (const auto &l : logs)
+            log_->append(l);
+    }
+    return out;
+}
+
+std::vector<KeySwitchPrecomp>
+BatchEvaluator::precompPerLevel(const SwitchKey &swk,
+                                const std::vector<size_t> &levels) const
+{
+    std::vector<KeySwitchPrecomp> pre;
+    if (levels.empty())
+        return pre;
+    const size_t max_level =
+        *std::max_element(levels.begin(), levels.end());
+    pre.resize(max_level + 1);
+    const CkksEvaluator ev(ctx_);
+    for (size_t level : levels) {
+        if (pre[level].extSlots.empty())
+            pre[level] = ev.precomputeKeySwitch(swk, level);
+    }
+    return pre;
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::add(const CtVec &a, const CtVec &b) const
+{
+    requireThat(a.size() == b.size(), "BatchEvaluator::add: size mismatch");
+    return mapBatch(a.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.add(a[i], b[i]);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::sub(const CtVec &a, const CtVec &b) const
+{
+    requireThat(a.size() == b.size(), "BatchEvaluator::sub: size mismatch");
+    return mapBatch(a.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.sub(a[i], b[i]);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::multiply(const CtVec &a, const CtVec &b,
+                         const SwitchKey &rlk) const
+{
+    requireThat(a.size() == b.size(),
+                "BatchEvaluator::multiply: size mismatch");
+    std::vector<size_t> levels(a.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        levels[i] = std::min(a[i].limbs(), b[i].limbs()) - 1;
+    const auto pre = precompPerLevel(rlk, levels);
+    return mapBatch(a.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.multiply(a[i], b[i], pre[levels[i]]);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::rescale(const CtVec &cts) const
+{
+    return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.rescale(cts[i]);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::rescaleMulti(const CtVec &cts) const
+{
+    return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.rescaleMulti(cts[i]);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::rotate(const CtVec &cts, u32 auto_idx,
+                       const SwitchKey &rot_key) const
+{
+    std::vector<size_t> levels(cts.size());
+    for (size_t i = 0; i < cts.size(); ++i)
+        levels[i] = cts[i].limbs() - 1;
+    const auto pre = precompPerLevel(rot_key, levels);
+    if (!cts.empty()) {
+        // Warm the shared automorphism index map once per batch.
+        (void)ctx_.ring().evalAutoMap(auto_idx);
+    }
+    return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.rotate(cts[i], auto_idx, pre[levels[i]]);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::addPlain(const CtVec &cts, const Plaintext &pt) const
+{
+    return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.addPlain(cts[i], pt);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::multiplyPlain(const CtVec &cts, const Plaintext &pt) const
+{
+    return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
+        return ev.multiplyPlain(cts[i], pt);
+    });
+}
+
+} // namespace cross::ckks

@@ -85,6 +85,9 @@ CkksContext::extendedSlots(size_t level) const
 const rns::BasisConversion &
 CkksContext::modUpConv(size_t j, size_t level) const
 {
+    // unique_ptr map values are address-stable, so returned references
+    // survive the lock; the fill itself is serialised.
+    std::lock_guard<std::mutex> lock(convCacheMutex_);
     const auto key = std::make_pair(j, level);
     auto it = modUpCache_.find(key);
     if (it != modUpCache_.end())
@@ -110,6 +113,7 @@ CkksContext::modUpConv(size_t j, size_t level) const
 const rns::BasisConversion &
 CkksContext::modDownConv(size_t level) const
 {
+    std::lock_guard<std::mutex> lock(convCacheMutex_);
     auto it = modDownCache_.find(level);
     if (it != modDownCache_.end())
         return *it->second;

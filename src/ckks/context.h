@@ -7,6 +7,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ckks/params.h"
@@ -59,7 +60,8 @@ class CkksContext
 
     /**
      * ModUp conversion for digit @p j at @p level: from the digit's
-     * moduli to the complement q-moduli + all p-moduli. Cached.
+     * moduli to the complement q-moduli + all p-moduli. Cached;
+     * thread-safe (parallel batch items share the cache).
      */
     const rns::BasisConversion &modUpConv(size_t j, size_t level) const;
 
@@ -76,6 +78,7 @@ class CkksContext
     std::vector<u64> pInvModQ_;
     // qInvModQ_[l][i] = q_l^-1 mod q_i
     std::vector<std::vector<u64>> qInvModQ_;
+    mutable std::mutex convCacheMutex_;
     mutable std::map<std::pair<size_t, size_t>,
                      std::unique_ptr<rns::BasisConversion>>
         modUpCache_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/timer.h"
 #include "nt/modops.h"
 #include "nt/shoup.h"
@@ -93,7 +94,15 @@ CkksEvaluator::multiplyNoRelin(const Ciphertext &a,
 Ciphertext
 CkksEvaluator::relinearize(const Ciphertext3 &c, const SwitchKey &rlk) const
 {
-    auto [k0, k1] = keySwitch(c.c2, rlk);
+    return relinearize(
+        c, precomputeKeySwitch(rlk, c.c2.limbCount() - 1));
+}
+
+Ciphertext
+CkksEvaluator::relinearize(const Ciphertext3 &c,
+                           const KeySwitchPrecomp &pre) const
+{
+    auto [k0, k1] = keySwitch(c.c2, pre);
     Ciphertext r;
     r.c0 = c.c0;
     r.c1 = c.c1;
@@ -114,6 +123,13 @@ CkksEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
 }
 
 Ciphertext
+CkksEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
+                        const KeySwitchPrecomp &pre) const
+{
+    return relinearize(multiplyNoRelin(a, b), pre);
+}
+
+Ciphertext
 CkksEvaluator::rescale(const Ciphertext &ct) const
 {
     const size_t limbs = ct.limbs();
@@ -129,7 +145,11 @@ CkksEvaluator::rescale(const Ciphertext &ct) const
         poly::inverseInPlace(last.data(), ctx_.ring().tables(l));
         logCall(KernelKind::Intt, 1, 0, ti.seconds());
 
-        for (size_t i = 0; i < l; ++i) {
+        // The per-limb fold is independent across target limbs; run it
+        // in parallel and emit the kernel log afterwards in limb order
+        // so the log stays deterministic under any thread count.
+        std::vector<double> ntt_secs(l, 0.0), vec_secs(l, 0.0);
+        parallelFor(0, l, [&](size_t i) {
             const u64 q_i = ctx_.qModulus(i);
             // Exact centered lift of [c]_{q_l} into q_i.
             WallTimer tn;
@@ -140,7 +160,7 @@ CkksEvaluator::rescale(const Ciphertext &ct) const
                     v > q_l / 2 ? q_i - ((q_l - v) % q_i) : v % q_i);
             }
             poly::forwardInPlace(lifted.data(), ctx_.ring().tables(i));
-            logCall(KernelKind::Ntt, 1, 0, tn.seconds());
+            ntt_secs[i] = tn.seconds();
 
             WallTimer tv;
             const u64 q = q_i;
@@ -153,8 +173,12 @@ CkksEvaluator::rescale(const Ciphertext &ct) const
                     nt::subMod(dst[n], lifted[n], q));
                 dst[n] = nt::shoupMul(diff, inv, static_cast<u32>(q));
             }
+            vec_secs[i] = tv.seconds();
+        });
+        for (size_t i = 0; i < l; ++i) {
+            logCall(KernelKind::Ntt, 1, 0, ntt_secs[i]);
             logCall(KernelKind::VecModSub, 1, 0, 0.0);
-            logCall(KernelKind::VecModMulConst, 1, 0, tv.seconds());
+            logCall(KernelKind::VecModMulConst, 1, 0, vec_secs[i]);
         }
         comp->dropLastLimb();
     }
@@ -178,13 +202,21 @@ Ciphertext
 CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
                       const SwitchKey &rot_key) const
 {
+    return rotate(ct, auto_idx,
+                  precomputeKeySwitch(rot_key, ct.limbs() - 1));
+}
+
+Ciphertext
+CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
+                      const KeySwitchPrecomp &pre) const
+{
     WallTimer t;
     RnsPoly r0 = ct.c0.automorphism(auto_idx);
     RnsPoly r1 = ct.c1.automorphism(auto_idx);
     logCall(KernelKind::Automorphism,
             static_cast<u32>(2 * ct.limbs()), 0, t.seconds());
 
-    auto [k0, k1] = keySwitch(r1, rot_key);
+    auto [k0, k1] = keySwitch(r1, pre);
     Ciphertext out;
     out.c0 = std::move(r0);
     WallTimer t2;
@@ -239,14 +271,63 @@ CkksEvaluator::reduceToLimbs(const Ciphertext &ct, size_t limbs) const
     return r;
 }
 
+KeySwitchPrecomp
+CkksEvaluator::precomputeKeySwitch(const SwitchKey &swk, size_t level) const
+{
+    const size_t d = ctx_.activeDigits(level);
+    requireThat(d <= swk.digits.size(),
+                "precomputeKeySwitch: not enough digits");
+    KeySwitchPrecomp pre;
+    pre.level = level;
+    pre.extSlots = ctx_.extendedSlots(level);
+    pre.keys.reserve(d);
+    for (size_t j = 0; j < d; ++j) {
+        pre.keys.emplace_back(
+            swk.digits[j].first.selectSlots(pre.extSlots),
+            swk.digits[j].second.selectSlots(pre.extSlots));
+        // Warm the conversion cache so parallel batch items hit only
+        // read paths.
+        (void)ctx_.modUpConv(j, level);
+    }
+    (void)ctx_.modDownConv(level);
+    return pre;
+}
+
 std::pair<RnsPoly, RnsPoly>
 CkksEvaluator::keySwitch(const RnsPoly &c, const SwitchKey &swk) const
+{
+    const size_t level = c.limbCount() - 1;
+    requireThat(ctx_.activeDigits(level) <= swk.digits.size(),
+                "keySwitch: not enough digits");
+    const auto ext_slots = ctx_.extendedSlots(level);
+    return keySwitchImpl(c, ext_slots, [&](size_t j) {
+        // One materialisation per digit, exactly as the pre-precomp
+        // code path did.
+        return std::make_pair(swk.digits[j].first.selectSlots(ext_slots),
+                              swk.digits[j].second.selectSlots(ext_slots));
+    });
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitch(const RnsPoly &c,
+                         const KeySwitchPrecomp &pre) const
+{
+    requireThat(c.limbCount() - 1 == pre.level,
+                "keySwitch: precomp level mismatch");
+    return keySwitchImpl(c, pre.extSlots, [&](size_t j) {
+        return pre.keys[j]; // copy of the batch-shared operands
+    });
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitchImpl(
+    const RnsPoly &c, const std::vector<u32> &ext_slots,
+    const std::function<std::pair<RnsPoly, RnsPoly>(size_t)> &key_at)
+    const
 {
     requireThat(c.isEval(), "keySwitch: input must be in eval domain");
     const size_t level = c.limbCount() - 1;
     const size_t d = ctx_.activeDigits(level);
-    requireThat(d <= swk.digits.size(), "keySwitch: not enough digits");
-    const auto ext_slots = ctx_.extendedSlots(level);
     const size_t ext = ext_slots.size();
 
     // INTT the input once; digits share the coefficient form.
@@ -274,11 +355,11 @@ CkksEvaluator::keySwitch(const RnsPoly &c, const SwitchKey &swk) const
 
         // Assemble the extended-basis digit polynomial in eval domain:
         // digit limbs come straight from c (already NTT'd), converted
-        // limbs are transformed individually.
+        // limbs are transformed limb-parallel after a sequential
+        // assignment pass (the conv_pos order is data-dependent).
         RnsPoly up(ctx_.ring(), ext_slots, true);
+        std::vector<size_t> conv_limbs;
         size_t conv_pos = 0;
-        double ntt_secs = 0;
-        u32 ntt_count = 0;
         for (size_t pos = 0; pos < ext; ++pos) {
             const u32 ring_idx = ext_slots[pos];
             const bool in_digit =
@@ -287,21 +368,23 @@ CkksEvaluator::keySwitch(const RnsPoly &c, const SwitchKey &swk) const
             if (in_digit) {
                 up.limb(pos) = c.limb(ring_idx);
             } else {
-                WallTimer tn;
                 up.limb(pos) = std::move(out[conv_pos++]);
-                poly::forwardInPlace(up.limb(pos).data(),
-                                     ctx_.ring().tables(ring_idx));
-                ntt_secs += tn.seconds();
-                ++ntt_count;
+                conv_limbs.push_back(pos);
             }
         }
         internalCheck(conv_pos == out.size(), "keySwitch: modup mismatch");
-        logCall(KernelKind::Ntt, ntt_count, 0, ntt_secs);
+        WallTimer tn;
+        parallelFor(0, conv_limbs.size(), [&](size_t ci) {
+            const size_t pos = conv_limbs[ci];
+            poly::forwardInPlace(up.limb(pos).data(),
+                                 ctx_.ring().tables(ext_slots[pos]));
+        });
+        logCall(KernelKind::Ntt, static_cast<u32>(conv_limbs.size()), 0,
+                tn.seconds());
 
         // Inner product with the digit's switching key.
         WallTimer tm;
-        RnsPoly kb = swk.digits[j].first.selectSlots(ext_slots);
-        RnsPoly ka = swk.digits[j].second.selectSlots(ext_slots);
+        auto [kb, ka] = key_at(j);
         kb.mulPointwiseInPlace(up);
         ka.mulPointwiseInPlace(up);
         logCall(KernelKind::VecModMul, static_cast<u32>(2 * ext), 0,
@@ -319,11 +402,11 @@ CkksEvaluator::keySwitch(const RnsPoly &c, const SwitchKey &swk) const
 
         WallTimer ti2;
         rns::LimbMatrix p_part(ctx_.pCount());
-        for (size_t jj = 0; jj < ctx_.pCount(); ++jj) {
+        parallelFor(0, ctx_.pCount(), [&](size_t jj) {
             p_part[jj] = acc.limb(level + 1 + jj);
             poly::inverseInPlace(p_part[jj].data(),
                                  ctx_.ring().tables(ctx_.pSlot(jj)));
-        }
+        });
         logCall(KernelKind::Intt, static_cast<u32>(ctx_.pCount()), 0,
                 ti2.seconds());
 
@@ -335,18 +418,19 @@ CkksEvaluator::keySwitch(const RnsPoly &c, const SwitchKey &swk) const
 
         WallTimer tn2;
         RnsPoly conv_q(ctx_.ring(), level + 1, true);
-        for (size_t i = 0; i <= level; ++i) {
+        parallelFor(0, level + 1, [&](size_t i) {
             conv_q.limb(i) = std::move(conv_out[i]);
             poly::forwardInPlace(conv_q.limb(i).data(),
                                  ctx_.ring().tables(i));
-        }
+        });
         logCall(KernelKind::Ntt, static_cast<u32>(level + 1), 0,
                 tn2.seconds());
 
         WallTimer tv;
         RnsPoly res(ctx_.ring(), level + 1, true);
-        for (size_t i = 0; i <= level; ++i)
+        parallelFor(0, level + 1, [&](size_t i) {
             res.limb(i) = acc.limb(i);
+        });
         res.subInPlace(conv_q);
         std::vector<u64> pinv(level + 1);
         for (size_t i = 0; i <= level; ++i)

@@ -12,12 +12,30 @@
  */
 #pragma once
 
+#include <functional>
+
 #include "ckks/ciphertext.h"
 #include "ckks/context.h"
 #include "ckks/kernel_log.h"
 #include "ckks/keys.h"
 
 namespace cross::ckks {
+
+/**
+ * Batch-reusable key-switching operands for one level: the extended
+ * slot list and the switching-key digits restricted to it. These are
+ * exactly the paramBytes the simulator's batching model
+ * (tpu::runBatched) streams once per batch -- the BatchEvaluator
+ * builds one per (key, level) and shares it across every ciphertext
+ * in the batch instead of re-selecting per operation.
+ */
+struct KeySwitchPrecomp
+{
+    size_t level = 0;
+    std::vector<u32> extSlots;
+    /** Per digit: (b, a) key halves pre-restricted to extSlots. */
+    std::vector<std::pair<poly::RnsPoly, poly::RnsPoly>> keys;
+};
 
 /** Homomorphic operator implementations. */
 class CkksEvaluator
@@ -36,9 +54,14 @@ class CkksEvaluator
                                 const Ciphertext &b) const;
     /** Key-switch the degree-2 term back to a 2-element ciphertext. */
     Ciphertext relinearize(const Ciphertext3 &c, const SwitchKey &rlk) const;
+    Ciphertext relinearize(const Ciphertext3 &c,
+                           const KeySwitchPrecomp &pre) const;
     /** multiplyNoRelin + relinearize. */
     Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
                         const SwitchKey &rlk) const;
+    /** Batched form: reuses a per-level precomputation (bit-identical). */
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b,
+                        const KeySwitchPrecomp &pre) const;
     /** Drop the last limb, dividing the scale by q_l. */
     Ciphertext rescale(const Ciphertext &ct) const;
     /**
@@ -50,6 +73,8 @@ class CkksEvaluator
     /** Slot rotation: automorphism + key switch. */
     Ciphertext rotate(const Ciphertext &ct, u32 auto_idx,
                       const SwitchKey &rot_key) const;
+    Ciphertext rotate(const Ciphertext &ct, u32 auto_idx,
+                      const KeySwitchPrecomp &pre) const;
     /** @} */
 
     /** @name Plaintext operands. @{ */
@@ -69,7 +94,32 @@ class CkksEvaluator
     std::pair<poly::RnsPoly, poly::RnsPoly>
     keySwitch(const poly::RnsPoly &c, const SwitchKey &swk) const;
 
+    /** Key switch against a shared per-level precomputation. */
+    std::pair<poly::RnsPoly, poly::RnsPoly>
+    keySwitch(const poly::RnsPoly &c, const KeySwitchPrecomp &pre) const;
+
+    /**
+     * Build the batch-reusable operands of keySwitch at @p level: the
+     * extended slot list, the key digits restricted to it, and a warm
+     * ModUp/ModDown conversion cache. Using the result is bit-identical
+     * to passing the SwitchKey directly.
+     */
+    KeySwitchPrecomp precomputeKeySwitch(const SwitchKey &swk,
+                                         size_t level) const;
+
   private:
+    /**
+     * Shared key-switch core. @p key_at materialises digit @p j's key
+     * pair restricted to @p ext_slots: the SwitchKey path selects
+     * slots directly (one materialisation, as ever), the precomp path
+     * copies the batch-shared operands.
+     */
+    std::pair<poly::RnsPoly, poly::RnsPoly> keySwitchImpl(
+        const poly::RnsPoly &c, const std::vector<u32> &ext_slots,
+        const std::function<
+            std::pair<poly::RnsPoly, poly::RnsPoly>(size_t)> &key_at)
+        const;
+
     void logCall(KernelKind kind, u32 limbs, u32 limbs_out,
                  double seconds) const;
 

@@ -64,6 +64,18 @@ class KernelLog
     const std::vector<KernelCall> &calls() const { return calls_; }
     void clear() { calls_.clear(); }
 
+    /**
+     * Append every call of @p o after this log's calls. The batch
+     * engine records each batch item into its own KernelLog and merges
+     * them in item order, so a parallel batched run produces exactly
+     * the log a sequential run would.
+     */
+    void
+    append(const KernelLog &o)
+    {
+        calls_.insert(calls_.end(), o.calls_.begin(), o.calls_.end());
+    }
+
     /** Total wall seconds attributed to @p kind. */
     double secondsFor(KernelKind kind) const;
 

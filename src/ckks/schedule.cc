@@ -15,6 +15,7 @@ heOpName(HeOp op)
       case HeOp::Mult: return "HE-Mult";
       case HeOp::Rescale: return "Rescale";
       case HeOp::Rotate: return "Rotate";
+      case HeOp::RescaleMulti: return "RescaleMulti";
     }
     return "?";
 }
@@ -103,6 +104,17 @@ enumerateKernels(HeOp op, const CkksParams &p, size_t level)
         auto ks = enumerateKeySwitch(p, level);
         v.insert(v.end(), ks.begin(), ks.end());
         push(v, KernelKind::VecModAdd, n, limbs);
+        break;
+      }
+
+      case HeOp::RescaleMulti: {
+        const u32 split = p.rescaleSplit;
+        requireThat(level >= split,
+                    "rescaleMulti needs level >= rescaleSplit");
+        for (u32 s = 0; s < split; ++s) {
+            auto one = enumerateKernels(HeOp::Rescale, p, level - s);
+            v.insert(v.end(), one.begin(), one.end());
+        }
         break;
       }
     }

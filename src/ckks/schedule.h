@@ -28,6 +28,9 @@ enum class HeOp
     Mult,
     Rescale,
     Rotate,
+    /** Double rescaling (Section V-A): params().rescaleSplit chained
+     *  single rescales dropping one sub-modulus each. */
+    RescaleMulti,
 };
 
 const char *heOpName(HeOp op);

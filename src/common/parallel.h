@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Work-stealing-free thread pool and parallel_for.
+ *
+ * The batched evaluation engine (ckks/batch_evaluator.h) and the
+ * limb-wise hot loops in poly/rns/ckks parallelise through this single
+ * global pool. Design constraints, in order:
+ *
+ *  1. Bit-exactness: iterations are partitioned into contiguous,
+ *     disjoint index ranges (static split, no stealing), so any HE
+ *     kernel parallelised here writes exactly the bytes the sequential
+ *     loop writes. threads == 1 (the default) runs the plain loop
+ *     inline -- byte-identical to the pre-parallel code path.
+ *  2. Determinism of the KernelLog: parallelism lives *inside* one
+ *     logged kernel (or uses per-task logs merged in order, see
+ *     BatchEvaluator); the pool itself never reorders observable work.
+ *  3. No oversubscription: a parallelFor issued from inside a pool
+ *     worker executes inline, so batch-level parallelism (outer) and
+ *     limb-level parallelism (inner) compose without spawning
+ *     threads^2 workers.
+ */
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace cross {
+
+/**
+ * Fixed-size pool of persistent workers. run(parts, fn) invokes
+ * fn(part) for part in [0, parts) -- part 0 on the calling thread,
+ * parts 1..n-1 on workers -- and blocks until all parts finish. The
+ * first exception thrown by any part is rethrown on the caller.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads total concurrency (1 = everything inline). */
+    explicit ThreadPool(u32 threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    u32 threadCount() const { return nthreads_; }
+
+    /**
+     * Execute fn(0..parts-1), each part exactly once, concurrently up
+     * to threadCount(). parts must be <= threadCount(); parallelFor
+     * handles the general chunking. Executes inline when the pool has
+     * one thread or when called from inside a pool worker. Concurrent
+     * external callers are serialised (the pool has one job slot), so
+     * independent application threads may share the global pool.
+     */
+    void run(u32 parts, const std::function<void(u32)> &fn);
+
+  private:
+    struct Impl;
+    Impl *impl_ = nullptr; // null when nthreads_ == 1
+    u32 nthreads_;
+};
+
+/** Threads used by parallelFor / the batch engine. Default 1. */
+u32 globalThreadCount();
+
+/**
+ * Resize the global pool (runtime config; benches expose it as
+ * --threads). Not safe to call concurrently with an active
+ * parallelFor. n == 0 is clamped to 1.
+ */
+void setGlobalThreadCount(u32 n);
+
+/** The pool behind parallelFor, sized by setGlobalThreadCount(). */
+ThreadPool &globalThreadPool();
+
+/** True on a pool worker thread (nested parallelFor runs inline). */
+bool inParallelRegion();
+
+/**
+ * Run body(lo, hi) over disjoint contiguous chunks covering
+ * [begin, end), at most globalThreadCount() chunks. The chunk
+ * boundaries depend only on (begin, end, thread count), never on
+ * scheduling -- deterministic work assignment.
+ */
+void parallelForRange(size_t begin, size_t end,
+                      const std::function<void(size_t, size_t)> &body);
+
+/** Run body(i) for every i in [begin, end) (chunked as above). */
+void parallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)> &body);
+
+} // namespace cross

@@ -7,7 +7,7 @@
 namespace cross::bat {
 
 u32
-chunkCount(u32 q, u32 bp)
+chunkCount(u64 q, u32 bp)
 {
     requireThat(bp >= 1 && bp <= 16, "chunkCount: bp out of range");
     const u32 bits = ilog2(q) + 1;
@@ -37,7 +37,7 @@ chunkMerge(const std::vector<u64> &chunks, u32 bp)
 }
 
 ByteMatrix
-directScalarBat(u32 a, u32 q, u32 k, u32 bp)
+directScalarBat(u64 a, u64 q, u32 k, u32 bp)
 {
     requireThat(a < q, "directScalarBat: operand must be < q");
     ByteMatrix m(k, k);

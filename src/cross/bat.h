@@ -41,8 +41,10 @@ struct ByteMatrix
     u8 at(size_t r, size_t c) const { return data[r * cols + c]; }
 };
 
-/** ceil(log2 q / bp): bytes per coefficient (K in the paper, Table I). */
-u32 chunkCount(u32 q, u32 bp = 8);
+/** ceil(log2 q / bp): bytes per coefficient (K in the paper, Table I).
+ *  Takes u64 so property tests can sweep moduli up to 2^60; production
+ *  CROSS moduli stay below 2^31. */
+u32 chunkCount(u64 q, u32 bp = 8);
 
 /** CHUNKDECOMPOSE (Alg. 2): split @p a into @p k bp-bit chunks, LSB first. */
 std::vector<u8> chunkDecompose(u64 a, u32 k, u32 bp = 8);
@@ -53,8 +55,10 @@ u64 chunkMerge(const std::vector<u64> &chunks, u32 bp = 8);
 /**
  * DIRECTSCALARBAT (Alg. 2): the K x K dense BAT matrix of a pre-known
  * scalar a modulo q. Column j holds the chunks of (a << 8j) mod q.
+ * Valid for any q < 2^63 (the randomized conformance tests sweep
+ * logq in [20, 60]; the MXU path itself uses q < 2^31).
  */
-ByteMatrix directScalarBat(u32 a, u32 q, u32 k, u32 bp = 8);
+ByteMatrix directScalarBat(u64 a, u64 q, u32 k, u32 bp = 8);
 
 /**
  * OFFLINECOMPILELEFT (Alg. 2): expand each scalar of a pre-known H x V

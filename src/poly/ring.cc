@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "nt/modops.h"
 
 namespace cross::poly {
@@ -20,6 +21,9 @@ Ring::Ring(u32 n, std::vector<u64> moduli)
 const CoeffAutoMap &
 Ring::coeffAutoMap(u32 k) const
 {
+    // Map nodes are address-stable, so the returned reference outlives
+    // the lock; only the lookup/fill needs serialising.
+    std::lock_guard<std::mutex> lock(autoCacheMutex_);
     auto it = coeffAutoCache_.find(k);
     if (it != coeffAutoCache_.end())
         return it->second;
@@ -44,6 +48,7 @@ Ring::coeffAutoMap(u32 k) const
 const std::vector<u32> &
 Ring::evalAutoMap(u32 k) const
 {
+    std::lock_guard<std::mutex> lock(autoCacheMutex_);
     auto it = evalAutoCache_.find(k);
     if (it != evalAutoCache_.end())
         return it->second;
@@ -154,14 +159,15 @@ RnsPoly::addInPlace(const RnsPoly &o)
 {
     internalCheck(eval_ == o.eval_ && limbs_.size() <= o.limbs_.size(),
                   "RnsPoly::add: domain/limb mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    for (size_t i = 0; i < limbs_.size(); ++i)
         internalCheck(slots_[i] == o.slots_[i], "RnsPoly::add: slots");
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const u64 q = limbModulus(i);
         for (u32 j = 0; j < ring_->degree(); ++j) {
             limbs_[i][j] = static_cast<u32>(
                 nt::addMod(limbs_[i][j], o.limbs_[i][j], q));
         }
-    }
+    });
 }
 
 void
@@ -169,24 +175,25 @@ RnsPoly::subInPlace(const RnsPoly &o)
 {
     internalCheck(eval_ == o.eval_ && limbs_.size() <= o.limbs_.size(),
                   "RnsPoly::sub: domain/limb mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    for (size_t i = 0; i < limbs_.size(); ++i)
         internalCheck(slots_[i] == o.slots_[i], "RnsPoly::sub: slots");
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const u64 q = limbModulus(i);
         for (u32 j = 0; j < ring_->degree(); ++j) {
             limbs_[i][j] = static_cast<u32>(
                 nt::subMod(limbs_[i][j], o.limbs_[i][j], q));
         }
-    }
+    });
 }
 
 void
 RnsPoly::negateInPlace()
 {
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const u64 q = limbModulus(i);
         for (auto &x : limbs_[i])
             x = static_cast<u32>(nt::negMod(x, q));
-    }
+    });
 }
 
 void
@@ -195,12 +202,13 @@ RnsPoly::mulPointwiseInPlace(const RnsPoly &o)
     internalCheck(eval_ && o.eval_, "mulPointwise: both must be in eval");
     internalCheck(limbs_.size() <= o.limbs_.size(),
                   "mulPointwise: limb mismatch");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    for (size_t i = 0; i < limbs_.size(); ++i)
         internalCheck(slots_[i] == o.slots_[i], "mulPointwise: slots");
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const auto &mont = ring_->basis().mont(slots_[i]);
         for (u32 j = 0; j < ring_->degree(); ++j)
             limbs_[i][j] = mont.mulPlain(limbs_[i][j], o.limbs_[i][j]);
-    }
+    });
 }
 
 void
@@ -208,13 +216,13 @@ RnsPoly::mulScalarPerLimbInPlace(const std::vector<u64> &scalars)
 {
     internalCheck(scalars.size() >= limbs_.size(),
                   "mulScalarPerLimb: scalar count");
-    for (size_t i = 0; i < limbs_.size(); ++i) {
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         const u32 q = static_cast<u32>(limbModulus(i));
         const auto c =
             nt::shoupPrecompute(static_cast<u32>(scalars[i] % q), q);
         for (auto &x : limbs_[i])
             x = nt::shoupMul(x, c, q);
-    }
+    });
 }
 
 void
@@ -230,8 +238,9 @@ void
 RnsPoly::toEval()
 {
     internalCheck(!eval_, "toEval: already in eval domain");
-    for (size_t i = 0; i < limbs_.size(); ++i)
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         forwardInPlace(limbs_[i].data(), ring_->tables(slots_[i]));
+    });
     eval_ = true;
 }
 
@@ -239,8 +248,9 @@ void
 RnsPoly::toCoeff()
 {
     internalCheck(eval_, "toCoeff: already in coeff domain");
-    for (size_t i = 0; i < limbs_.size(); ++i)
+    parallelFor(0, limbs_.size(), [&](size_t i) {
         inverseInPlace(limbs_[i].data(), ring_->tables(slots_[i]));
+    });
     eval_ = false;
 }
 
@@ -251,12 +261,13 @@ RnsPoly::automorphism(u32 k) const
     const u32 n = ring_->degree();
     if (eval_) {
         const auto &map = ring_->evalAutoMap(k);
-        for (size_t i = 0; i < limbs_.size(); ++i)
+        parallelFor(0, limbs_.size(), [&](size_t i) {
             for (u32 m = 0; m < n; ++m)
                 out.limbs_[i][m] = limbs_[i][map[m]];
+        });
     } else {
         const auto &map = ring_->coeffAutoMap(k);
-        for (size_t i = 0; i < limbs_.size(); ++i) {
+        parallelFor(0, limbs_.size(), [&](size_t i) {
             const u64 q = limbModulus(i);
             for (u32 j = 0; j < n; ++j) {
                 const u32 v = limbs_[i][j];
@@ -264,7 +275,7 @@ RnsPoly::automorphism(u32 k) const
                     ? static_cast<u32>(nt::negMod(v, q))
                     : v;
             }
-        }
+        });
     }
     return out;
 }
@@ -290,87 +301,6 @@ RnsPoly::operator==(const RnsPoly &o) const
 {
     return ring_ == o.ring_ && eval_ == o.eval_ && slots_ == o.slots_ &&
         limbs_ == o.limbs_;
-}
-
-std::vector<u32>
-negacyclicMulSchoolbook(const std::vector<u32> &a, const std::vector<u32> &b,
-                        u64 q)
-{
-    const size_t n = a.size();
-    internalCheck(b.size() == n, "schoolbook: size mismatch");
-    std::vector<u32> z(n, 0);
-    for (size_t i = 0; i < n; ++i) {
-        for (size_t j = 0; j < n; ++j) {
-            const u64 p = nt::mulMod(a[i], b[j], q);
-            const size_t k = i + j;
-            if (k < n)
-                z[k] = static_cast<u32>(nt::addMod(z[k], p, q));
-            else
-                z[k - n] = static_cast<u32>(nt::subMod(z[k - n], p, q));
-        }
-    }
-    return z;
-}
-
-namespace {
-
-/**
- * Full product (degree < 2n-1, length 2n, top entry zero) of a and b
- * mod q. Karatsuba recursion over halves; schoolbook below a threshold
- * and for odd lengths.
- */
-std::vector<u64>
-mulFullMod(const u64 *a, const u64 *b, size_t n, u64 q)
-{
-    std::vector<u64> out(2 * n, 0);
-    if (n <= 32 || n % 2 != 0) {
-        for (size_t i = 0; i < n; ++i)
-            for (size_t j = 0; j < n; ++j)
-                out[i + j] =
-                    nt::addMod(out[i + j], nt::mulMod(a[i], b[j], q), q);
-        return out;
-    }
-    const size_t h = n / 2;
-    // a = a0 + x^h a1, b = b0 + x^h b1:
-    //   a*b = z0 + x^h (z1 - z0 - z2) + x^2h z2
-    // with z0 = a0*b0, z2 = a1*b1, z1 = (a0+a1)*(b0+b1).
-    const auto z0 = mulFullMod(a, b, h, q);
-    const auto z2 = mulFullMod(a + h, b + h, h, q);
-    std::vector<u64> sa(h), sb(h);
-    for (size_t i = 0; i < h; ++i) {
-        sa[i] = nt::addMod(a[i], a[h + i], q);
-        sb[i] = nt::addMod(b[i], b[h + i], q);
-    }
-    auto z1 = mulFullMod(sa.data(), sb.data(), h, q);
-    for (size_t i = 0; i < 2 * h; ++i)
-        z1[i] = nt::subMod(nt::subMod(z1[i], z0[i], q), z2[i], q);
-    for (size_t i = 0; i < 2 * h; ++i) {
-        out[i] = nt::addMod(out[i], z0[i], q);
-        out[h + i] = nt::addMod(out[h + i], z1[i], q);
-        out[2 * h + i] = nt::addMod(out[2 * h + i], z2[i], q);
-    }
-    return out;
-}
-
-} // namespace
-
-std::vector<u32>
-negacyclicMulKaratsuba(const std::vector<u32> &a, const std::vector<u32> &b,
-                       u64 q)
-{
-    const size_t n = a.size();
-    internalCheck(b.size() == n, "karatsuba: size mismatch");
-    std::vector<u64> wa(n), wb(n);
-    for (size_t i = 0; i < n; ++i) {
-        wa[i] = a[i];
-        wb[i] = b[i];
-    }
-    const auto full = mulFullMod(wa.data(), wb.data(), n, q);
-    // Fold x^n == -1: z[k] = full[k] - full[k + n].
-    std::vector<u32> z(n);
-    for (size_t k = 0; k < n; ++k)
-        z[k] = static_cast<u32>(nt::subMod(full[k], full[k + n], q));
-    return z;
 }
 
 } // namespace cross::poly

@@ -12,6 +12,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/rng.h"
@@ -45,7 +46,11 @@ class Ring
     u64 modulus(size_t i) const { return basis_.modulus(i); }
     const NttTables &tables(size_t i) const { return tables_[i]; }
 
-    /** Coefficient-domain automorphism map for odd k (mod 2N). */
+    /**
+     * Coefficient-domain automorphism map for odd k (mod 2N).
+     * Thread-safe: the lazy cache fill is serialised internally, so
+     * parallel batch items may request the same map concurrently.
+     */
     const CoeffAutoMap &coeffAutoMap(u32 k) const;
 
     /**
@@ -59,6 +64,7 @@ class Ring
     u32 n_;
     rns::RnsBasis basis_;
     std::vector<NttTables> tables_;
+    mutable std::mutex autoCacheMutex_;
     mutable std::map<u32, CoeffAutoMap> coeffAutoCache_;
     mutable std::map<u32, std::vector<u32>> evalAutoCache_;
 };
@@ -148,19 +154,7 @@ class RnsPoly
     std::vector<std::vector<u32>> limbs_;
 };
 
-/**
- * Reference negacyclic product of two coefficient vectors mod q
- * (schoolbook O(N^2)); ground truth for every NTT-based multiply.
- */
-std::vector<u32> negacyclicMulSchoolbook(const std::vector<u32> &a,
-                                         const std::vector<u32> &b, u64 q);
-
-/**
- * Reference negacyclic product via Karatsuba (O(N^1.585)); bit-identical
- * to negacyclicMulSchoolbook but fast enough to serve as ground truth at
- * N >= 4096, where schoolbook's 16M+ modmuls per call dominate test time.
- */
-std::vector<u32> negacyclicMulKaratsuba(const std::vector<u32> &a,
-                                        const std::vector<u32> &b, u64 q);
+// The schoolbook / Karatsuba negacyclic reference multiplies moved to
+// tests/test_refs.h: they are ground truth for tests, not product code.
 
 } // namespace cross::poly

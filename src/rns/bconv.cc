@@ -4,6 +4,7 @@
 
 #include "common/bitops.h"
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace cross::rns {
 
@@ -40,13 +41,13 @@ BasisConversion::step1(const LimbMatrix &in, LimbMatrix &out) const
 {
     requireThat(in.size() == from_.size(), "BConv step1: limb count");
     out.resize(in.size());
-    for (size_t i = 0; i < in.size(); ++i) {
+    parallelFor(0, in.size(), [&](size_t i) {
         const u32 q = static_cast<u32>(from_.modulus(i));
         out[i].resize(in[i].size());
         const auto &c = qHatInvShoup_[i];
         for (size_t n = 0; n < in[i].size(); ++n)
             out[i][n] = nt::shoupMul(in[i][n], c, q);
-    }
+    });
 }
 
 void
@@ -56,7 +57,8 @@ BasisConversion::step2(const LimbMatrix &b, LimbMatrix &out) const
     const size_t n_coef = b.empty() ? 0 : b[0].size();
     out.assign(to_.size(), std::vector<u32>(n_coef, 0));
 
-    for (size_t j = 0; j < to_.size(); ++j) {
+    // The (N, L, L') MatModMul: independent per target limb j.
+    parallelFor(0, to_.size(), [&](size_t j) {
         const auto &bar = to_.barrett(j);
         for (size_t n = 0; n < n_coef; ++n) {
             u64 acc = 0;
@@ -70,7 +72,7 @@ BasisConversion::step2(const LimbMatrix &b, LimbMatrix &out) const
             }
             out[j][n] = bar.reduceWide(acc);
         }
-    }
+    });
 }
 
 void

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Randomized property tests for BAT (Basis-Aligned Transformation,
+ * paper Section IV-A / Algorithm 2).
+ *
+ * The core conformance claim, checked bit-exactly over a seeded-RNG
+ * sweep of moduli widths logq in [20, 60] and chunk widths
+ * bp in {4, 8}:
+ *
+ *     ChunkMerge( M_BAT(a) @ Chunks(b) ) mod q  ==  a * b mod q
+ *
+ * plus the edge cases a = 0, a = q-1, b = 0, b = q-1 and moduli near
+ * the 2^32 register boundary. The merge is evaluated with u128-exact
+ * modular arithmetic so the test never relies on the code under test
+ * for reduction.
+ */
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cross/bat.h"
+#include "nt/barrett.h"
+#include "nt/modops.h"
+#include "nt/primes.h"
+#include "test_refs.h"
+
+namespace cross::bat {
+namespace {
+
+/**
+ * Reference evaluation of the BAT identity right side: the K x K block
+ * times the chunk vector of b, merged as sum_i psum_i * 2^(i*bp) mod q
+ * (u128-exact, independent of Barrett/lazy-reduction code paths).
+ */
+u64
+batScalarMulExact(const ByteMatrix &block, u64 b, u64 q, u32 bp)
+{
+    const u32 k = static_cast<u32>(block.rows);
+    const auto chunks = chunkDecompose(b, k, bp);
+    u64 merged = 0;
+    for (u32 i = 0; i < k; ++i) {
+        u64 psum = 0;
+        for (u32 j = 0; j < k; ++j)
+            psum += static_cast<u64>(block.at(i, j)) * chunks[j];
+        // psum * 2^(i*bp) mod q without overflow.
+        const u64 base = nt::powMod(2, static_cast<u64>(i) * bp, q);
+        merged = nt::addMod(merged, nt::mulMod(psum % q, base, q), q);
+    }
+    return merged;
+}
+
+void
+checkIdentity(u64 a, u64 b, u64 q, u32 bp)
+{
+    const u32 k = chunkCount(q, bp);
+    const ByteMatrix block = directScalarBat(a, q, k, bp);
+    EXPECT_EQ(batScalarMulExact(block, b, q, bp), nt::mulMod(a, b, q))
+        << "a=" << a << " b=" << b << " q=" << q << " bp=" << bp;
+}
+
+/** Random odd modulus of exactly @p logq bits. */
+u64
+randomModulus(u32 logq, Rng &rng)
+{
+    const u64 lo = 1ULL << (logq - 1);
+    u64 q = lo + rng.uniform(lo);
+    q |= 1; // odd (any odd q > 1 satisfies the BAT algebra)
+    return q;
+}
+
+class BatProperty
+    : public ::testing::TestWithParam<std::tuple<u32, u32>> // (logq, bp)
+{
+};
+
+TEST_P(BatProperty, ScalarIdentityOverSeededSweep)
+{
+    const auto [logq, bp] = GetParam();
+    Rng rng(0xba7ULL * logq + bp);
+    for (int trial = 0; trial < 20; ++trial) {
+        const u64 q = randomModulus(logq, rng);
+        const u64 a = rng.uniform(q);
+        const u64 b = rng.uniform(q);
+        checkIdentity(a, b, q, bp);
+    }
+}
+
+TEST_P(BatProperty, EdgeOperands)
+{
+    const auto [logq, bp] = GetParam();
+    Rng rng(0xedceULL * logq + bp);
+    const u64 q = randomModulus(logq, rng);
+    for (u64 a : {u64{0}, u64{1}, q - 1}) {
+        for (u64 b : {u64{0}, u64{1}, q - 1, rng.uniform(q)})
+            checkIdentity(a, b, q, bp);
+    }
+}
+
+TEST_P(BatProperty, ChunkDecomposeMergeRoundTrip)
+{
+    const auto [logq, bp] = GetParam();
+    Rng rng(0x5eedULL * logq + bp);
+    const u32 k = chunkCount((1ULL << logq) - 1, bp);
+    for (int trial = 0; trial < 50; ++trial) {
+        const u64 v = rng.uniform(1ULL << logq);
+        const auto chunks = chunkDecompose(v, k, bp);
+        std::vector<u64> wide(chunks.begin(), chunks.end());
+        EXPECT_EQ(chunkMerge(wide, bp), v);
+        for (u8 c : chunks)
+            EXPECT_LT(c, 1u << bp);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthSweep, BatProperty,
+    ::testing::Combine(::testing::Values(20u, 26u, 31u, 32u, 40u, 48u,
+                                         60u),
+                       ::testing::Values(4u, 8u)),
+    [](const auto &info) {
+        return "logq" + std::to_string(std::get<0>(info.param)) + "_bp" +
+            std::to_string(std::get<1>(info.param));
+    });
+
+// Moduli hugging the 32-bit register boundary -- the width CROSS's
+// production path is built around (one coefficient per u32 register).
+TEST(BatPropertyBoundary, ModuliNearTwoPow32)
+{
+    Rng rng(0xb0d);
+    for (u64 q : {(1ULL << 32) - 5,  // largest prime below 2^32
+                  (1ULL << 32) - 1, (1ULL << 32) + 15,
+                  (1ULL << 31) - 1, (1ULL << 31) + 11}) {
+        for (u32 bp : {4u, 8u}) {
+            checkIdentity(0, 0, q, bp);
+            checkIdentity(q - 1, q - 1, q, bp);
+            for (int trial = 0; trial < 10; ++trial)
+                checkIdentity(rng.uniform(q), rng.uniform(q), q, bp);
+        }
+    }
+}
+
+// The u32 fast path (batScalarMul with Barrett reduction) must agree
+// with the u128-exact merge on real NTT primes.
+TEST(BatPropertyBoundary, BarrettPathMatchesExactMerge)
+{
+    for (u32 logq : {20u, 26u, 30u}) {
+        const u64 q64 = nt::generateNttPrimes(logq, 1, 2048)[0];
+        const u32 q = static_cast<u32>(q64);
+        const nt::Barrett bar(q);
+        const u32 k = chunkCount(q);
+        const auto a_vec = testref::randomPoly(64, q, 0xabcd + logq);
+        const auto b_vec = testref::randomPoly(64, q, 0xdcba + logq);
+        for (size_t i = 0; i < a_vec.size(); ++i) {
+            const ByteMatrix block = directScalarBat(a_vec[i], q, k);
+            EXPECT_EQ(batScalarMul(block, b_vec[i], bar),
+                      batScalarMulExact(block, b_vec[i], q, 8));
+            EXPECT_EQ(batScalarMul(block, b_vec[i], bar),
+                      nt::mulMod(a_vec[i], b_vec[i], q));
+        }
+    }
+}
+
+} // namespace
+} // namespace cross::bat

@@ -325,6 +325,9 @@ TEST_P(ScheduleMatch, EnumeratorPredictsEvaluatorKernels)
       case HeOp::Rotate:
         (void)ev.rotate(ca, k, rot_key);
         break;
+      case HeOp::RescaleMulti:
+        (void)ev.rescaleMulti(ca);
+        break;
     }
 
     const auto predicted =
@@ -343,6 +346,87 @@ TEST_P(ScheduleMatch, EnumeratorPredictsEvaluatorKernels)
 INSTANTIATE_TEST_SUITE_P(AllOps, ScheduleMatch,
                          ::testing::Values(HeOp::Add, HeOp::Mult,
                                            HeOp::Rescale, HeOp::Rotate));
+
+// Conformance at *every* level -- not just the top spot-check above --
+// including the double-rescale operator (rescaleSplit = 2).
+TEST(ScheduleMatchAllLevels, EnumeratorPredictsEvaluatorAtEveryLevel)
+{
+    auto params = CkksParams::testSet(1 << 9, 6, 2);
+    params.rescaleSplit = 2;
+    CkksContext ctx(params);
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx, 101);
+    CkksEncryptor enc(ctx, keygen.publicKey(), 102);
+    KernelLog log;
+    CkksEvaluator ev(ctx, &log);
+
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto fresh = enc.encrypt(
+        encoder.encode(randomSlots(4, 26, 0.5), kScale, ctx.qCount()));
+
+    for (HeOp op : {HeOp::Add, HeOp::Mult, HeOp::Rescale, HeOp::Rotate,
+                    HeOp::RescaleMulti}) {
+        for (size_t level = 0; level < ctx.qCount(); ++level) {
+            const size_t min_level = op == HeOp::Rescale ? 1
+                : op == HeOp::RescaleMulti ? params.rescaleSplit
+                                           : 0;
+            if (level < min_level)
+                continue;
+            const auto ct = ev.reduceToLimbs(fresh, level + 1);
+            log.clear();
+            switch (op) {
+              case HeOp::Add:
+                (void)ev.add(ct, ct);
+                break;
+              case HeOp::Mult:
+                (void)ev.multiply(ct, ct, rlk);
+                break;
+              case HeOp::Rescale:
+                (void)ev.rescale(ct);
+                break;
+              case HeOp::Rotate:
+                (void)ev.rotate(ct, k, rot_key);
+                break;
+              case HeOp::RescaleMulti:
+                (void)ev.rescaleMulti(ct);
+                break;
+            }
+
+            const auto predicted =
+                enumerateKernels(op, ctx.params(), level);
+            ASSERT_EQ(log.calls().size(), predicted.size())
+                << heOpName(op) << " level " << level;
+            for (size_t i = 0; i < predicted.size(); ++i) {
+                EXPECT_TRUE(log.calls()[i].sameShape(predicted[i]))
+                    << heOpName(op) << " level " << level << " kernel "
+                    << i << ": got "
+                    << kernelKindName(log.calls()[i].kind) << "("
+                    << log.calls()[i].limbs << "->"
+                    << log.calls()[i].limbsOut << "), want "
+                    << kernelKindName(predicted[i].kind) << "("
+                    << predicted[i].limbs << "->"
+                    << predicted[i].limbsOut << ")";
+            }
+        }
+    }
+}
+
+TEST(ScheduleMatchAllLevels, RescaleMultiIsSplitChainedRescales)
+{
+    auto p = CkksParams::testSet(1 << 10, 6, 3);
+    p.rescaleSplit = 2;
+    const auto multi = enumerateKernels(HeOp::RescaleMulti, p, 5);
+    auto expect = enumerateKernels(HeOp::Rescale, p, 5);
+    const auto second = enumerateKernels(HeOp::Rescale, p, 4);
+    expect.insert(expect.end(), second.begin(), second.end());
+    ASSERT_EQ(multi.size(), expect.size());
+    for (size_t i = 0; i < multi.size(); ++i)
+        EXPECT_TRUE(multi[i].sameShape(expect[i])) << i;
+    EXPECT_THROW(enumerateKernels(HeOp::RescaleMulti, p, 1),
+                 std::invalid_argument);
+}
 
 TEST(Schedule, LowerLevelsShrinkKernelCounts)
 {

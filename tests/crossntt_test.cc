@@ -13,23 +13,16 @@
 #include "nt/primes.h"
 #include "poly/ntt_ct.h"
 #include "poly/ring.h"
+#include "test_refs.h"
 
 namespace cross {
 namespace {
 
+using testref::randomPoly;
+
 class CrossNttTest
     : public ::testing::TestWithParam<std::tuple<u32, u32>> // (N, R)
 {
-  protected:
-    static std::vector<u32>
-    randomPoly(u32 n, u32 q, u64 seed)
-    {
-        Rng rng(seed);
-        std::vector<u32> a(n);
-        for (auto &x : a)
-            x = static_cast<u32>(rng.uniform(q));
-        return a;
-    }
 };
 
 TEST_P(CrossNttTest, BitIdenticalToRadix2)
@@ -70,7 +63,7 @@ TEST_P(CrossNttTest, PointwisePipelineEqualsRingProduct)
     const auto eb = plan.forward(b);
     for (u32 i = 0; i < n; ++i)
         ea[i] = static_cast<u32>(nt::mulMod(ea[i], eb[i], q));
-    EXPECT_EQ(plan.inverse(ea), poly::negacyclicMulKaratsuba(a, b, q));
+    EXPECT_EQ(plan.inverse(ea), testref::negacyclicMulKaratsuba(a, b, q));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -18,24 +18,19 @@
 #include "poly/ntt_ct.h"
 #include "poly/ntt_tables.h"
 #include "poly/ring.h"
+#include "test_refs.h"
 
 namespace cross::poly {
 namespace {
+
+using testref::negacyclicMulKaratsuba;
+using testref::negacyclicMulSchoolbook;
+using testref::randomPoly;
 
 u32
 testPrime(u32 n, u32 bits = 28)
 {
     return static_cast<u32>(nt::generateNttPrimes(bits, 1, 2ULL * n)[0]);
-}
-
-std::vector<u32>
-randomPoly(u32 n, u32 q, u64 seed)
-{
-    Rng rng(seed);
-    std::vector<u32> a(n);
-    for (auto &x : a)
-        x = static_cast<u32>(rng.uniform(q));
-    return a;
 }
 
 // ---------------------------------------------------------------------

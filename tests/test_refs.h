@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared reference implementations for the test suites.
+ *
+ * Ground-truth code that multiple suites compare against lives here --
+ * not in the product library -- so the `cross` library ships no
+ * test-only code and every suite checks against the *same* reference.
+ * Used by poly_test, crossntt_test and the BAT property tests.
+ */
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace cross::testref {
+
+/**
+ * Reference negacyclic product of two coefficient vectors mod q
+ * (schoolbook O(N^2)); ground truth for every NTT-based multiply.
+ */
+std::vector<u32> negacyclicMulSchoolbook(const std::vector<u32> &a,
+                                         const std::vector<u32> &b, u64 q);
+
+/**
+ * Reference negacyclic product via Karatsuba (O(N^1.585)); bit-identical
+ * to negacyclicMulSchoolbook but fast enough to serve as ground truth at
+ * N >= 4096, where schoolbook's 16M+ modmuls per call dominate test time.
+ */
+std::vector<u32> negacyclicMulKaratsuba(const std::vector<u32> &a,
+                                        const std::vector<u32> &b, u64 q);
+
+/** Deterministic uniform coefficient vector in [0, q)^n. */
+std::vector<u32> randomPoly(u32 n, u64 q, u64 seed);
+
+} // namespace cross::testref
