@@ -1,6 +1,6 @@
 /**
  * @file
- * Fig. 11b: batching, twice.
+ * Fig. 11b: batching, three ways.
  *
  * Part 1 (analytical): NTT throughput vs batch size on one TPUv6e
  * tensor core, normalised to batch 1, for parameter Sets A-D -- the
@@ -10,12 +10,20 @@
  * BatchEvaluator on the host CPU: HE-Mult over a vector of ciphertexts
  * with one key-switch precomputation per batch and the limb-wise hot
  * loops spread across the thread pool, versus the sequential
- * one-ciphertext-at-a-time evaluator. Runtime config:
+ * one-ciphertext-at-a-time evaluator.
  *
- *     --threads <n>   thread-pool size for the batched run (default 4)
- *     --batch <n>     ciphertexts per batch              (default 8)
+ * Part 3 (fused pipelines): the paper's batching wins amortise setup
+ * across both items *and* operators. A Mult -> Rescale -> Rotate
+ * pipeline (the bootstrap schedule's shape) is run three ways --
+ * sequential evaluator loop, per-operator batched calls, and the fused
+ * BatchEvaluator::run with the context-level key-switch residency
+ * cache -- and the fused-vs-unfused amortisation is reported along
+ * with the cache's build/hit counters. Runtime config:
  *
- * The batched results are verified bit-identical to the sequential
+ *     --threads <n>   thread-pool size for the batched runs (default 4)
+ *     --batch <n>     ciphertexts per batch               (default 8)
+ *
+ * All batched results are verified bit-identical to the sequential
  * ones before any number is reported.
  */
 #include <iostream>
@@ -189,6 +197,137 @@ functionalBatch(bench::Reporter &rep, u64 threads, u64 batch)
     return identical;
 }
 
+/**
+ * Fused pipeline engine: Mult -> Rescale -> Rotate over a batch, run
+ * (a) sequentially per item per operator, (b) batched one operator at
+ * a time, (c) fused through BatchEvaluator::run with every (key,
+ * level) precomp served from the context residency cache. Returns
+ * false when any batched result is not bit-identical to sequential.
+ */
+bool
+functionalPipeline(bench::Reporter &rep, u64 threads, u64 batch)
+{
+    using namespace cross::ckks;
+    const u32 n = 1u << 14;
+    CkksContext ctx(CkksParams::testSet(n, 6, 2));
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx, 0x11d);
+    CkksEncryptor encryptor(ctx, keygen.publicKey(), 0x11e);
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+
+    const double scale = static_cast<double>(1ULL << 26);
+    Rng rng(0xf1911c);
+    CtVec a, b;
+    for (u64 i = 0; i < batch; ++i) {
+        std::vector<Complex> va(encoder.slotCount()), vb(va.size());
+        for (size_t s = 0; s < va.size(); ++s) {
+            va[s] = Complex(rng.real() * 2 - 1, rng.real() * 2 - 1);
+            vb[s] = Complex(rng.real() * 2 - 1, rng.real() * 2 - 1);
+        }
+        a.push_back(
+            encryptor.encrypt(encoder.encode(va, scale, ctx.qCount())));
+        b.push_back(
+            encryptor.encrypt(encoder.encode(vb, scale, ctx.qCount())));
+    }
+
+    // Sequential reference: item by item, operator by operator, one
+    // thread, one-shot keys (no residency cache involvement).
+    setGlobalThreadCount(1);
+    CkksEvaluator seq_ev(ctx);
+    CtVec seq;
+    seq.reserve(batch);
+    WallTimer t_seq;
+    for (u64 i = 0; i < batch; ++i) {
+        Ciphertext cur = seq_ev.multiply(a[i], b[i], rlk);
+        cur = seq_ev.rescale(cur);
+        seq.push_back(seq_ev.rotate(cur, k, rot_key));
+    }
+    const double seq_s = t_seq.seconds();
+
+    auto &cache = ctx.keySwitchCache();
+
+    // Unfused batched: one operator per call, batch-wide barrier and a
+    // fresh cache between operators (per-batch precomp build cost).
+    setGlobalThreadCount(static_cast<u32>(threads));
+    BatchEvaluator batch_ev(ctx);
+    cache.clear();
+    cache.resetStats();
+    WallTimer t_unfused;
+    const auto unfused =
+        batch_ev.rotate(batch_ev.rescale(batch_ev.multiply(a, b, rlk)),
+                        k, rot_key);
+    const double unfused_s = t_unfused.seconds();
+
+    // Fused: whole pipeline per item, precomps resident (already warm
+    // from the unfused run -- exactly the cross-batch residency the
+    // ROADMAP item asks for; the counters below prove no rebuild).
+    const u64 misses_before = cache.misses();
+    Pipeline pipeline;
+    pipeline.multiply(b, rlk).rescale().rotate(k, rot_key);
+    WallTimer t_fused;
+    const auto fused = batch_ev.run(a, pipeline);
+    const double fused_s = t_fused.seconds();
+    const u64 fused_builds = cache.misses() - misses_before;
+    setGlobalThreadCount(1);
+
+    bool identical =
+        unfused.size() == seq.size() && fused.size() == seq.size();
+    for (size_t i = 0; identical && i < seq.size(); ++i) {
+        identical = unfused[i].c0 == seq[i].c0 &&
+            unfused[i].c1 == seq[i].c1 && fused[i].c0 == seq[i].c0 &&
+            fused[i].c1 == seq[i].c1;
+    }
+
+    const double batch_d = static_cast<double>(batch);
+    TablePrinter t("Fused Mult->Rescale->Rotate pipeline (N = 2^14, "
+                   "CPU host)");
+    t.header({"Mode", "Threads", "Batch", "ms/item", "items/s",
+              "vs seq"});
+    const struct
+    {
+        const char *mode;
+        u64 thr;
+        double secs;
+    } rows[] = {{"sequential", 1, seq_s},
+                {"batched-unfused", threads, unfused_s},
+                {"batched-fused", threads, fused_s}};
+    for (const auto &r : rows) {
+        t.row({r.mode, std::to_string(r.thr), std::to_string(batch),
+               fmtF(r.secs * 1e3 / batch_d, 2),
+               fmtF(batch_d / r.secs, 1), fmtF(seq_s / r.secs, 2)});
+        rep.addUs("fig11b/functional_pipeline",
+                  {{"mode", r.mode},
+                   {"threads", std::to_string(r.thr)},
+                   {"batch", std::to_string(batch)},
+                   {"n", std::to_string(n)}},
+                  r.secs * 1e6 / batch_d, batch_d / r.secs);
+    }
+    t.print(std::cout);
+    std::cout << "Bit-identical to sequential: "
+              << (identical ? "yes" : "NO (BUG)")
+              << "\nKey-switch residency: " << cache.size()
+              << " resident (key, level) precomps, " << cache.misses()
+              << " built total, " << cache.hits()
+              << " served from cache; fused run built " << fused_builds
+              << " (0 = fully resident across batches)\n";
+
+    rep.add("fig11b/functional_pipeline_speedup",
+            {{"metric", "fused_over_sequential"},
+             {"threads", std::to_string(threads)},
+             {"batch", std::to_string(batch)},
+             {"n", std::to_string(n)}},
+            0.0, seq_s / fused_s);
+    rep.add("fig11b/functional_pipeline_speedup",
+            {{"metric", "fused_over_unfused"},
+             {"threads", std::to_string(threads)},
+             {"batch", std::to_string(batch)},
+             {"n", std::to_string(n)}},
+            0.0, unfused_s / fused_s);
+    return identical;
+}
+
 } // namespace
 
 int
@@ -200,14 +339,17 @@ main(int argc, char **argv)
     bench::Reporter rep(argc, argv, "fig11b_batch_sweep");
     bench::banner("Figure 11b",
                   "batching: analytical NTT sweep + functional "
-                  "BatchEvaluator HE-Mult",
+                  "BatchEvaluator HE-Mult + fused operator pipeline",
                   bench::kSimNote);
 
     analyticalSweep(rep);
 
     std::cout << "\n";
-    const bool ok = functionalBatch(rep, threads == 0 ? 1 : threads,
-                                    batch == 0 ? 1 : batch);
+    const u64 thr = threads == 0 ? 1 : threads;
+    const u64 bat = batch == 0 ? 1 : batch;
+    bool ok = functionalBatch(rep, thr, bat);
+    std::cout << "\n";
+    ok = functionalPipeline(rep, thr, bat) && ok;
     if (!ok) {
         rep.cancel(); // never ship numbers from a wrong result
         return 1;

@@ -108,6 +108,43 @@ main(int argc, char **argv)
     }
     e.print(std::cout);
 
+    // Fused pipeline costing: the Mult -> Rescale -> Rotate sequence
+    // the bootstrap schedule chains, priced as one launch
+    // (HeOpCostModel::pipelineCost) vs three separate launches. The
+    // functional twin (BatchEvaluator::run) is benchmarked by
+    // bench_fig11b_batch_sweep; this is its simulated mirror.
+    {
+        const auto p = ckks::CkksParams::paperSet('C');
+        lowering::Config cfg;
+        ckks::HeOpCostModel model(v6e, cfg, p);
+        const size_t lvl = p.limbs - 1;
+        const std::vector<HeOp> pipe = {HeOp::Mult, HeOp::Rescale,
+                                        HeOp::Rotate};
+        TablePrinter f("Fused Mult->Rescale->Rotate pipeline on one "
+                       "v6e core (Set C, simulated)");
+        f.header({"Batch", "separate us/item", "fused us/item",
+                  "fused gain"});
+        for (u64 batch : {1u, 8u, 32u}) {
+            const double separate =
+                model.opLatencyUs(HeOp::Mult, lvl, batch) +
+                model.opLatencyUs(HeOp::Rescale, lvl, batch) +
+                model.opLatencyUs(HeOp::Rotate, lvl - 1, batch);
+            const double fused =
+                model.pipelineLatencyUs(pipe, lvl, batch);
+            f.row({std::to_string(batch), fmtUs(separate),
+                   fmtUs(fused), fmtX(separate / fused, 2)});
+            rep.addUs("table8/pipeline_mult_rescale_rotate",
+                      {{"mode", "fused"},
+                       {"batch", std::to_string(batch)}},
+                      fused);
+            rep.addUs("table8/pipeline_mult_rescale_rotate",
+                      {{"mode", "separate"},
+                       {"batch", std::to_string(batch)}},
+                      separate);
+        }
+        f.print(std::cout);
+    }
+
     std::cout
         << "\nPaper's corresponding ratios: OpenFHE 2253/415/152/498, "
            "FIDESlib 12.8/1.55/1.64/2.23, WarpDrive 5.61/6.00/2.27/9.54,\n"

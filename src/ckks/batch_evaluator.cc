@@ -7,6 +7,51 @@
 
 namespace cross::ckks {
 
+Pipeline &
+Pipeline::add(const CtVec &rhs)
+{
+    stages_.push_back({HeOp::Add, 0, nullptr, &rhs});
+    return *this;
+}
+
+Pipeline &
+Pipeline::multiply(const CtVec &rhs, const SwitchKey &rlk)
+{
+    stages_.push_back({HeOp::Mult, 0, &rlk, &rhs});
+    return *this;
+}
+
+Pipeline &
+Pipeline::rescale()
+{
+    stages_.push_back({HeOp::Rescale, 0, nullptr, nullptr});
+    return *this;
+}
+
+Pipeline &
+Pipeline::rescaleMulti()
+{
+    stages_.push_back({HeOp::RescaleMulti, 0, nullptr, nullptr});
+    return *this;
+}
+
+Pipeline &
+Pipeline::rotate(u32 auto_idx, const SwitchKey &rot_key)
+{
+    stages_.push_back({HeOp::Rotate, auto_idx, &rot_key, nullptr});
+    return *this;
+}
+
+std::vector<HeOp>
+Pipeline::ops() const
+{
+    std::vector<HeOp> ops;
+    ops.reserve(stages_.size());
+    for (const auto &st : stages_)
+        ops.push_back(st.op);
+    return ops;
+}
+
 BatchEvaluator::CtVec
 BatchEvaluator::mapBatch(
     size_t count,
@@ -28,20 +73,20 @@ BatchEvaluator::mapBatch(
     return out;
 }
 
-std::vector<KeySwitchPrecomp>
+std::vector<const KeySwitchPrecomp *>
 BatchEvaluator::precompPerLevel(const SwitchKey &swk,
                                 const std::vector<size_t> &levels) const
 {
-    std::vector<KeySwitchPrecomp> pre;
+    std::vector<const KeySwitchPrecomp *> pre;
     if (levels.empty())
         return pre;
     const size_t max_level =
         *std::max_element(levels.begin(), levels.end());
-    pre.resize(max_level + 1);
+    pre.resize(max_level + 1, nullptr);
     const CkksEvaluator ev(ctx_);
     for (size_t level : levels) {
-        if (pre[level].extSlots.empty())
-            pre[level] = ev.precomputeKeySwitch(swk, level);
+        if (!pre[level])
+            pre[level] = &ev.precomputeKeySwitchCached(swk, level);
     }
     return pre;
 }
@@ -75,7 +120,7 @@ BatchEvaluator::multiply(const CtVec &a, const CtVec &b,
         levels[i] = std::min(a[i].limbs(), b[i].limbs()) - 1;
     const auto pre = precompPerLevel(rlk, levels);
     return mapBatch(a.size(), [&](const CkksEvaluator &ev, size_t i) {
-        return ev.multiply(a[i], b[i], pre[levels[i]]);
+        return ev.multiply(a[i], b[i], *pre[levels[i]]);
     });
 }
 
@@ -99,6 +144,7 @@ BatchEvaluator::CtVec
 BatchEvaluator::rotate(const CtVec &cts, u32 auto_idx,
                        const SwitchKey &rot_key) const
 {
+    checkAutomorphismIndex(ctx_, auto_idx);
     std::vector<size_t> levels(cts.size());
     for (size_t i = 0; i < cts.size(); ++i)
         levels[i] = cts[i].limbs() - 1;
@@ -108,7 +154,7 @@ BatchEvaluator::rotate(const CtVec &cts, u32 auto_idx,
         (void)ctx_.ring().evalAutoMap(auto_idx);
     }
     return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
-        return ev.rotate(cts[i], auto_idx, pre[levels[i]]);
+        return ev.rotate(cts[i], auto_idx, *pre[levels[i]]);
     });
 }
 
@@ -125,6 +171,108 @@ BatchEvaluator::multiplyPlain(const CtVec &cts, const Plaintext &pt) const
 {
     return mapBatch(cts.size(), [&](const CkksEvaluator &ev, size_t i) {
         return ev.multiplyPlain(cts[i], pt);
+    });
+}
+
+BatchEvaluator::CtVec
+BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
+{
+    const size_t count = input.size();
+    const auto &stages = pipeline.stages();
+
+    // Walk every item's limb count through the stages to discover the
+    // exact set of (key, level) precomps the pipeline needs, fetch
+    // each from the context's residency cache exactly once (sequential
+    // prefetch: the parallel region below only reads), and warm the
+    // shared automorphism maps. stage_pre[s][i] is the precomp item i
+    // uses at stage s (null for keyless stages).
+    std::vector<size_t> limbs(count);
+    for (size_t i = 0; i < count; ++i)
+        limbs[i] = input[i].limbs();
+    std::vector<std::vector<const KeySwitchPrecomp *>> stage_pre(
+        stages.size(),
+        std::vector<const KeySwitchPrecomp *>(count, nullptr));
+    const CkksEvaluator builder(ctx_);
+    for (size_t s = 0; s < stages.size(); ++s) {
+        const auto &st = stages[s];
+        if (st.rhs) {
+            requireThat(st.rhs->size() == count,
+                        "BatchEvaluator::run: stage operand batch size "
+                        "mismatch");
+        }
+        switch (st.op) {
+          case HeOp::Add:
+            for (size_t i = 0; i < count; ++i)
+                limbs[i] = std::min(limbs[i], (*st.rhs)[i].limbs());
+            break;
+
+          case HeOp::Mult:
+            for (size_t i = 0; i < count; ++i) {
+                limbs[i] = std::min(limbs[i], (*st.rhs)[i].limbs());
+                stage_pre[s][i] =
+                    &builder.precomputeKeySwitchCached(*st.key,
+                                                       limbs[i] - 1);
+            }
+            break;
+
+          case HeOp::Rescale:
+            for (size_t i = 0; i < count; ++i) {
+                requireThat(limbs[i] >= 2,
+                            "BatchEvaluator::run: rescale has no limb "
+                            "left to drop");
+                --limbs[i];
+            }
+            break;
+
+          case HeOp::RescaleMulti:
+            for (size_t i = 0; i < count; ++i) {
+                requireThat(limbs[i] > ctx_.params().rescaleSplit,
+                            "BatchEvaluator::run: not enough limbs for "
+                            "a double rescale");
+                limbs[i] -= ctx_.params().rescaleSplit;
+            }
+            break;
+
+          case HeOp::Rotate:
+            checkAutomorphismIndex(ctx_, st.autoIdx);
+            if (count > 0)
+                (void)ctx_.ring().evalAutoMap(st.autoIdx);
+            for (size_t i = 0; i < count; ++i) {
+                stage_pre[s][i] =
+                    &builder.precomputeKeySwitchCached(*st.key,
+                                                       limbs[i] - 1);
+            }
+            break;
+        }
+    }
+
+    // Stream each item through the whole pipeline: item-level
+    // parallelism outside, the per-stage limb loops inside run inline
+    // on the same worker (parallel.h's nesting rule), and the merged
+    // log comes out in (item, stage) order == the sequential loop.
+    return mapBatch(count, [&](const CkksEvaluator &ev, size_t i) {
+        Ciphertext cur = input[i];
+        for (size_t s = 0; s < stages.size(); ++s) {
+            const auto &st = stages[s];
+            switch (st.op) {
+              case HeOp::Add:
+                cur = ev.add(cur, (*st.rhs)[i]);
+                break;
+              case HeOp::Mult:
+                cur = ev.multiply(cur, (*st.rhs)[i], *stage_pre[s][i]);
+                break;
+              case HeOp::Rescale:
+                cur = ev.rescale(cur);
+                break;
+              case HeOp::RescaleMulti:
+                cur = ev.rescaleMulti(cur);
+                break;
+              case HeOp::Rotate:
+                cur = ev.rotate(cur, st.autoIdx, *stage_pre[s][i]);
+                break;
+            }
+        }
+        return cur;
     });
 }
 

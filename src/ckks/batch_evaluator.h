@@ -1,6 +1,7 @@
 /**
  * @file
- * Batched, multi-threaded evaluation engine.
+ * Batched, multi-threaded evaluation engine with fused operator
+ * pipelines.
  *
  * The paper's headline wins come from batching: amortising the MXU
  * weight-stationary setup (BAT matrices, MAT NTT operands, switching
@@ -8,16 +9,31 @@
  * functional mirror of the simulator's batching model
  * (tpu::runBatched's fixedUs / paramBytes split): every per-operator
  * precomputation -- the KeySwitchPrecomp operands, the warm basis
- * conversion caches, the automorphism index maps -- is built exactly
- * once per batch and shared by all items, while the per-item work runs
- * across the global thread pool (common/parallel.h).
+ * conversion caches, the automorphism index maps -- is built at most
+ * once per context via the context's KeySwitchCache and shared by all
+ * items, while the per-item work runs across the global thread pool
+ * (common/parallel.h).
+ *
+ * Two amortisation axes:
+ *  - across *items*: one precomp serves every ciphertext of a batch
+ *    (the per-operator entry points below);
+ *  - across *operators*: run(Pipeline) takes a small operator
+ *    sequence (e.g. Mult -> Rescale -> Rotate, the shapes the
+ *    bootstrap schedule chains), prebuilds every (key, level)
+ *    precomp the whole pipeline will touch, then streams each item
+ *    through all stages -- no per-stage setup, no intermediate
+ *    batch-wide barriers.
  *
  * Guarantees:
  *  - Results are bit-identical to looping CkksEvaluator over the
- *    items, at any thread count (including 1, the default).
+ *    items (and, for run(), over the stages), at any thread count
+ *    (including 1, the default).
  *  - The KernelLog is deterministic: each item records into a private
  *    log and the logs are merged in item order, so a parallel batched
- *    run logs exactly what a sequential run logs.
+ *    run logs exactly what a sequential run logs. For run() the
+ *    per-item log covers the whole pipeline, matching the sequential
+ *    "all stages for item 0, then item 1, ..." order, and matching
+ *    enumerateKernels(pipeline.ops(), ...) stage by stage.
  */
 #pragma once
 
@@ -27,12 +43,68 @@
 #include "ckks/ciphertext.h"
 #include "ckks/context.h"
 #include "ckks/evaluator.h"
+#include "ckks/he_op.h"
 #include "ckks/kernel_log.h"
 #include "ckks/keys.h"
 
 namespace cross::ckks {
 
-/** Applies one HE operator across a vector of ciphertexts. */
+/** A batch of ciphertexts, one slot vector each. */
+using CtVec = std::vector<Ciphertext>;
+
+/**
+ * One stage of a fused pipeline. Operand pointers reference
+ * caller-owned storage; they must outlive the BatchEvaluator::run()
+ * call (the Pipeline never copies ciphertexts or keys).
+ */
+struct PipelineStage
+{
+    HeOp op;
+    u32 autoIdx = 0;              ///< Rotate: Galois element
+    const SwitchKey *key = nullptr; ///< Mult (relin) / Rotate key
+    const CtVec *rhs = nullptr;   ///< Add / Mult second operand batch
+};
+
+/**
+ * A small operator sequence applied item-wise by BatchEvaluator::run.
+ * Built fluently:
+ *
+ *     Pipeline p;
+ *     p.multiply(b, rlk).rescale().rotate(k, rot_key);
+ *     auto out = batch.run(a, p);
+ */
+class Pipeline
+{
+  public:
+    /** cur[i] + rhs[i] (levels aligned like CkksEvaluator::add). */
+    Pipeline &add(const CtVec &rhs);
+    /** cur[i] * rhs[i] with relinearisation against @p rlk. */
+    Pipeline &multiply(const CtVec &rhs, const SwitchKey &rlk);
+    Pipeline &rescale();
+    Pipeline &rescaleMulti();
+    Pipeline &rotate(u32 auto_idx, const SwitchKey &rot_key);
+
+    /** @name Stages hold pointers; temporaries would dangle by run().
+     *  Deleted so the misuse is a compile error, not a use-after-free.
+     *  @{ */
+    Pipeline &add(CtVec &&) = delete;
+    Pipeline &multiply(CtVec &&, const SwitchKey &) = delete;
+    Pipeline &multiply(const CtVec &, SwitchKey &&) = delete;
+    Pipeline &multiply(CtVec &&, SwitchKey &&) = delete;
+    Pipeline &rotate(u32, SwitchKey &&) = delete;
+    /** @} */
+
+    const std::vector<PipelineStage> &stages() const { return stages_; }
+    bool empty() const { return stages_.empty(); }
+
+    /** Operator sequence for the schedule enumerator / cost model. */
+    std::vector<HeOp> ops() const;
+
+  private:
+    std::vector<PipelineStage> stages_;
+};
+
+/** Applies HE operators (or whole pipelines) across ciphertext vectors. */
 class BatchEvaluator
 {
   public:
@@ -42,23 +114,38 @@ class BatchEvaluator
     {
     }
 
-    using CtVec = std::vector<Ciphertext>;
+    using CtVec = cross::ckks::CtVec;
 
     /** @name Element-wise batched operators. @{ */
     CtVec add(const CtVec &a, const CtVec &b) const;
     CtVec sub(const CtVec &a, const CtVec &b) const;
-    /** a[i] * b[i] with one relin-key precomputation per level. */
+    /** a[i] * b[i] with one resident relin-key precomp per level. */
     CtVec multiply(const CtVec &a, const CtVec &b,
                    const SwitchKey &rlk) const;
     CtVec rescale(const CtVec &cts) const;
     CtVec rescaleMulti(const CtVec &cts) const;
-    /** Rotate every item by the same step (one key precomp + one warm
-     *  automorphism map per level). */
+    /** Rotate every item by the same step (one resident key precomp +
+     *  one warm automorphism map per level). */
     CtVec rotate(const CtVec &cts, u32 auto_idx,
                  const SwitchKey &rot_key) const;
     CtVec addPlain(const CtVec &cts, const Plaintext &pt) const;
     CtVec multiplyPlain(const CtVec &cts, const Plaintext &pt) const;
     /** @} */
+
+    /**
+     * Fused pipeline: apply every stage of @p pipeline to each item of
+     * @p input, building each (key, level) KeySwitchPrecomp the whole
+     * pipeline needs exactly once up front (served from the context's
+     * residency cache), then streaming every item through all stages
+     * with no intermediate batch barrier. Results and the merged
+     * KernelLog are bit-identical to the sequential loop
+     *
+     *     for i: for stage: out[i] = evaluator.stage(out[i], ...)
+     *
+     * at any thread count. Mixed-level inputs pick the per-item level
+     * precomp at every stage.
+     */
+    CtVec run(const CtVec &input, const Pipeline &pipeline) const;
 
     const CkksContext &context() const { return ctx_; }
 
@@ -74,10 +161,11 @@ class BatchEvaluator
             &fn) const;
 
     /**
-     * One KeySwitchPrecomp per distinct level in @p levels (built
-     * sequentially up front; read-only afterwards). Indexed by level.
+     * One resident KeySwitchPrecomp per distinct level in @p levels
+     * (fetched from the context cache up front, outside the parallel
+     * region; read-only afterwards). Indexed by level.
      */
-    std::vector<KeySwitchPrecomp>
+    std::vector<const KeySwitchPrecomp *>
     precompPerLevel(const SwitchKey &swk,
                     const std::vector<size_t> &levels) const;
 

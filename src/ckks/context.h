@@ -10,6 +10,7 @@
 #include <mutex>
 #include <vector>
 
+#include "ckks/keyswitch_cache.h"
 #include "ckks/params.h"
 #include "poly/ring.h"
 #include "rns/bconv.h"
@@ -71,6 +72,14 @@ class CkksContext
     /** Rescale conversion from q_l to q_0..q_{l-1} handled inline (exact
      *  small-value lift), no BasisConversion needed. */
 
+    /**
+     * Residency cache of key-switching operands, shared by every
+     * evaluator and batch pipeline on this context: one
+     * KeySwitchPrecomp per (key identity, level), built on first use
+     * (see keyswitch_cache.h for the invalidation rules).
+     */
+    KeySwitchCache &keySwitchCache() const { return ksCache_; }
+
   private:
     CkksParams params_;
     std::unique_ptr<poly::Ring> ring_;
@@ -84,6 +93,7 @@ class CkksContext
         modUpCache_;
     mutable std::map<size_t, std::unique_ptr<rns::BasisConversion>>
         modDownCache_;
+    mutable KeySwitchCache ksCache_;
 };
 
 } // namespace cross::ckks

@@ -1,5 +1,6 @@
 #include "ckks/evaluator.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -102,6 +103,10 @@ Ciphertext
 CkksEvaluator::relinearize(const Ciphertext3 &c,
                            const KeySwitchPrecomp &pre) const
 {
+    // A stale or mis-indexed precomp would otherwise key-switch with
+    // the wrong digit restriction and silently produce garbage.
+    requireThat(pre.level == c.c2.limbCount() - 1,
+                "relinearize: precomp level does not match ciphertext");
     auto [k0, k1] = keySwitch(c.c2, pre);
     Ciphertext r;
     r.c0 = c.c0;
@@ -126,6 +131,8 @@ Ciphertext
 CkksEvaluator::multiply(const Ciphertext &a, const Ciphertext &b,
                         const KeySwitchPrecomp &pre) const
 {
+    requireThat(pre.level + 1 == std::min(a.limbs(), b.limbs()),
+                "multiply: precomp level does not match operand level");
     return relinearize(multiplyNoRelin(a, b), pre);
 }
 
@@ -202,6 +209,7 @@ Ciphertext
 CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
                       const SwitchKey &rot_key) const
 {
+    checkAutomorphismIndex(ctx_, auto_idx);
     return rotate(ct, auto_idx,
                   precomputeKeySwitch(rot_key, ct.limbs() - 1));
 }
@@ -210,6 +218,9 @@ Ciphertext
 CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
                       const KeySwitchPrecomp &pre) const
 {
+    checkAutomorphismIndex(ctx_, auto_idx);
+    requireThat(pre.level == ct.limbs() - 1,
+                "rotate: precomp level does not match ciphertext");
     WallTimer t;
     RnsPoly r0 = ct.c0.automorphism(auto_idx);
     RnsPoly r1 = ct.c1.automorphism(auto_idx);
@@ -291,6 +302,47 @@ CkksEvaluator::precomputeKeySwitch(const SwitchKey &swk, size_t level) const
     }
     (void)ctx_.modDownConv(level);
     return pre;
+}
+
+namespace {
+
+/**
+ * Cheap content fingerprint of a switching key (FNV-1a over a few
+ * coefficients per digit). Switching keys are uniform ring elements,
+ * so a handful of words separates distinct keys with overwhelming
+ * probability; the residency cache uses this to detect a different
+ * key re-using a cached key's address.
+ */
+u64
+switchKeyFingerprint(const SwitchKey &swk)
+{
+    u64 h = 0xcbf29ce484222325ULL;
+    const auto mix = [&h](u64 v) {
+        h ^= v;
+        h *= 0x100000001b3ULL;
+    };
+    mix(swk.digits.size());
+    for (const auto &digit : swk.digits) {
+        const auto &b = digit.first.limb(0);
+        const auto &a = digit.second.limb(0);
+        mix(b.front());
+        mix(b[b.size() / 2]);
+        mix(b.back());
+        mix(a.front());
+        mix(a.back());
+    }
+    return h;
+}
+
+} // namespace
+
+const KeySwitchPrecomp &
+CkksEvaluator::precomputeKeySwitchCached(const SwitchKey &swk,
+                                         size_t level) const
+{
+    return ctx_.keySwitchCache().get(
+        &swk, switchKeyFingerprint(swk), level,
+        [&] { return precomputeKeySwitch(swk, level); });
 }
 
 std::pair<RnsPoly, RnsPoly>

@@ -18,24 +18,25 @@
 #include "ckks/context.h"
 #include "ckks/kernel_log.h"
 #include "ckks/keys.h"
+#include "ckks/keyswitch_cache.h"
+#include "common/check.h"
 
 namespace cross::ckks {
 
 /**
- * Batch-reusable key-switching operands for one level: the extended
- * slot list and the switching-key digits restricted to it. These are
- * exactly the paramBytes the simulator's batching model
- * (tpu::runBatched) streams once per batch -- the BatchEvaluator
- * builds one per (key, level) and shares it across every ciphertext
- * in the batch instead of re-selecting per operation.
+ * Galois elements are the units of Z_2N: odd and reduced mod 2N. Even
+ * indices are not ring automorphisms at all, and indices >= 2N alias a
+ * smaller element (a silently wrong rotation plus a duplicated
+ * automorphism-map cache entry), so both are rejected up front. Shared
+ * by the scalar and batch rotate paths so the predicate cannot
+ * diverge.
  */
-struct KeySwitchPrecomp
+inline void
+checkAutomorphismIndex(const CkksContext &ctx, u32 auto_idx)
 {
-    size_t level = 0;
-    std::vector<u32> extSlots;
-    /** Per digit: (b, a) key halves pre-restricted to extSlots. */
-    std::vector<std::pair<poly::RnsPoly, poly::RnsPoly>> keys;
-};
+    requireThat(auto_idx % 2 == 1 && auto_idx < 2 * ctx.degree(),
+                "rotate: automorphism index must be odd and < 2N");
+}
 
 /** Homomorphic operator implementations. */
 class CkksEvaluator
@@ -106,6 +107,15 @@ class CkksEvaluator
      */
     KeySwitchPrecomp precomputeKeySwitch(const SwitchKey &swk,
                                          size_t level) const;
+
+    /**
+     * Like precomputeKeySwitch, but resident: served from the
+     * context's KeySwitchCache, building at most once per
+     * (key identity, level) for the context's lifetime. The reference
+     * stays valid until the entry is invalidated (keyswitch_cache.h).
+     */
+    const KeySwitchPrecomp &
+    precomputeKeySwitchCached(const SwitchKey &swk, size_t level) const;
 
   private:
     /**

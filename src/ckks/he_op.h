@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The backbone HE operator taxonomy of Table VIII.
+ *
+ * Lives in its own header (not schedule.h) so the functional batch
+ * engine can name operators -- e.g. the stages of a fused
+ * BatchEvaluator pipeline -- without depending on the TPU costing
+ * stack that schedule.h pulls in.
+ */
+#pragma once
+
+namespace cross::ckks {
+
+/** The backbone HE operators of Table VIII. */
+enum class HeOp
+{
+    Add,
+    Mult,
+    Rescale,
+    Rotate,
+    /** Double rescaling (Section V-A): params().rescaleSplit chained
+     *  single rescales dropping one sub-modulus each. */
+    RescaleMulti,
+};
+
+inline const char *
+heOpName(HeOp op)
+{
+    switch (op) {
+      case HeOp::Add: return "HE-Add";
+      case HeOp::Mult: return "HE-Mult";
+      case HeOp::Rescale: return "Rescale";
+      case HeOp::Rotate: return "Rotate";
+      case HeOp::RescaleMulti: return "RescaleMulti";
+    }
+    return "?";
+}
+
+} // namespace cross::ckks

@@ -1,0 +1,88 @@
+#include "ckks/keyswitch_cache.h"
+
+namespace cross::ckks {
+
+const KeySwitchPrecomp &
+KeySwitchCache::get(const void *key_id, u64 fingerprint, size_t level,
+                    const Builder &build) const
+{
+    // Map nodes are address-stable, so the returned reference outlives
+    // the lock; the build itself is serialised (same discipline as the
+    // context's basis-conversion caches).
+    std::lock_guard<std::mutex> lock(m_);
+    const auto key = std::make_pair(key_id, level);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        if (it->second.fingerprint == fingerprint) {
+            ++hits_;
+            return *it->second.pre;
+        }
+        // Same address, different key contents: the SwitchKey died and
+        // its address was re-used. Retire the old precomp (readers may
+        // still hold references into it) and build a fresh one.
+        ++misses_;
+        retired_.push_back(std::move(it->second.pre));
+        it->second.fingerprint = fingerprint;
+        it->second.pre =
+            std::make_unique<KeySwitchPrecomp>(build());
+        return *it->second.pre;
+    }
+    ++misses_;
+    return *entries_
+                .emplace(key,
+                         Entry{fingerprint,
+                               std::make_unique<KeySwitchPrecomp>(
+                                   build())})
+                .first->second.pre;
+}
+
+void
+KeySwitchCache::invalidate(const void *key_id)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->first.first == key_id)
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+void
+KeySwitchCache::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    entries_.clear();
+    retired_.clear();
+}
+
+u64
+KeySwitchCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return hits_;
+}
+
+u64
+KeySwitchCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return misses_;
+}
+
+size_t
+KeySwitchCache::size() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return entries_.size();
+}
+
+void
+KeySwitchCache::resetStats()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace cross::ckks

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Batch-reusable key-switching operands and their context-level
+ * residency cache.
+ *
+ * KeySwitchPrecomp is the paramBytes half of the simulator's batching
+ * model (tpu::runBatched): the switching-key digits restricted to one
+ * level's extended basis, streamed once and reused by every ciphertext
+ * in a batch. KeySwitchCache keeps those operands resident across
+ * batches, evaluators and pipeline stages -- the "key-switch key
+ * residency" the SHARP line of work motivates -- so each (key
+ * identity, level) pair is built exactly once per context.
+ *
+ * Identity and invalidation rules:
+ *  - Entries are keyed by the *address* of the SwitchKey plus the
+ *    level; callers should invalidate() when a SwitchKey is destroyed
+ *    or mutated. As defence in depth each entry also records a content
+ *    fingerprint of the key, and a lookup whose fingerprint disagrees
+ *    rebuilds the entry in place -- so a *different* key re-using a
+ *    dead key's address (temporaries, reallocated containers) is
+ *    detected and served correctly rather than silently handed the
+ *    stale operands.
+ *  - get() is thread-safe; builds are serialised under the cache lock
+ *    and the returned reference is address-stable until the entry is
+ *    invalidated or rebuilt on a fingerprint mismatch (std::map nodes
+ *    never move).
+ *  - invalidate()/clear() must not run concurrently with evaluation
+ *    that is still reading returned references.
+ */
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/types.h"
+#include "poly/ring.h"
+
+namespace cross::ckks {
+
+/**
+ * Batch-reusable key-switching operands for one level: the extended
+ * slot list and the switching-key digits restricted to it. The
+ * BatchEvaluator builds one per (key, level) and shares it across
+ * every ciphertext in the batch instead of re-selecting per operation.
+ */
+struct KeySwitchPrecomp
+{
+    size_t level = 0;
+    std::vector<u32> extSlots;
+    /** Per digit: (b, a) key halves pre-restricted to extSlots. */
+    std::vector<std::pair<poly::RnsPoly, poly::RnsPoly>> keys;
+};
+
+/** Context-level (key identity, level) -> KeySwitchPrecomp cache. */
+class KeySwitchCache
+{
+  public:
+    using Builder = std::function<KeySwitchPrecomp()>;
+
+    /**
+     * Return the resident precomp for (@p key_id, @p level), invoking
+     * @p build under the cache lock on the first request or when the
+     * resident entry's @p fingerprint disagrees (address re-used by a
+     * different key). The reference stays valid until the entry is
+     * invalidated; a fingerprint-mismatch rebuild *retires* the old
+     * precomp instead of mutating it, so references already handed to
+     * in-flight (possibly lock-free) readers stay valid for the
+     * cache's lifetime.
+     */
+    const KeySwitchPrecomp &get(const void *key_id, u64 fingerprint,
+                                size_t level,
+                                const Builder &build) const;
+
+    /** Drop every level cached for @p key_id. */
+    void invalidate(const void *key_id);
+
+    /** Drop everything. */
+    void clear();
+
+    /** @name Introspection (conformance tests assert build counts). @{ */
+    /** Lookups served from a resident entry. */
+    u64 hits() const;
+    /** Lookups that had to build (== precomps constructed). */
+    u64 misses() const;
+    /** Resident (key, level) entries. */
+    size_t size() const;
+    /** Zero the hit/miss counters; resident entries stay. */
+    void resetStats();
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        u64 fingerprint = 0;
+        std::unique_ptr<KeySwitchPrecomp> pre;
+    };
+
+    mutable std::mutex m_;
+    mutable std::map<std::pair<const void *, size_t>, Entry> entries_;
+    /** Precomps displaced by fingerprint-mismatch rebuilds: kept alive
+     *  (address-stable) for readers that grabbed them pre-rebuild. */
+    mutable std::vector<std::unique_ptr<KeySwitchPrecomp>> retired_;
+    mutable u64 hits_ = 0;
+    mutable u64 misses_ = 0;
+};
+
+} // namespace cross::ckks

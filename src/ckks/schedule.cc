@@ -7,19 +7,6 @@
 
 namespace cross::ckks {
 
-const char *
-heOpName(HeOp op)
-{
-    switch (op) {
-      case HeOp::Add: return "HE-Add";
-      case HeOp::Mult: return "HE-Mult";
-      case HeOp::Rescale: return "Rescale";
-      case HeOp::Rotate: return "Rotate";
-      case HeOp::RescaleMulti: return "RescaleMulti";
-    }
-    return "?";
-}
-
 namespace {
 
 void
@@ -121,6 +108,40 @@ enumerateKernels(HeOp op, const CkksParams &p, size_t level)
     return v;
 }
 
+size_t
+heOpNextLevel(HeOp op, const CkksParams &p, size_t level)
+{
+    switch (op) {
+      case HeOp::Add:
+      case HeOp::Mult:
+      case HeOp::Rotate:
+        return level;
+      case HeOp::Rescale:
+        requireThat(level >= 1, "heOpNextLevel: rescale needs >= 2 limbs");
+        return level - 1;
+      case HeOp::RescaleMulti:
+        requireThat(level >= p.rescaleSplit,
+                    "heOpNextLevel: rescaleMulti needs level >= "
+                    "rescaleSplit");
+        return level - p.rescaleSplit;
+    }
+    internalCheck(false, "heOpNextLevel: unknown op");
+    return level;
+}
+
+std::vector<KernelCall>
+enumerateKernels(const std::vector<HeOp> &pipeline, const CkksParams &p,
+                 size_t level)
+{
+    std::vector<KernelCall> v;
+    for (HeOp op : pipeline) {
+        const auto one = enumerateKernels(op, p, level);
+        v.insert(v.end(), one.begin(), one.end());
+        level = heOpNextLevel(op, p, level);
+    }
+    return v;
+}
+
 HeOpCostModel::HeOpCostModel(const tpu::DeviceConfig &dev,
                              lowering::Config cfg, CkksParams params)
     : dev_(dev), cfg_(cfg), params_(std::move(params)), lower_(dev, cfg),
@@ -162,10 +183,35 @@ HeOpCostModel::opCost(HeOp op, size_t level) const
     return total;
 }
 
+tpu::KernelCost
+HeOpCostModel::pipelineCost(const std::vector<HeOp> &pipeline,
+                            size_t level) const
+{
+    tpu::KernelCost total;
+    std::string name = "Pipeline[";
+    for (size_t i = 0; i < pipeline.size(); ++i) {
+        if (i)
+            name += " > ";
+        name += heOpName(pipeline[i]);
+    }
+    total.name = name + "]";
+    for (const auto &call : enumerateKernels(pipeline, params_, level))
+        total.append(kernelCost(call));
+    return total;
+}
+
 double
 HeOpCostModel::opLatencyUs(HeOp op, size_t level, u64 batch) const
 {
     const auto cost = opCost(op, level);
+    return tpu::runBatched(dev_, cost, batch).perItemUs;
+}
+
+double
+HeOpCostModel::pipelineLatencyUs(const std::vector<HeOp> &pipeline,
+                                 size_t level, u64 batch) const
+{
+    const auto cost = pipelineCost(pipeline, level);
     return tpu::runBatched(dev_, cost, batch).perItemUs;
 }
 

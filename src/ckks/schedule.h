@@ -14,6 +14,7 @@
 
 #include <vector>
 
+#include "ckks/he_op.h"
 #include "ckks/kernel_log.h"
 #include "ckks/params.h"
 #include "cross/lowering.h"
@@ -21,27 +22,27 @@
 
 namespace cross::ckks {
 
-/** The backbone HE operators of Table VIII. */
-enum class HeOp
-{
-    Add,
-    Mult,
-    Rescale,
-    Rotate,
-    /** Double rescaling (Section V-A): params().rescaleSplit chained
-     *  single rescales dropping one sub-modulus each. */
-    RescaleMulti,
-};
-
-const char *heOpName(HeOp op);
-
 /** Kernel schedule of one HE operator at @p level (limbs = level + 1). */
 std::vector<KernelCall> enumerateKernels(HeOp op, const CkksParams &params,
+                                         size_t level);
+
+/**
+ * Kernel schedule of a fused operator pipeline starting at @p level:
+ * the concatenation of each stage's schedule with the level evolving
+ * between stages (heOpNextLevel). Mirrors BatchEvaluator::run's
+ * per-item KernelLog exactly, so schedule-conformance tests can assert
+ * evaluator-log == enumerator for whole pipelines.
+ */
+std::vector<KernelCall> enumerateKernels(const std::vector<HeOp> &pipeline,
+                                         const CkksParams &params,
                                          size_t level);
 
 /** Kernel schedule of the hybrid key switch alone. */
 std::vector<KernelCall> enumerateKeySwitch(const CkksParams &params,
                                            size_t level);
+
+/** Level after applying @p op at @p level (Rescale consumes limbs). */
+size_t heOpNextLevel(HeOp op, const CkksParams &params, size_t level);
 
 /** Prices enumerated schedules on a simulated TPU. */
 class HeOpCostModel
@@ -62,8 +63,20 @@ class HeOpCostModel
      */
     tpu::KernelCost opCost(HeOp op, size_t level) const;
 
+    /**
+     * Fused cost of a whole operator pipeline starting at @p level:
+     * one launch covering every stage, pricing exactly the kernels
+     * BatchEvaluator::run executes per item.
+     */
+    tpu::KernelCost pipelineCost(const std::vector<HeOp> &pipeline,
+                                 size_t level) const;
+
     /** Amortised single-batch latency of @p op in microseconds. */
     double opLatencyUs(HeOp op, size_t level, u64 batch = 1) const;
+
+    /** Amortised per-item latency of a fused pipeline in microseconds. */
+    double pipelineLatencyUs(const std::vector<HeOp> &pipeline,
+                             size_t level, u64 batch = 1) const;
 
     /** Per-category latency breakdown of @p op (Fig. 12). */
     std::map<tpu::OpCat, double> opBreakdown(HeOp op, size_t level) const;

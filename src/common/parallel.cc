@@ -18,6 +18,25 @@ namespace {
 /** Set while a thread is executing a pool part (workers and caller). */
 thread_local bool t_in_pool_part = false;
 
+/** Decrements an active-job counter on scope exit (exception-safe). */
+struct ActiveJobGuard
+{
+    std::atomic<u32> &count;
+    explicit ActiveJobGuard(std::atomic<u32> &c) : count(c)
+    {
+        count.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~ActiveJobGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
+};
+
+/**
+ * Top-level pool jobs in flight across *all* ThreadPool instances.
+ * Global (not per-pool) so setGlobalThreadCount can refuse to resize
+ * while any job runs, without touching the pool object it is about to
+ * destroy.
+ */
+std::atomic<u32> g_active_jobs{0};
+
 } // namespace
 
 struct ThreadPool::Impl
@@ -107,9 +126,22 @@ ThreadPool::run(u32 parts, const std::function<void(u32)> &fn)
         return;
     requireThat(parts <= nthreads_, "ThreadPool::run: parts > threads");
 
-    // Inline paths: single-thread pool, single part, or nested call
-    // from inside a worker (avoids deadlock and oversubscription).
-    if (!impl_ || parts == 1 || t_in_pool_part) {
+    // Nested call from inside a worker: execute inline (avoids
+    // deadlock and oversubscription); the enclosing top-level run()
+    // already holds the active-job count.
+    if (t_in_pool_part) {
+        for (u32 p = 0; p < parts; ++p)
+            fn(p);
+        return;
+    }
+
+    // Top-level job: counted so setGlobalThreadCount can detect (and
+    // loudly refuse) a resize while this pool is mid-job. The inline
+    // single-thread/single-part paths count too -- destroying the pool
+    // object under a running job is just as fatal there.
+    ActiveJobGuard active(g_active_jobs);
+
+    if (!impl_ || parts == 1) {
         for (u32 p = 0; p < parts; ++p)
             fn(p);
         return;
@@ -163,7 +195,16 @@ globalThreadCount()
 void
 setGlobalThreadCount(u32 n)
 {
+    // Fail loudly instead of corrupting the pool: resetting g_pool
+    // joins (or, from a worker, deadlocks on) threads that are still
+    // executing a job.
+    internalCheck(!inParallelRegion(),
+                  "setGlobalThreadCount: called from inside a parallel "
+                  "region");
     std::lock_guard<std::mutex> g(g_pool_mutex);
+    internalCheck(g_active_jobs.load(std::memory_order_acquire) == 0,
+                  "setGlobalThreadCount: a parallelFor is active on "
+                  "another thread");
     const u32 want = n == 0 ? 1 : n;
     if (g_pool && g_pool->threadCount() == want) {
         g_threads.store(want, std::memory_order_relaxed);
@@ -175,15 +216,36 @@ setGlobalThreadCount(u32 n)
         g_pool = std::make_unique<ThreadPool>(want);
 }
 
+namespace {
+
+/**
+ * Pin the global pool *and* register the job in one g_pool_mutex
+ * acquisition, so setGlobalThreadCount (which checks the counter
+ * under the same mutex) can never destroy the pool between the lookup
+ * and run() starting. Caller must pair with JobRelease. This is the
+ * only way to reach the global pool: a public accessor returning the
+ * bare pool would reopen exactly that lookup-vs-run window.
+ */
 ThreadPool &
-globalThreadPool()
+acquireGlobalPoolForJob()
 {
     std::lock_guard<std::mutex> g(g_pool_mutex);
     if (!g_pool)
         g_pool = std::make_unique<ThreadPool>(
             g_threads.load(std::memory_order_relaxed));
+    g_active_jobs.fetch_add(1, std::memory_order_acq_rel);
     return *g_pool;
 }
+
+struct JobRelease
+{
+    ~JobRelease()
+    {
+        g_active_jobs.fetch_sub(1, std::memory_order_acq_rel);
+    }
+};
+
+} // namespace
 
 bool
 inParallelRegion()
@@ -205,7 +267,9 @@ parallelForRange(size_t begin, size_t end,
         body(begin, end);
         return;
     }
-    globalThreadPool().run(parts, [&](u32 p) {
+    ThreadPool &pool = acquireGlobalPoolForJob();
+    JobRelease release;
+    pool.run(parts, [&](u32 p) {
         // Deterministic static split: chunk p covers
         // [begin + p*len/parts, begin + (p+1)*len/parts).
         const size_t lo = begin + len * p / parts;

@@ -66,13 +66,13 @@ u32 globalThreadCount();
 
 /**
  * Resize the global pool (runtime config; benches expose it as
- * --threads). Not safe to call concurrently with an active
- * parallelFor. n == 0 is clamped to 1.
+ * --threads). Must not be called concurrently with an active
+ * parallelFor -- and that is *enforced*: calling from inside a
+ * parallel region, or while another thread has a pool job in flight,
+ * throws std::logic_error instead of corrupting the pool (destroying
+ * workers mid-job). n == 0 is clamped to 1.
  */
 void setGlobalThreadCount(u32 n);
-
-/** The pool behind parallelFor, sized by setGlobalThreadCount(). */
-ThreadPool &globalThreadPool();
 
 /** True on a pool worker thread (nested parallelFor runs inline). */
 bool inParallelRegion();

@@ -287,6 +287,64 @@ TEST_F(CkksFixture, RotationComposition)
 }
 
 // ---------------------------------------------------------------------
+// Precomp / rotation safety (regression: silent-corruption guards)
+// ---------------------------------------------------------------------
+TEST_F(CkksFixture, MismatchedPrecompLevelThrows)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = randomSlots(encoder.slotCount(), 31, 0.5);
+    const auto ct =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+
+    // A precomp one level below the operands: accepted silently, it
+    // would key-switch with the wrong digit restriction.
+    const auto stale =
+        evaluator.precomputeKeySwitch(rlk, ct.limbs() - 2);
+    EXPECT_THROW(evaluator.multiply(ct, ct, stale),
+                 std::invalid_argument);
+    EXPECT_THROW(evaluator.relinearize(evaluator.multiplyNoRelin(ct, ct),
+                                       stale),
+                 std::invalid_argument);
+
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto rot_stale =
+        evaluator.precomputeKeySwitch(rot_key, ct.limbs() - 2);
+    EXPECT_THROW(evaluator.rotate(ct, k, rot_stale),
+                 std::invalid_argument);
+
+    // The matching level still works.
+    const auto fresh =
+        evaluator.precomputeKeySwitch(rlk, ct.limbs() - 1);
+    EXPECT_NO_THROW(evaluator.multiply(ct, ct, fresh));
+}
+
+TEST_F(CkksFixture, RotateRejectsNonUnitAutomorphismIndices)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto a = randomSlots(encoder.slotCount(), 32, 0.5);
+    const auto ct =
+        encryptor.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const u32 two_n = 2 * ctx.degree();
+
+    // Even indices are not ring automorphisms at all.
+    EXPECT_THROW(evaluator.rotate(ct, 2, rot_key), std::invalid_argument);
+    EXPECT_THROW(evaluator.rotate(ct, 0, rot_key), std::invalid_argument);
+    // Indices >= 2N alias a smaller Galois element: previously accepted
+    // and silently applied as k mod 2N (with a duplicate cache entry).
+    EXPECT_THROW(evaluator.rotate(ct, two_n + k, rot_key),
+                 std::invalid_argument);
+
+    const auto pre =
+        evaluator.precomputeKeySwitch(rot_key, ct.limbs() - 1);
+    EXPECT_THROW(evaluator.rotate(ct, 2, pre), std::invalid_argument);
+    EXPECT_THROW(evaluator.rotate(ct, two_n + k, pre),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(evaluator.rotate(ct, k, pre));
+}
+
+// ---------------------------------------------------------------------
 // Schedule enumerator == functional kernel log
 // ---------------------------------------------------------------------
 class ScheduleMatch : public ::testing::TestWithParam<HeOp>
@@ -436,6 +494,44 @@ TEST(Schedule, LowerLevelsShrinkKernelCounts)
     EXPECT_GT(full.size(), low.size());
 }
 
+TEST(Schedule, PipelineEnumeratorChainsStagesWithEvolvingLevel)
+{
+    const auto p = CkksParams::testSet(1 << 10, 6, 3);
+    // Mult at level 5, Rescale 5 -> 4, Rotate at level 4.
+    const std::vector<HeOp> pipeline = {HeOp::Mult, HeOp::Rescale,
+                                        HeOp::Rotate};
+    const auto fused = enumerateKernels(pipeline, p, 5);
+
+    auto expect = enumerateKernels(HeOp::Mult, p, 5);
+    const auto rs = enumerateKernels(HeOp::Rescale, p, 5);
+    const auto rot = enumerateKernels(HeOp::Rotate, p, 4);
+    expect.insert(expect.end(), rs.begin(), rs.end());
+    expect.insert(expect.end(), rot.begin(), rot.end());
+
+    ASSERT_EQ(fused.size(), expect.size());
+    for (size_t i = 0; i < fused.size(); ++i)
+        EXPECT_TRUE(fused[i].sameShape(expect[i])) << i;
+
+    // Draining past the chain throws like the evaluator would.
+    const std::vector<HeOp> too_deep(6, HeOp::Rescale);
+    EXPECT_THROW(enumerateKernels(too_deep, p, 5), std::invalid_argument);
+}
+
+TEST(Schedule, HeOpNextLevelTracksLimbConsumption)
+{
+    auto p = CkksParams::testSet(1 << 10, 6, 3);
+    p.rescaleSplit = 2;
+    EXPECT_EQ(heOpNextLevel(HeOp::Add, p, 5), 5u);
+    EXPECT_EQ(heOpNextLevel(HeOp::Mult, p, 5), 5u);
+    EXPECT_EQ(heOpNextLevel(HeOp::Rotate, p, 5), 5u);
+    EXPECT_EQ(heOpNextLevel(HeOp::Rescale, p, 5), 4u);
+    EXPECT_EQ(heOpNextLevel(HeOp::RescaleMulti, p, 5), 3u);
+    EXPECT_THROW(heOpNextLevel(HeOp::Rescale, p, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(heOpNextLevel(HeOp::RescaleMulti, p, 1),
+                 std::invalid_argument);
+}
+
 // ---------------------------------------------------------------------
 // Cost model and bootstrapping estimator sanity
 // ---------------------------------------------------------------------
@@ -462,6 +558,30 @@ TEST(CostModel, MoreLimbsCostMore)
     HeOpCostModel model(tpu::tpuV6e(), cfg, pd);
     EXPECT_GT(model.opLatencyUs(HeOp::Mult, 50),
               model.opLatencyUs(HeOp::Mult, 20));
+}
+
+TEST(CostModel, PipelineCostMatchesStageSum)
+{
+    lowering::Config cfg;
+    const auto p = CkksParams::paperSet('B');
+    HeOpCostModel model(tpu::tpuV6e(), cfg, p);
+    const size_t lvl = p.limbs - 1;
+
+    const std::vector<HeOp> pipeline = {HeOp::Mult, HeOp::Rescale,
+                                        HeOp::Rotate};
+    auto sum = model.opCost(HeOp::Mult, lvl);
+    sum.append(model.opCost(HeOp::Rescale, lvl));
+    sum.append(model.opCost(HeOp::Rotate, lvl - 1));
+    const auto fused = model.pipelineCost(pipeline, lvl);
+
+    EXPECT_DOUBLE_EQ(fused.computeUs, sum.computeUs);
+    EXPECT_DOUBLE_EQ(fused.fixedUs, sum.fixedUs);
+    EXPECT_EQ(fused.paramBytes, sum.paramBytes);
+    EXPECT_EQ(fused.dataBytes, sum.dataBytes);
+    EXPECT_GT(model.pipelineLatencyUs(pipeline, lvl), 0);
+    // Batching amortises the fused launch like any single operator.
+    EXPECT_LT(model.pipelineLatencyUs(pipeline, lvl, 16),
+              model.pipelineLatencyUs(pipeline, lvl, 1));
 }
 
 TEST(CostModel, BreakdownSumsToTotalish)

@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Tests for batch-level operator fusion and key-switch key residency:
+ * BatchEvaluator::run(Pipeline) must be bit-identical (results and
+ * merged KernelLog) to looping CkksEvaluator item-by-item through the
+ * stages at any thread count, while building each (key, level)
+ * KeySwitchPrecomp exactly once per context -- asserted via the
+ * KeySwitchCache hit/miss counters. Also covers mixed-level batches
+ * picking the per-item level precomp, the pipeline schedule
+ * enumerator, cache invalidation, and concurrent cache access from
+ * independent application threads.
+ *
+ * Thread count comes from CROSS_TEST_THREADS (default 4) so the TSan
+ * CI job (ctest -L fusion) exercises the residency cache's concurrent
+ * reads with real concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+
+#include "ckks/batch_evaluator.h"
+#include "ckks/context.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+#include "ckks/schedule.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+namespace cross::ckks {
+namespace {
+
+u32
+testThreads()
+{
+    if (const char *env = std::getenv("CROSS_TEST_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1 && v <= 256)
+            return static_cast<u32>(v);
+    }
+    return 4;
+}
+
+class FusionFixture : public ::testing::Test
+{
+  protected:
+    static constexpr double kScale = 1 << 26;
+
+    FusionFixture()
+        : ctx(CkksParams::testSet(1 << 9, 5, 2)), encoder(ctx),
+          keygen(ctx, 0xf5), encryptor(ctx, keygen.publicKey(), 0xf6)
+    {
+    }
+
+    ~FusionFixture() override { setGlobalThreadCount(1); }
+
+    CtVec
+    encryptBatch(size_t count, u64 seed)
+    {
+        Rng rng(seed);
+        CtVec cts;
+        for (size_t i = 0; i < count; ++i) {
+            std::vector<Complex> v(encoder.slotCount());
+            for (auto &x : v)
+                x = Complex(rng.real() * 2 - 1, rng.real() * 2 - 1);
+            cts.push_back(encryptor.encrypt(
+                encoder.encode(v, kScale, ctx.qCount())));
+        }
+        return cts;
+    }
+
+    static void
+    expectEqual(const CtVec &a, const CtVec &b)
+    {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_TRUE(a[i].c0 == b[i].c0) << "item " << i;
+            EXPECT_TRUE(a[i].c1 == b[i].c1) << "item " << i;
+            EXPECT_DOUBLE_EQ(a[i].scale, b[i].scale) << "item " << i;
+        }
+    }
+
+    static void
+    expectSameLog(const KernelLog &got, const KernelLog &want)
+    {
+        ASSERT_EQ(got.calls().size(), want.calls().size());
+        for (size_t i = 0; i < got.calls().size(); ++i) {
+            EXPECT_TRUE(got.calls()[i].sameShape(want.calls()[i]))
+                << "call " << i << ": got "
+                << kernelKindName(got.calls()[i].kind) << "("
+                << got.calls()[i].limbs << "->"
+                << got.calls()[i].limbsOut << "), want "
+                << kernelKindName(want.calls()[i].kind) << "("
+                << want.calls()[i].limbs << "->"
+                << want.calls()[i].limbsOut << ")";
+        }
+    }
+
+    /** Sequential reference: item-by-item, stage-by-stage, threads=1,
+     *  using the one-shot SwitchKey paths (no cache involvement). */
+    CtVec
+    sequentialPipeline(const CtVec &input, const CtVec &b,
+                       const SwitchKey &rlk, u32 k,
+                       const SwitchKey &rot_key, KernelLog *log)
+    {
+        setGlobalThreadCount(1);
+        CkksEvaluator ev(ctx, log);
+        CtVec out;
+        out.reserve(input.size());
+        for (size_t i = 0; i < input.size(); ++i) {
+            Ciphertext cur = ev.multiply(input[i], b[i], rlk);
+            cur = ev.rescale(cur);
+            cur = ev.rotate(cur, k, rot_key);
+            out.push_back(cur);
+        }
+        return out;
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+};
+
+// ---------------------------------------------------------------------
+// Fused pipeline conformance (the acceptance criterion)
+// ---------------------------------------------------------------------
+TEST_F(FusionFixture, PipelineMatchesSequentialBitExactlyAtAnyThreadCount)
+{
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto a = encryptBatch(8, 1);
+    const auto b = encryptBatch(8, 2);
+
+    KernelLog seq_log;
+    const auto seq = sequentialPipeline(a, b, rlk, k, rot_key, &seq_log);
+
+    Pipeline p;
+    p.multiply(b, rlk).rescale().rotate(k, rot_key);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog par_log;
+        BatchEvaluator batch(ctx, &par_log);
+        const auto fused = batch.run(a, p);
+        expectEqual(fused, seq);
+        expectSameLog(par_log, seq_log);
+    }
+    setGlobalThreadCount(1);
+
+    // Key-switch key residency: the pipeline needs (rlk, top level) and
+    // (rot_key, top level - 1); each was built exactly once for the
+    // whole test -- the second thread-count run was served entirely
+    // from resident entries.
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_GE(cache.hits(), 2u * (8 - 1));
+}
+
+TEST_F(FusionFixture, PipelineLogMatchesScheduleEnumerator)
+{
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(2);
+    const auto rot_key = keygen.rotationKey(k);
+    const size_t count = 3;
+    const auto a = encryptBatch(count, 3);
+    const auto b = encryptBatch(count, 4);
+
+    Pipeline p;
+    p.add(b).multiply(b, rlk).rescale().rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    KernelLog log;
+    BatchEvaluator batch(ctx, &log);
+    (void)batch.run(a, p);
+
+    // The merged log is `count` copies of the per-item pipeline
+    // schedule, starting at the top level.
+    const auto predicted =
+        enumerateKernels(p.ops(), ctx.params(), ctx.qCount() - 1);
+    ASSERT_EQ(log.calls().size(), count * predicted.size());
+    for (size_t i = 0; i < count; ++i) {
+        for (size_t j = 0; j < predicted.size(); ++j) {
+            EXPECT_TRUE(log.calls()[i * predicted.size() + j].sameShape(
+                predicted[j]))
+                << "item " << i << " kernel " << j;
+        }
+    }
+}
+
+TEST_F(FusionFixture, MixedLevelPipelinePicksPerItemPrecomp)
+{
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    auto a = encryptBatch(6, 5);
+    auto b = encryptBatch(6, 6);
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    // Three items one level down: the pipeline spans two start levels.
+    for (size_t i = 0; i < 3; ++i) {
+        a[i] = ev.rescale(a[i]);
+        b[i] = ev.rescale(b[i]);
+    }
+
+    const auto seq = sequentialPipeline(a, b, rlk, k, rot_key, nullptr);
+
+    Pipeline p;
+    p.multiply(b, rlk).rescale().rotate(k, rot_key);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+    for (u32 threads : {1u, 4u}) {
+        setGlobalThreadCount(threads);
+        BatchEvaluator batch(ctx);
+        expectEqual(batch.run(a, p), seq);
+    }
+    setGlobalThreadCount(1);
+    // Two start levels x two keys = four distinct precomps, once each.
+    EXPECT_EQ(cache.misses(), 4u);
+}
+
+// ---------------------------------------------------------------------
+// Mixed-level batches through the per-operator entry points
+// ---------------------------------------------------------------------
+TEST_F(FusionFixture, MixedLevelBatchMultiplyMatchesSequential)
+{
+    const auto rlk = keygen.relinKey();
+    auto a = encryptBatch(5, 7);
+    auto b = encryptBatch(5, 8);
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    a[1] = ev.rescale(a[1]);
+    b[1] = ev.rescale(b[1]);
+    a[3] = ev.rescale(ev.rescale(a[3]));
+    b[3] = ev.rescale(ev.rescale(b[3]));
+
+    CtVec seq;
+    for (size_t i = 0; i < a.size(); ++i)
+        seq.push_back(ev.multiply(a[i], b[i], rlk));
+
+    for (u32 threads : {1u, 4u}) {
+        setGlobalThreadCount(threads);
+        BatchEvaluator batch(ctx);
+        expectEqual(batch.multiply(a, b, rlk), seq);
+    }
+    setGlobalThreadCount(1);
+}
+
+TEST_F(FusionFixture, MixedLevelBatchRotateMatchesSequential)
+{
+    const u32 k = encoder.rotationAutomorphism(3);
+    const auto rot_key = keygen.rotationKey(k);
+    auto a = encryptBatch(5, 9);
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    a[0] = ev.rescale(a[0]);
+    a[2] = ev.rescale(ev.rescale(a[2]));
+
+    CtVec seq;
+    for (size_t i = 0; i < a.size(); ++i)
+        seq.push_back(ev.rotate(a[i], k, rot_key));
+
+    for (u32 threads : {1u, 4u}) {
+        setGlobalThreadCount(threads);
+        BatchEvaluator batch(ctx);
+        expectEqual(batch.rotate(a, k, rot_key), seq);
+    }
+    setGlobalThreadCount(1);
+}
+
+// ---------------------------------------------------------------------
+// Residency cache behaviour
+// ---------------------------------------------------------------------
+TEST_F(FusionFixture, CacheSharedAcrossBatchesAndEvaluators)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = encryptBatch(3, 10);
+    const auto b = encryptBatch(3, 11);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+
+    setGlobalThreadCount(1);
+    BatchEvaluator batch1(ctx);
+    BatchEvaluator batch2(ctx);
+    const auto r1 = batch1.multiply(a, b, rlk);
+    const auto r2 = batch2.multiply(a, b, rlk);
+    expectEqual(r1, r2);
+    // One level, one key: a single build serves both evaluators.
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_GE(cache.hits(), 1u);
+}
+
+TEST_F(FusionFixture, CacheInvalidateRebuildsIdentically)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = encryptBatch(2, 12);
+    const auto b = encryptBatch(2, 13);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+
+    setGlobalThreadCount(1);
+    BatchEvaluator batch(ctx);
+    const auto before = batch.multiply(a, b, rlk);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    cache.invalidate(&rlk);
+    EXPECT_EQ(cache.size(), 0u);
+    const auto after = batch.multiply(a, b, rlk);
+    EXPECT_EQ(cache.misses(), 2u); // rebuilt once
+    expectEqual(before, after);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST_F(FusionFixture, CacheDetectsAddressReuseByFingerprint)
+{
+    // Entries are keyed by the key's address; if a SwitchKey dies and
+    // a *different* key lands at the same address, the recorded
+    // content fingerprint disagrees and the entry must be rebuilt
+    // instead of silently serving the dead key's operands.
+    KeySwitchCache cache;
+    const int dummy = 0; // stands in for a reused SwitchKey address
+    KeySwitchPrecomp first;
+    first.level = 7;
+    KeySwitchPrecomp second;
+    second.level = 9;
+
+    const auto &a =
+        cache.get(&dummy, 0x1111, 0, [&] { return first; });
+    EXPECT_EQ(a.level, 7u);
+    EXPECT_EQ(cache.misses(), 1u);
+
+    // Same address + same fingerprint: resident.
+    EXPECT_EQ(cache.get(&dummy, 0x1111, 0, [&] { return second; }).level,
+              7u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    // Same address, different fingerprint: rebuilt in place.
+    EXPECT_EQ(cache.get(&dummy, 0x2222, 0, [&] { return second; }).level,
+              9u);
+    EXPECT_EQ(cache.misses(), 2u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST_F(FusionFixture, ConcurrentApplicationThreadsShareCacheSafely)
+{
+    // Two independent application threads hammer the same context's
+    // residency cache (and the serialised global pool) concurrently;
+    // under TSan this probes the cache lock and the read-only sharing
+    // of resident precomps.
+    const auto rlk = keygen.relinKey();
+    const auto a = encryptBatch(4, 14);
+    const auto b = encryptBatch(4, 15);
+
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    CtVec seq;
+    for (size_t i = 0; i < a.size(); ++i)
+        seq.push_back(ev.multiply(a[i], b[i], rlk));
+
+    setGlobalThreadCount(testThreads());
+    std::vector<CtVec> results(2);
+    std::vector<std::thread> workers;
+    for (size_t w = 0; w < results.size(); ++w) {
+        workers.emplace_back([&, w] {
+            BatchEvaluator batch(ctx);
+            results[w] = batch.multiply(a, b, rlk);
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    setGlobalThreadCount(1);
+
+    for (const auto &r : results)
+        expectEqual(r, seq);
+}
+
+// ---------------------------------------------------------------------
+// Pipeline plumbing edges
+// ---------------------------------------------------------------------
+TEST_F(FusionFixture, EmptyPipelineAndEmptyBatchAreNoOps)
+{
+    const auto a = encryptBatch(2, 16);
+    setGlobalThreadCount(1);
+    KernelLog log;
+    BatchEvaluator batch(ctx, &log);
+
+    const Pipeline empty;
+    const auto same = batch.run(a, empty);
+    expectEqual(same, a);
+    EXPECT_TRUE(log.calls().empty());
+
+    const auto rlk = keygen.relinKey();
+    const CtVec empty_rhs;
+    Pipeline p;
+    p.multiply(empty_rhs, rlk).rescale();
+    EXPECT_TRUE(batch.run({}, p).empty());
+    EXPECT_TRUE(log.calls().empty());
+}
+
+TEST_F(FusionFixture, PipelineRejectsBadShapes)
+{
+    const auto rlk = keygen.relinKey();
+    const auto a = encryptBatch(3, 17);
+    const auto short_rhs = encryptBatch(2, 18);
+    setGlobalThreadCount(1);
+    BatchEvaluator batch(ctx);
+
+    Pipeline size_mismatch;
+    size_mismatch.multiply(short_rhs, rlk);
+    EXPECT_THROW(batch.run(a, size_mismatch), std::invalid_argument);
+
+    // Draining the whole modulus chain: 5 limbs support 4 rescales.
+    Pipeline too_deep;
+    for (int i = 0; i < 5; ++i)
+        too_deep.rescale();
+    EXPECT_THROW(batch.run(a, too_deep), std::invalid_argument);
+
+    const auto rot_key = keygen.rotationKey(3);
+    Pipeline bad_idx;
+    bad_idx.rotate(4, rot_key); // even: not a ring automorphism
+    EXPECT_THROW(batch.run(a, bad_idx), std::invalid_argument);
+}
+
+} // namespace
+} // namespace cross::ckks

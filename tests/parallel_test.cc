@@ -12,10 +12,12 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 
 #include "ckks/batch_evaluator.h"
 #include "ckks/context.h"
@@ -140,6 +142,62 @@ TEST(GlobalThreadCount, RoundTrips)
     EXPECT_EQ(globalThreadCount(), 3u);
     setGlobalThreadCount(0); // clamped
     EXPECT_EQ(globalThreadCount(), 1u);
+    setGlobalThreadCount(1);
+}
+
+TEST(GlobalThreadCount, RejectsResizeInsideParallelRegion)
+{
+    // Resizing from inside a parallelFor body would destroy the pool
+    // the body is running on; it must throw instead of corrupting it.
+    const u32 threads = std::max(2u, testThreads());
+    setGlobalThreadCount(threads);
+    const size_t range = static_cast<size_t>(threads) * 4;
+    std::atomic<size_t> throws{0};
+    parallelFor(0, range, [&](size_t) {
+        try {
+            setGlobalThreadCount(2);
+        } catch (const std::logic_error &) {
+            ++throws;
+        }
+    });
+    EXPECT_EQ(throws.load(), range);
+    // The pool survived and still works at the original size.
+    EXPECT_EQ(globalThreadCount(), threads);
+    std::atomic<size_t> hits{0};
+    parallelFor(0, range, [&](size_t) { ++hits; });
+    EXPECT_EQ(hits.load(), range);
+    setGlobalThreadCount(1);
+}
+
+TEST(GlobalThreadCount, RejectsResizeWhileJobActiveOnAnotherThread)
+{
+    const u32 threads = std::max(2u, testThreads());
+    setGlobalThreadCount(threads);
+
+    std::atomic<bool> started{false};
+    std::atomic<bool> release{false};
+    std::atomic<int> caught{0};
+
+    std::thread resizer([&] {
+        while (!started.load())
+            std::this_thread::yield();
+        try {
+            setGlobalThreadCount(2);
+        } catch (const std::logic_error &) {
+            ++caught;
+        }
+        release.store(true);
+    });
+
+    parallelFor(0, 2, [&](size_t i) {
+        if (i == 0) {
+            started.store(true);
+            while (!release.load())
+                std::this_thread::yield();
+        }
+    });
+    resizer.join();
+    EXPECT_EQ(caught.load(), 1);
     setGlobalThreadCount(1);
 }
 
