@@ -18,7 +18,15 @@
  * sequential evaluator loop, per-operator batched calls, and the fused
  * BatchEvaluator::run with the context-level key-switch residency
  * cache -- and the fused-vs-unfused amortisation is reported along
- * with the cache's build/hit counters. Runtime config:
+ * with the cache's build/hit counters.
+ *
+ * Part 4 (residency roll-off): the functional mirror of the
+ * VMEM-residency knee in the analytical curves. A Set-D-style
+ * rotation-key working set (several keys x several levels) is replayed
+ * under a sweep of KeySwitchCache byte budgets; as the budget drops
+ * below the working set, LRU evictions force precomp re-streams on the
+ * next pass -- hit rate rolls off exactly like batched NTT throughput
+ * does when operands stop fitting VMEM. Runtime config:
  *
  *     --threads <n>   thread-pool size for the batched runs (default 4)
  *     --batch <n>     ciphertexts per batch               (default 8)
@@ -328,6 +336,152 @@ functionalPipeline(bench::Reporter &rep, u64 threads, u64 batch)
     return identical;
 }
 
+/**
+ * Key-switch residency roll-off: replay a many-(key, level) rotation
+ * working set under shrinking cache byte budgets. Two passes per
+ * budget: the first builds, the second measures how much of the
+ * working set stayed resident. Returns false when any bounded result
+ * is not bit-identical to the unbounded reference.
+ */
+bool
+residencySweep(bench::Reporter &rep, u64 batch)
+{
+    using namespace cross::ckks;
+    CkksContext ctx(CkksParams::testSet(1 << 10, 8, 2));
+    CkksEncoder encoder(ctx);
+    KeyGenerator keygen(ctx, 0x11f);
+    CkksEncryptor encryptor(ctx, keygen.publicKey(), 0x120);
+
+    // Set-D flavour: a pool of rotation keys exercised at several
+    // levels -> keys x levels resident precomps when unbounded.
+    constexpr size_t kKeys = 6;
+    const std::vector<size_t> kLevels = {7, 5, 3};
+    std::vector<u32> ks;
+    std::vector<SwitchKey> keys;
+    keys.reserve(kKeys);
+    for (size_t j = 0; j < kKeys; ++j) {
+        ks.push_back(
+            encoder.rotationAutomorphism(static_cast<i64>(j + 1)));
+        keys.push_back(keygen.rotationKey(ks.back()));
+    }
+
+    const double scale = static_cast<double>(1ULL << 26);
+    Rng rng(0xf1911d);
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    std::vector<CtVec> inputs; // one batch per level
+    for (size_t level : kLevels) {
+        CtVec v;
+        for (u64 i = 0; i < batch; ++i) {
+            std::vector<Complex> slots(encoder.slotCount());
+            for (auto &x : slots)
+                x = Complex(rng.real() * 2 - 1, rng.real() * 2 - 1);
+            v.push_back(ev.reduceToLimbs(
+                encryptor.encrypt(
+                    encoder.encode(slots, scale, ctx.qCount())),
+                level + 1));
+        }
+        inputs.push_back(std::move(v));
+    }
+
+    auto &cache = ctx.keySwitchCache();
+    BatchEvaluator batch_ev(ctx);
+    // The measurement pass walks the working set in reverse: BSGS
+    // stages revisit their most recent keys first (StC follows CtS at
+    // adjacent levels), and a forward cyclic scan is LRU's pathological
+    // 0%-hit case rather than the roll-off being measured.
+    const auto replay = [&](bool reversed) {
+        std::vector<CtVec> out;
+        const size_t total = kLevels.size() * kKeys;
+        for (size_t p = 0; p < total; ++p) {
+            const size_t v = reversed ? total - 1 - p : p;
+            out.push_back(batch_ev.rotate(inputs[v / kKeys],
+                                          ks[v % kKeys],
+                                          keys[v % kKeys]));
+        }
+        return out;
+    };
+    // got (possibly reversed) must equal the forward reference.
+    const auto matches = [&](const std::vector<CtVec> &got,
+                             const std::vector<CtVec> &ref,
+                             bool reversed) {
+        if (got.size() != ref.size())
+            return false;
+        for (size_t g = 0; g < got.size(); ++g) {
+            const auto &r = ref[reversed ? ref.size() - 1 - g : g];
+            if (got[g].size() != r.size())
+                return false;
+            for (size_t i = 0; i < got[g].size(); ++i)
+                if (!(got[g][i].c0 == r[i].c0 &&
+                      got[g][i].c1 == r[i].c1))
+                    return false;
+        }
+        return true;
+    };
+
+    // Unbounded reference: working set size + correctness baseline.
+    cache.clear();
+    cache.resetStats();
+    const auto reference = replay(false);
+    const size_t working_set = cache.residentBytes();
+
+    TablePrinter t("Key-switch residency roll-off (LRU byte budget, "
+                   "2nd pass over a " +
+                   std::to_string(kKeys) + "-key x " +
+                   std::to_string(kLevels.size()) +
+                   "-level working set)");
+    t.header({"Budget", "resident KB", "hit rate", "rebuilds",
+              "evictions"});
+
+    bool identical = true;
+    const struct
+    {
+        const char *name;
+        double frac;
+    } budgets[] = {{"unbounded", 0.0}, {"100%", 1.0}, {"50%", 0.5},
+                   {"25%", 0.25},      {"12.5%", 0.125}};
+    for (const auto &b : budgets) {
+        const size_t budget = static_cast<size_t>(
+            b.frac * static_cast<double>(working_set));
+        cache.clear();
+        cache.resetStats();
+        cache.setByteBudget(budget);
+        const auto first = replay(false);
+        const u64 builds = cache.misses();
+        cache.resetStats();
+        const auto second = replay(true); // steady-state residency
+        const u64 hits = cache.hits();
+        const u64 rebuilds = cache.misses();
+        const double hit_rate = static_cast<double>(hits) /
+            static_cast<double>(hits + rebuilds);
+
+        identical = identical && matches(first, reference, false) &&
+            matches(second, reference, true);
+
+        t.row({b.name, fmtF(static_cast<double>(cache.residentBytes()) /
+                                1024.0, 0),
+               fmtPct(hit_rate), std::to_string(rebuilds),
+               std::to_string(cache.evictions())});
+        rep.add("fig11b/residency_sweep",
+                {{"budget", b.name},
+                 {"keys", std::to_string(kKeys)},
+                 {"levels", std::to_string(kLevels.size())},
+                 {"batch", std::to_string(batch)},
+                 {"builds_cold", std::to_string(builds)},
+                 {"rebuilds_warm", std::to_string(rebuilds)},
+                 {"evictions", std::to_string(cache.evictions())}},
+                0.0, hit_rate);
+    }
+    cache.setByteBudget(0);
+    t.print(std::cout);
+    std::cout << "Bit-identical across all budgets: "
+              << (identical ? "yes" : "NO (BUG)")
+              << "\nShape: hit rate holds at 100% budget and rolls off "
+                 "as the working set stops fitting -- the functional "
+                 "mirror of the Fig. 11b VMEM knee.\n";
+    return identical;
+}
+
 } // namespace
 
 int
@@ -350,6 +504,8 @@ main(int argc, char **argv)
     bool ok = functionalBatch(rep, thr, bat);
     std::cout << "\n";
     ok = functionalPipeline(rep, thr, bat) && ok;
+    std::cout << "\n";
+    ok = residencySweep(rep, bat) && ok;
     if (!ok) {
         rep.cancel(); // never ship numbers from a wrong result
         return 1;

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Validate cross-bench-v1 JSON artifacts.
+
+Shared schema check for every --json-capable bench binary (see
+bench/bench_util.h for the emitting side): the CI bench-smoke step and
+the CTest bench smoke driver (cmake/RunBenchSmoke.cmake) both run it,
+so a bench that silently drifts from the schema fails the build rather
+than poisoning the cross-PR perf trajectory.
+
+Usage: validate_bench_json.py FILE.json [FILE.json ...]
+
+Exits 0 when every file conforms; prints one line per failure and
+exits 1 otherwise.
+"""
+
+import json
+import numbers
+import sys
+
+SCHEMA = "cross-bench-v1"
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return False
+
+
+def validate_record(path, i, rec):
+    where = f"records[{i}]"
+    if not isinstance(rec, dict):
+        return fail(path, f"{where} is not an object")
+    name = rec.get("name")
+    if not isinstance(name, str) or not name:
+        return fail(path, f"{where}.name missing or empty")
+    params = rec.get("params")
+    if not isinstance(params, dict):
+        return fail(path, f"{where}.params is not an object")
+    for k, v in params.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            return fail(
+                path, f"{where}.params has a non-string key or value"
+            )
+    for field in ("ns_per_op", "items_per_sec"):
+        v = rec.get(field)
+        if not isinstance(v, numbers.Real) or isinstance(v, bool):
+            return fail(path, f"{where}.{field} missing or non-numeric")
+        if v < 0 or v != v:  # negative or NaN
+            return fail(path, f"{where}.{field} = {v} is not a valid "
+                              "measurement")
+    return True
+
+
+def validate_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or malformed JSON: {e}")
+    if not isinstance(doc, dict):
+        return fail(path, "top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        return fail(path, f"schema is {doc.get('schema')!r}, expected "
+                          f"{SCHEMA!r}")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        return fail(path, "bench name missing or empty")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        return fail(path, "records missing or empty")
+    ok = all(validate_record(path, i, r) for i, r in enumerate(records))
+    if ok:
+        print(f"{path}: ok ({bench}, {len(records)} record(s))")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return 0 if all([validate_file(p) for p in argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,7 +1,11 @@
-# Test driver for the bench_smoke CTest entry: runs a benchmark binary
-# in --json mode and validates the emitted file parses as JSON and
-# contains at least one record. Invoked as
-#   cmake -DBENCH_BIN=... -DOUT_JSON=... [-DBENCH_ARGS=a;b;c] -P RunBenchSmoke.cmake
+# Test driver for the bench_smoke CTest entries: runs a benchmark
+# binary in --json mode and validates the emitted file parses as JSON
+# and contains at least one record; when a python3 and the shared
+# cross-bench-v1 validator are available, the full schema check runs
+# too (the same validator CI applies to every uploaded artifact).
+# Invoked as
+#   cmake -DBENCH_BIN=... -DOUT_JSON=... [-DBENCH_ARGS=a;b;c]
+#         [-DVALIDATOR=.../validate_bench_json.py] -P RunBenchSmoke.cmake
 
 if(NOT BENCH_BIN OR NOT OUT_JSON)
     message(FATAL_ERROR "RunBenchSmoke.cmake requires BENCH_BIN and OUT_JSON")
@@ -32,3 +36,18 @@ string(JSON first_ns GET "${content}" "records" 0 "ns_per_op")
 
 message(STATUS "bench '${bench_name}': ${record_count} record(s), "
                "first ns_per_op=${first_ns}")
+
+if(VALIDATOR)
+    find_program(PYTHON3_EXE python3)
+    if(PYTHON3_EXE)
+        execute_process(
+            COMMAND "${PYTHON3_EXE}" "${VALIDATOR}" "${OUT_JSON}"
+            RESULT_VARIABLE vrv)
+        if(NOT vrv EQUAL 0)
+            message(FATAL_ERROR
+                    "${OUT_JSON} failed the cross-bench-v1 schema check")
+        endif()
+    else()
+        message(STATUS "python3 not found - skipping schema validation")
+    endif()
+endif()

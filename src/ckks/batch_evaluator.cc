@@ -7,38 +7,128 @@
 
 namespace cross::ckks {
 
+// Fail-fast (run validates before any parallel work): a missing row or
+// a row whose chain is shorter than the ciphertext's is the caller's
+// bug, mirrored on the scalar paths' precomp-level-style checks.
+const Plaintext &
+pipelineStagePlain(const PipelineStage &st, size_t level)
+{
+    if (st.pt) {
+        requireThat(st.pt->poly.limbCount() >= level + 1,
+                    "BatchEvaluator::run: plaintext operand level below "
+                    "item level");
+        return *st.pt;
+    }
+    requireThat(st.ptRows != nullptr,
+                "BatchEvaluator::run: plaintext stage has no operand");
+    requireThat(level < st.ptRows->size(),
+                "BatchEvaluator::run: no plaintext row for item level");
+    const Plaintext &row = (*st.ptRows)[level];
+    requireThat(row.poly.limbCount() >= level + 1,
+                "BatchEvaluator::run: plaintext row level below item "
+                "level");
+    return row;
+}
+
 Pipeline &
 Pipeline::add(const CtVec &rhs)
 {
-    stages_.push_back({HeOp::Add, 0, nullptr, &rhs});
+    PipelineStage st{};
+    st.op = HeOp::Add;
+    st.rhs = &rhs;
+    stages_.push_back(std::move(st));
     return *this;
 }
 
 Pipeline &
 Pipeline::multiply(const CtVec &rhs, const SwitchKey &rlk)
 {
-    stages_.push_back({HeOp::Mult, 0, &rlk, &rhs});
+    PipelineStage st{};
+    st.op = HeOp::Mult;
+    st.key = &rlk;
+    st.rhs = &rhs;
+    stages_.push_back(std::move(st));
     return *this;
 }
 
 Pipeline &
 Pipeline::rescale()
 {
-    stages_.push_back({HeOp::Rescale, 0, nullptr, nullptr});
+    PipelineStage st{};
+    st.op = HeOp::Rescale;
+    stages_.push_back(std::move(st));
     return *this;
 }
 
 Pipeline &
 Pipeline::rescaleMulti()
 {
-    stages_.push_back({HeOp::RescaleMulti, 0, nullptr, nullptr});
+    PipelineStage st{};
+    st.op = HeOp::RescaleMulti;
+    stages_.push_back(std::move(st));
     return *this;
 }
 
 Pipeline &
 Pipeline::rotate(u32 auto_idx, const SwitchKey &rot_key)
 {
-    stages_.push_back({HeOp::Rotate, auto_idx, &rot_key, nullptr});
+    PipelineStage st{};
+    st.op = HeOp::Rotate;
+    st.autoIdx = auto_idx;
+    st.key = &rot_key;
+    stages_.push_back(std::move(st));
+    return *this;
+}
+
+Pipeline &
+Pipeline::addPlain(const Plaintext &pt)
+{
+    PipelineStage st{};
+    st.op = HeOp::AddPlain;
+    st.pt = &pt;
+    stages_.push_back(std::move(st));
+    return *this;
+}
+
+Pipeline &
+Pipeline::multiplyPlain(const Plaintext &pt)
+{
+    PipelineStage st{};
+    st.op = HeOp::MultiplyPlain;
+    st.pt = &pt;
+    stages_.push_back(std::move(st));
+    return *this;
+}
+
+Pipeline &
+Pipeline::addPlain(const std::vector<Plaintext> &rows)
+{
+    PipelineStage st{};
+    st.op = HeOp::AddPlain;
+    st.ptRows = &rows;
+    stages_.push_back(std::move(st));
+    return *this;
+}
+
+Pipeline &
+Pipeline::multiplyPlain(const std::vector<Plaintext> &rows)
+{
+    PipelineStage st{};
+    st.op = HeOp::MultiplyPlain;
+    st.ptRows = &rows;
+    stages_.push_back(std::move(st));
+    return *this;
+}
+
+Pipeline &
+Pipeline::rotateAccum(std::vector<RotateBranch> branches)
+{
+    requireThat(!branches.empty(),
+                "Pipeline::rotateAccum: need at least one branch");
+    PipelineStage st{};
+    st.op = HeOp::RotateAccum;
+    st.branches = std::move(branches);
+    stages_.push_back(std::move(st));
     return *this;
 }
 
@@ -49,6 +139,18 @@ Pipeline::ops() const
     ops.reserve(stages_.size());
     for (const auto &st : stages_)
         ops.push_back(st.op);
+    return ops;
+}
+
+std::vector<PipelineOp>
+Pipeline::pipelineOps() const
+{
+    std::vector<PipelineOp> ops;
+    ops.reserve(stages_.size());
+    for (const auto &st : stages_)
+        ops.push_back({st.op, st.op == HeOp::RotateAccum
+                                  ? st.branches.size()
+                                  : size_t{1}});
     return ops;
 }
 
@@ -180,18 +282,31 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
     const size_t count = input.size();
     const auto &stages = pipeline.stages();
 
-    // Walk every item's limb count through the stages to discover the
-    // exact set of (key, level) precomps the pipeline needs, fetch
-    // each from the context's residency cache exactly once (sequential
-    // prefetch: the parallel region below only reads), and warm the
-    // shared automorphism maps. stage_pre[s][i] is the precomp item i
-    // uses at stage s (null for keyless stages).
+    // Walk every item's (limb count, scale) through the stages to
+    // discover the exact set of (key, level) precomps the pipeline
+    // needs, fetch each from the context's residency cache exactly
+    // once (sequential prefetch: the parallel region below only
+    // reads), warm the shared automorphism maps, and fail fast on
+    // malformed operands -- level/scale-mismatched plaintext rows,
+    // short rhs batches, drained modulus chains -- before any parallel
+    // work starts. The scale walk replays the evaluator's exact
+    // floating-point updates, so its checks accept precisely the
+    // batches the per-item execution would accept.
+    //
+    // stage_pre[s][i] is the precomp item i uses at stage s (null for
+    // keyless stages); accum_pre[s][b][i] the same for branch b of a
+    // RotateAccum stage.
     std::vector<size_t> limbs(count);
-    for (size_t i = 0; i < count; ++i)
+    std::vector<double> scale(count);
+    for (size_t i = 0; i < count; ++i) {
         limbs[i] = input[i].limbs();
+        scale[i] = input[i].scale;
+    }
     std::vector<std::vector<const KeySwitchPrecomp *>> stage_pre(
         stages.size(),
         std::vector<const KeySwitchPrecomp *>(count, nullptr));
+    std::vector<std::vector<std::vector<const KeySwitchPrecomp *>>>
+        accum_pre(stages.size());
     const CkksEvaluator builder(ctx_);
     for (size_t s = 0; s < stages.size(); ++s) {
         const auto &st = stages[s];
@@ -202,13 +317,18 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
         }
         switch (st.op) {
           case HeOp::Add:
-            for (size_t i = 0; i < count; ++i)
+            for (size_t i = 0; i < count; ++i) {
+                requireThat(ckksScalesMatch(scale[i], (*st.rhs)[i].scale),
+                            "BatchEvaluator::run: add stage scales do "
+                            "not match");
                 limbs[i] = std::min(limbs[i], (*st.rhs)[i].limbs());
+            }
             break;
 
           case HeOp::Mult:
             for (size_t i = 0; i < count; ++i) {
                 limbs[i] = std::min(limbs[i], (*st.rhs)[i].limbs());
+                scale[i] = scale[i] * (*st.rhs)[i].scale;
                 stage_pre[s][i] =
                     &builder.precomputeKeySwitchCached(*st.key,
                                                        limbs[i] - 1);
@@ -220,6 +340,8 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
                 requireThat(limbs[i] >= 2,
                             "BatchEvaluator::run: rescale has no limb "
                             "left to drop");
+                scale[i] = scale[i] /
+                    static_cast<double>(ctx_.qModulus(limbs[i] - 1));
                 --limbs[i];
             }
             break;
@@ -229,6 +351,11 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
                 requireThat(limbs[i] > ctx_.params().rescaleSplit,
                             "BatchEvaluator::run: not enough limbs for "
                             "a double rescale");
+                for (u32 r = 0; r < ctx_.params().rescaleSplit; ++r) {
+                    scale[i] = scale[i] /
+                        static_cast<double>(
+                            ctx_.qModulus(limbs[i] - 1 - r));
+                }
                 limbs[i] -= ctx_.params().rescaleSplit;
             }
             break;
@@ -243,6 +370,43 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
                                                        limbs[i] - 1);
             }
             break;
+
+          case HeOp::AddPlain:
+            for (size_t i = 0; i < count; ++i) {
+                const Plaintext &pt = pipelineStagePlain(st, limbs[i] - 1);
+                requireThat(ckksScalesMatch(scale[i], pt.scale),
+                            "BatchEvaluator::run: addPlain stage "
+                            "scales do not match");
+            }
+            break;
+
+          case HeOp::MultiplyPlain:
+            for (size_t i = 0; i < count; ++i) {
+                const Plaintext &pt = pipelineStagePlain(st, limbs[i] - 1);
+                scale[i] = scale[i] * pt.scale;
+            }
+            break;
+
+          case HeOp::RotateAccum: {
+            requireThat(!st.branches.empty(),
+                        "BatchEvaluator::run: rotateAccum stage has no "
+                        "branches");
+            accum_pre[s].assign(
+                st.branches.size(),
+                std::vector<const KeySwitchPrecomp *>(count, nullptr));
+            for (size_t b = 0; b < st.branches.size(); ++b) {
+                const auto &br = st.branches[b];
+                checkAutomorphismIndex(ctx_, br.autoIdx);
+                if (count > 0)
+                    (void)ctx_.ring().evalAutoMap(br.autoIdx);
+                for (size_t i = 0; i < count; ++i) {
+                    accum_pre[s][b][i] =
+                        &builder.precomputeKeySwitchCached(
+                            *br.key, limbs[i] - 1);
+                }
+            }
+            break;
+          }
         }
     }
 
@@ -270,6 +434,26 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
               case HeOp::Rotate:
                 cur = ev.rotate(cur, st.autoIdx, *stage_pre[s][i]);
                 break;
+              case HeOp::AddPlain:
+                cur = ev.addPlain(cur, pipelineStagePlain(st, cur.limbs() - 1));
+                break;
+              case HeOp::MultiplyPlain:
+                cur = ev.multiplyPlain(cur,
+                                       pipelineStagePlain(st, cur.limbs() - 1));
+                break;
+              case HeOp::RotateAccum: {
+                // Fan out from the stage input, fold partial sums back
+                // in branch order (kernels log as Rotate then Add per
+                // branch, matching the schedule enumerator).
+                Ciphertext acc = cur;
+                for (size_t b = 0; b < st.branches.size(); ++b) {
+                    Ciphertext rotated = ev.rotate(
+                        cur, st.branches[b].autoIdx, *accum_pre[s][b][i]);
+                    acc = ev.add(acc, rotated);
+                }
+                cur = acc;
+                break;
+              }
             }
         }
         return cur;

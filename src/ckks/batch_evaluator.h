@@ -52,10 +52,17 @@ namespace cross::ckks {
 /** A batch of ciphertexts, one slot vector each. */
 using CtVec = std::vector<Ciphertext>;
 
+/** One rotate branch of a RotateAccum (fan-in) stage. */
+struct RotateBranch
+{
+    u32 autoIdx = 0;               ///< Galois element of this branch
+    const SwitchKey *key = nullptr; ///< its rotation key
+};
+
 /**
  * One stage of a fused pipeline. Operand pointers reference
  * caller-owned storage; they must outlive the BatchEvaluator::run()
- * call (the Pipeline never copies ciphertexts or keys).
+ * call (the Pipeline never copies ciphertexts, plaintexts or keys).
  */
 struct PipelineStage
 {
@@ -63,7 +70,24 @@ struct PipelineStage
     u32 autoIdx = 0;              ///< Rotate: Galois element
     const SwitchKey *key = nullptr; ///< Mult (relin) / Rotate key
     const CtVec *rhs = nullptr;   ///< Add / Mult second operand batch
+    /** AddPlain / MultiplyPlain: one operand for every item. */
+    const Plaintext *pt = nullptr;
+    /** AddPlain / MultiplyPlain: per-level operand rows (CtS/StC
+     *  matrix rows), indexed by the item's level at this stage. */
+    const std::vector<Plaintext> *ptRows = nullptr;
+    /** RotateAccum: the rotate-and-accumulate fan-in branches. */
+    std::vector<RotateBranch> branches;
 };
+
+/**
+ * Plaintext operand of an AddPlain/MultiplyPlain stage for an item at
+ * @p level: the single operand, or the per-level row. Validates the
+ * operand (present, chain covering level+1 limbs) and throws
+ * std::invalid_argument otherwise. Shared by BatchEvaluator::run's
+ * prevalidation walk, its execution loop and the sequential reference
+ * interpreters, so the checked selection logic cannot diverge.
+ */
+const Plaintext &pipelineStagePlain(const PipelineStage &st, size_t level);
 
 /**
  * A small operator sequence applied item-wise by BatchEvaluator::run.
@@ -84,6 +108,29 @@ class Pipeline
     Pipeline &rescaleMulti();
     Pipeline &rotate(u32 auto_idx, const SwitchKey &rot_key);
 
+    /** @name Plaintext-operand stages (CtS/StC matrices, EvalMod
+     *  constants). The single-operand forms apply @p pt to every item;
+     *  the per-level forms pick rows[level] for an item sitting at
+     *  `level` when the stage runs, so one stage serves a mixed-level
+     *  batch or a pipeline position whose level varies per item.
+     *  @{ */
+    Pipeline &addPlain(const Plaintext &pt);
+    Pipeline &multiplyPlain(const Plaintext &pt);
+    Pipeline &addPlain(const std::vector<Plaintext> &rows);
+    Pipeline &multiplyPlain(const std::vector<Plaintext> &rows);
+    /** @} */
+
+    /**
+     * Branching-DAG stage: cur = cur + sum_j rotate(cur, branch_j) --
+     * the rotate-and-accumulate fan-in of a slot-summation rotation
+     * tree. Every branch rotates the stage *input* (not the running
+     * sum), and the partial sums fold back in branch order, exactly
+     * like the sequential loop
+     *
+     *     acc = cur; for b: acc = add(acc, rotate(cur, k_b)); cur = acc
+     */
+    Pipeline &rotateAccum(std::vector<RotateBranch> branches);
+
     /** @name Stages hold pointers; temporaries would dangle by run().
      *  Deleted so the misuse is a compile error, not a use-after-free.
      *  @{ */
@@ -92,13 +139,24 @@ class Pipeline
     Pipeline &multiply(const CtVec &, SwitchKey &&) = delete;
     Pipeline &multiply(CtVec &&, SwitchKey &&) = delete;
     Pipeline &rotate(u32, SwitchKey &&) = delete;
+    Pipeline &addPlain(Plaintext &&) = delete;
+    Pipeline &multiplyPlain(Plaintext &&) = delete;
+    Pipeline &addPlain(std::vector<Plaintext> &&) = delete;
+    Pipeline &multiplyPlain(std::vector<Plaintext> &&) = delete;
     /** @} */
 
     const std::vector<PipelineStage> &stages() const { return stages_; }
     bool empty() const { return stages_.empty(); }
 
-    /** Operator sequence for the schedule enumerator / cost model. */
+    /** Operator sequence for the schedule enumerator / cost model
+     *  (one entry per stage; a RotateAccum stage appears once -- use
+     *  pipelineOps() when branch arity matters). */
     std::vector<HeOp> ops() const;
+
+    /** Structural form: op + fan-in per stage, the shape
+     *  enumerateKernels(vector<PipelineOp>, ...) and
+     *  HeOpCostModel::pipelineCost price. */
+    std::vector<PipelineOp> pipelineOps() const;
 
   private:
     std::vector<PipelineStage> stages_;

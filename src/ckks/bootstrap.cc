@@ -63,130 +63,123 @@ appendHoistedRotations(std::vector<KernelCall> &v, const CkksParams &p,
     }
 }
 
+/**
+ * The one structural walk of the packed bootstrapping schedule
+ * (ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff). Every consumer
+ * -- the op-level enumeration, the hoisted kernel expansion and the
+ * executable pipeline builder -- replays this walk, so op counts and
+ * level evolution can never drift between the estimator and the
+ * functional engine.
+ *
+ * @p on_rot_group fires once per BSGS rotation group (nrot, level);
+ * @p on_op fires for every non-rotation op (op, level).
+ */
+template <typename RotGroupFn, typename OpFn>
+void
+walkBootstrap(const CkksParams &p, const BootstrapConfig &cfg,
+              RotGroupFn &&on_rot_group, OpFn &&on_op)
+{
+    requireThat(p.limbs > cfg.ctsLevels + cfg.stcLevels + 4,
+                "bootstrap: modulus chain too short for the pipeline");
+    size_t level = p.limbs - 1;
+    const u32 slots = p.n / 2;
+    const HeOp mat_mul =
+        cfg.plainMatrices ? HeOp::MultiplyPlain : HeOp::Mult;
+    const HeOp const_add = cfg.plainMatrices ? HeOp::AddPlain : HeOp::Add;
+
+    // ModRaise bookkeeping (plaintext constants under plainMatrices).
+    on_op(const_add, level);
+    on_op(const_add, level);
+
+    const double rho_d =
+        std::pow(static_cast<double>(slots), 1.0 / cfg.ctsLevels);
+    const size_t rho = static_cast<size_t>(std::llround(rho_d));
+    const size_t bsgs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(rho))));
+
+    for (u32 s = 0; s < cfg.ctsLevels; ++s) {
+        on_rot_group(2 * bsgs, level);
+        on_op(mat_mul, level);
+        on_op(mat_mul, level);
+        for (size_t a = 0; a < rho; ++a)
+            on_op(HeOp::Add, level);
+        on_op(HeOp::Rescale, level);
+        if (level > cfg.stcLevels + 4)
+            --level;
+    }
+
+    const size_t cheb_mults = 2 * static_cast<size_t>(std::ceil(
+        std::sqrt(static_cast<double>(cfg.evalModDegree))));
+    for (size_t m = 0; m < cheb_mults; ++m) {
+        on_op(HeOp::Mult, level);
+        on_op(const_add, level);
+        if (m % 2 == 1 && level > cfg.stcLevels + 2) {
+            on_op(HeOp::Rescale, level);
+            --level;
+        }
+    }
+    for (u32 it = 0; it < cfg.evalModIters; ++it) {
+        on_op(HeOp::Mult, level);
+        on_op(HeOp::Add, level);
+        on_op(HeOp::Add, level);
+        on_op(HeOp::Rescale, level);
+        if (level > cfg.stcLevels + 1)
+            --level;
+    }
+
+    for (u32 s = 0; s < cfg.stcLevels; ++s) {
+        on_rot_group(2 * bsgs, level);
+        on_op(mat_mul, level);
+        on_op(mat_mul, level);
+        for (size_t a = 0; a < rho; ++a)
+            on_op(HeOp::Add, level);
+        on_op(HeOp::Rescale, level);
+        if (level > 1)
+            --level;
+    }
+}
+
 } // namespace
 
 std::vector<std::pair<HeOp, size_t>>
 enumerateBootstrapOps(const CkksParams &p, const BootstrapConfig &cfg)
 {
-    requireThat(p.limbs > cfg.ctsLevels + cfg.stcLevels + 4,
-                "bootstrap: modulus chain too short for the pipeline");
     std::vector<std::pair<HeOp, size_t>> ops;
-    size_t level = p.limbs - 1;
-    const u32 slots = p.n / 2;
-
-    auto emit = [&](HeOp op, size_t count) {
-        for (size_t i = 0; i < count; ++i)
-            ops.emplace_back(op, level);
-    };
-
-    emit(HeOp::Add, 2); // ModRaise bookkeeping
-
-    const double rho_d =
-        std::pow(static_cast<double>(slots), 1.0 / cfg.ctsLevels);
-    const size_t rho = static_cast<size_t>(std::llround(rho_d));
-    const size_t bsgs = static_cast<size_t>(
-        std::ceil(std::sqrt(static_cast<double>(rho))));
-    for (u32 s = 0; s < cfg.ctsLevels; ++s) {
-        emit(HeOp::Rotate, 2 * bsgs);
-        emit(HeOp::Mult, 2);
-        emit(HeOp::Add, rho);
-        emit(HeOp::Rescale, 1);
-        if (level > cfg.stcLevels + 4)
-            --level;
-    }
-
-    const size_t cheb_mults = 2 * static_cast<size_t>(std::ceil(
-        std::sqrt(static_cast<double>(cfg.evalModDegree))));
-    for (size_t m = 0; m < cheb_mults; ++m) {
-        emit(HeOp::Mult, 1);
-        emit(HeOp::Add, 1);
-        if (m % 2 == 1 && level > cfg.stcLevels + 2) {
-            emit(HeOp::Rescale, 1);
-            --level;
-        }
-    }
-    for (u32 it = 0; it < cfg.evalModIters; ++it) {
-        emit(HeOp::Mult, 1);
-        emit(HeOp::Add, 2);
-        emit(HeOp::Rescale, 1);
-        if (level > cfg.stcLevels + 1)
-            --level;
-    }
-
-    for (u32 s = 0; s < cfg.stcLevels; ++s) {
-        emit(HeOp::Rotate, 2 * bsgs);
-        emit(HeOp::Mult, 2);
-        emit(HeOp::Add, rho);
-        emit(HeOp::Rescale, 1);
-        if (level > 1)
-            --level;
-    }
+    walkBootstrap(
+        p, cfg,
+        [&](size_t nrot, size_t level) {
+            for (size_t r = 0; r < nrot; ++r)
+                ops.emplace_back(HeOp::Rotate, level);
+        },
+        [&](HeOp op, size_t level) { ops.emplace_back(op, level); });
     return ops;
 }
 
 std::vector<KernelCall>
-enumerateBootstrapKernels(const CkksParams &p, const BootstrapConfig &cfg)
+enumerateBootstrapKernels(const CkksParams &p, const BootstrapConfig &cfg,
+                          BootstrapKernelMode mode)
 {
-    // Same pipeline as enumerateBootstrapOps, but rotations within a BSGS
-    // stage are hoisted: they share one ModUp.
     std::vector<KernelCall> v;
-    size_t level = p.limbs - 1;
-    const u32 slots = p.n / 2;
-
-    auto emit_op = [&](HeOp op) {
-        const auto k = enumerateKernels(op, p, level);
-        v.insert(v.end(), k.begin(), k.end());
-    };
-
-    emit_op(HeOp::Add);
-    emit_op(HeOp::Add);
-
-    const double rho_d =
-        std::pow(static_cast<double>(slots), 1.0 / cfg.ctsLevels);
-    const size_t rho = static_cast<size_t>(std::llround(rho_d));
-    const size_t bsgs = static_cast<size_t>(
-        std::ceil(std::sqrt(static_cast<double>(rho))));
-
-    for (u32 s = 0; s < cfg.ctsLevels; ++s) {
-        appendHoistedRotations(v, p, level, 2 * bsgs);
-        emit_op(HeOp::Mult);
-        emit_op(HeOp::Mult);
-        for (size_t a = 0; a < rho; ++a)
-            emit_op(HeOp::Add);
-        emit_op(HeOp::Rescale);
-        if (level > cfg.stcLevels + 4)
-            --level;
-    }
-
-    const size_t cheb_mults = 2 * static_cast<size_t>(std::ceil(
-        std::sqrt(static_cast<double>(cfg.evalModDegree))));
-    for (size_t m = 0; m < cheb_mults; ++m) {
-        emit_op(HeOp::Mult);
-        emit_op(HeOp::Add);
-        if (m % 2 == 1 && level > cfg.stcLevels + 2) {
-            emit_op(HeOp::Rescale);
-            --level;
+    if (mode == BootstrapKernelMode::PerOp) {
+        // Exactly what the functional evaluator runs: every op its own
+        // unhoisted expansion.
+        for (const auto &[op, level] : enumerateBootstrapOps(p, cfg)) {
+            const auto k = enumerateKernels(op, p, level);
+            v.insert(v.end(), k.begin(), k.end());
         }
-    }
-    for (u32 it = 0; it < cfg.evalModIters; ++it) {
-        emit_op(HeOp::Mult);
-        emit_op(HeOp::Add);
-        emit_op(HeOp::Add);
-        emit_op(HeOp::Rescale);
-        if (level > cfg.stcLevels + 1)
-            --level;
+        return v;
     }
 
-    for (u32 s = 0; s < cfg.stcLevels; ++s) {
-        appendHoistedRotations(v, p, level, 2 * bsgs);
-        emit_op(HeOp::Mult);
-        emit_op(HeOp::Mult);
-        for (size_t a = 0; a < rho; ++a)
-            emit_op(HeOp::Add);
-        emit_op(HeOp::Rescale);
-        if (level > 1)
-            --level;
-    }
+    // Hoisted: rotations within a BSGS stage share one ModUp.
+    walkBootstrap(
+        p, cfg,
+        [&](size_t nrot, size_t level) {
+            appendHoistedRotations(v, p, level, nrot);
+        },
+        [&](HeOp op, size_t level) {
+            const auto k = enumerateKernels(op, p, level);
+            v.insert(v.end(), k.begin(), k.end());
+        });
     return v;
 }
 

@@ -29,6 +29,31 @@ struct BootstrapConfig
     u32 stcLevels = 3;      ///< SlotToCoeff depth
     u32 evalModDegree = 31; ///< Chebyshev degree of the mod reduction
     u32 evalModIters = 2;   ///< double-angle / arcsine refinement rounds
+    /**
+     * Emit the CtS/StC matrix products as MultiplyPlain and the
+     * ModRaise/Chebyshev constants as AddPlain (how MAD-style packed
+     * bootstrapping actually applies its plaintext matrices) instead
+     * of ciphertext-ciphertext Mult/Add. Off by default so the
+     * Table IX estimator keeps the paper's worst-case op mix; the
+     * executable pipeline (bootstrap_pipeline.h) turns it on to
+     * exercise the plaintext stage forms.
+     */
+    bool plainMatrices = false;
+};
+
+/**
+ * Which kernel expansion enumerateBootstrapKernels returns.
+ *  - Hoisted: BSGS rotations share one ModUp per stage (Halevi-Shoup
+ *    hoisting) -- the schedule estimateBootstrap() prices.
+ *  - PerOp: every op of enumerateBootstrapOps expanded independently
+ *    through enumerateKernels -- exactly the kernels the functional
+ *    evaluator executes, so BatchEvaluator::run's merged KernelLog can
+ *    be asserted against it kernel-for-kernel.
+ */
+enum class BootstrapKernelMode
+{
+    Hoisted,
+    PerOp,
 };
 
 /** Result: total latency plus the Table IX per-kernel breakdown. */
@@ -55,13 +80,18 @@ std::vector<std::pair<HeOp, size_t>>
 enumerateBootstrapOps(const CkksParams &params, const BootstrapConfig &cfg);
 
 /**
- * Full kernel schedule of the pipeline with BSGS rotations *hoisted*
- * (one shared ModUp per stage, per-rotation automorphism on the
- * decomposed digits) -- the schedule estimateBootstrap() prices.
+ * Full kernel schedule of the pipeline. Hoisted mode (the default) is
+ * what estimateBootstrap() prices; PerOp mode is the exact expansion
+ * of enumerateBootstrapOps through enumerateKernels, matching the
+ * functional BatchEvaluator::run log kernel-for-kernel. Both modes
+ * walk the same structural schedule (one shared walk), so they can
+ * never drift apart on op counts or level evolution.
  */
 std::vector<KernelCall>
 enumerateBootstrapKernels(const CkksParams &params,
-                          const BootstrapConfig &cfg);
+                          const BootstrapConfig &cfg,
+                          BootstrapKernelMode mode =
+                              BootstrapKernelMode::Hoisted);
 
 /** Price the pipeline on one tensor core of @p dev. */
 BootstrapEstimate estimateBootstrap(const tpu::DeviceConfig &dev,

@@ -20,8 +20,7 @@ namespace {
 void
 checkScales(const Ciphertext &a, const Ciphertext &b)
 {
-    requireThat(std::abs(a.scale - b.scale) <=
-                    1e-6 * std::max(a.scale, b.scale),
+    requireThat(ckksScalesMatch(a.scale, b.scale),
                 "ciphertext scales do not match");
 }
 
@@ -242,10 +241,14 @@ CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
 Ciphertext
 CkksEvaluator::addPlain(const Ciphertext &ct, const Plaintext &pt) const
 {
-    requireThat(std::abs(ct.scale - pt.scale) <=
-                    1e-6 * std::max(ct.scale, pt.scale),
+    requireThat(ckksScalesMatch(ct.scale, pt.scale),
                 "addPlain: scales do not match");
-    const size_t limbs = std::min(ct.limbs(), pt.poly.limbCount());
+    // A short plaintext would silently truncate the ciphertext's
+    // modulus chain; like the precomp-level checks, level mismatch is
+    // the caller's bug, not an implicit conversion.
+    requireThat(pt.poly.limbCount() >= ct.limbs(),
+                "addPlain: plaintext level below ciphertext level");
+    const size_t limbs = ct.limbs();
     Ciphertext r = reduceToLimbs(ct, limbs);
     RnsPoly p = pt.poly;
     p.truncateLimbs(limbs);
@@ -258,7 +261,9 @@ CkksEvaluator::addPlain(const Ciphertext &ct, const Plaintext &pt) const
 Ciphertext
 CkksEvaluator::multiplyPlain(const Ciphertext &ct, const Plaintext &pt) const
 {
-    const size_t limbs = std::min(ct.limbs(), pt.poly.limbCount());
+    requireThat(pt.poly.limbCount() >= ct.limbs(),
+                "multiplyPlain: plaintext level below ciphertext level");
+    const size_t limbs = ct.limbs();
     Ciphertext r = reduceToLimbs(ct, limbs);
     RnsPoly p = pt.poly;
     p.truncateLimbs(limbs);

@@ -12,6 +12,8 @@
  */
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
 
 #include "ckks/ciphertext.h"
@@ -36,6 +38,18 @@ checkAutomorphismIndex(const CkksContext &ctx, u32 auto_idx)
 {
     requireThat(auto_idx % 2 == 1 && auto_idx < 2 * ctx.degree(),
                 "rotate: automorphism index must be odd and < 2N");
+}
+
+/**
+ * CKKS scales must agree to this relative tolerance before add /
+ * addPlain. One definition shared by the scalar evaluator and
+ * BatchEvaluator::run's fail-fast prevalidation walk, so the batch
+ * walk accepts exactly the operands the per-item execution would.
+ */
+inline bool
+ckksScalesMatch(double a, double b)
+{
+    return std::abs(a - b) <= 1e-6 * std::max(a, b);
 }
 
 /** Homomorphic operator implementations. */

@@ -9,9 +9,12 @@
  */
 #pragma once
 
+#include <cstddef>
+
 namespace cross::ckks {
 
-/** The backbone HE operators of Table VIII. */
+/** The backbone HE operators of Table VIII, plus the plaintext-operand
+ *  and fan-in forms the bootstrap pipeline chains. */
 enum class HeOp
 {
     Add,
@@ -21,6 +24,17 @@ enum class HeOp
     /** Double rescaling (Section V-A): params().rescaleSplit chained
      *  single rescales dropping one sub-modulus each. */
     RescaleMulti,
+    /** ct + pt (CtS/StC matrix constants, EvalMod Chebyshev terms). */
+    AddPlain,
+    /** ct * pt: no key switch, no relinearisation. */
+    MultiplyPlain,
+    /**
+     * Branching-DAG stage: out = in + sum_j rotate(in, k_j) -- the
+     * rotate-and-accumulate fan-in of a slot-summation tree. The
+     * branch count (fan-in) lives in PipelineOp / PipelineStage; as a
+     * bare HeOp it means one branch.
+     */
+    RotateAccum,
 };
 
 inline const char *
@@ -32,8 +46,22 @@ heOpName(HeOp op)
       case HeOp::Rescale: return "Rescale";
       case HeOp::Rotate: return "Rotate";
       case HeOp::RescaleMulti: return "RescaleMulti";
+      case HeOp::AddPlain: return "HE-Add-Plain";
+      case HeOp::MultiplyPlain: return "HE-Mult-Plain";
+      case HeOp::RotateAccum: return "RotateAccum";
     }
     return "?";
 }
+
+/**
+ * One operator of a fused pipeline as the schedule enumerator / cost
+ * model sees it: the op plus its structural arity. fanin is the number
+ * of rotate branches of a RotateAccum stage (1 for every other op).
+ */
+struct PipelineOp
+{
+    HeOp op;
+    size_t fanin = 1;
+};
 
 } // namespace cross::ckks

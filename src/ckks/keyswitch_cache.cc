@@ -2,6 +2,19 @@
 
 namespace cross::ckks {
 
+size_t
+KeySwitchPrecomp::paramBytes() const
+{
+    size_t bytes = extSlots.size() * sizeof(u32);
+    for (const auto &[b, a] : keys) {
+        for (const poly::RnsPoly *poly : {&b, &a}) {
+            for (size_t i = 0; i < poly->limbCount(); ++i)
+                bytes += poly->limb(i).size() * sizeof(u32);
+        }
+    }
+    return bytes;
+}
+
 const KeySwitchPrecomp &
 KeySwitchCache::get(const void *key_id, u64 fingerprint, size_t level,
                     const Builder &build) const
@@ -13,27 +26,66 @@ KeySwitchCache::get(const void *key_id, u64 fingerprint, size_t level,
     const auto key = std::make_pair(key_id, level);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
+        it->second.lastUse = ++tick_;
         if (it->second.fingerprint == fingerprint) {
             ++hits_;
             return *it->second.pre;
         }
         // Same address, different key contents: the SwitchKey died and
-        // its address was re-used. Retire the old precomp (readers may
-        // still hold references into it) and build a fresh one.
+        // its address was re-used. Build the replacement *first* (a
+        // throwing build must leave the resident entry and the byte
+        // ledger untouched), then retire the old precomp (readers may
+        // still hold references into it) and swap in the fresh one.
         ++misses_;
+        auto fresh = std::make_unique<KeySwitchPrecomp>(build());
+        residentBytes_ -= it->second.bytes;
         retired_.push_back(std::move(it->second.pre));
         it->second.fingerprint = fingerprint;
-        it->second.pre =
-            std::make_unique<KeySwitchPrecomp>(build());
+        it->second.bytes = fresh->paramBytes();
+        it->second.pre = std::move(fresh);
+        residentBytes_ += it->second.bytes;
+        enforceBudgetLocked(key_id, level);
         return *it->second.pre;
     }
     ++misses_;
-    return *entries_
-                .emplace(key,
-                         Entry{fingerprint,
-                               std::make_unique<KeySwitchPrecomp>(
-                                   build())})
-                .first->second.pre;
+    Entry e;
+    e.fingerprint = fingerprint;
+    e.lastUse = ++tick_;
+    e.pre = std::make_unique<KeySwitchPrecomp>(build());
+    e.bytes = e.pre->paramBytes();
+    residentBytes_ += e.bytes;
+    const KeySwitchPrecomp &ref =
+        *entries_.emplace(key, std::move(e)).first->second.pre;
+    enforceBudgetLocked(key_id, level);
+    return ref;
+}
+
+void
+KeySwitchCache::enforceBudgetLocked(const void *keep_key,
+                                    size_t keep_level) const
+{
+    if (budget_ == 0)
+        return;
+    while (residentBytes_ > budget_ && entries_.size() > 1) {
+        // Strict LRU: evict the entry with the oldest use tick, never
+        // the one being served right now (its reference is live in the
+        // caller even if it alone exceeds the budget).
+        auto victim = entries_.end();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->first.first == keep_key &&
+                it->first.second == keep_level)
+                continue;
+            if (victim == entries_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (victim == entries_.end())
+            break;
+        residentBytes_ -= victim->second.bytes;
+        retired_.push_back(std::move(victim->second.pre));
+        entries_.erase(victim);
+        ++evictions_;
+    }
 }
 
 void
@@ -41,10 +93,12 @@ KeySwitchCache::invalidate(const void *key_id)
 {
     std::lock_guard<std::mutex> lock(m_);
     for (auto it = entries_.begin(); it != entries_.end();) {
-        if (it->first.first == key_id)
+        if (it->first.first == key_id) {
+            residentBytes_ -= it->second.bytes;
             it = entries_.erase(it);
-        else
+        } else {
             ++it;
+        }
     }
 }
 
@@ -54,6 +108,25 @@ KeySwitchCache::clear()
     std::lock_guard<std::mutex> lock(m_);
     entries_.clear();
     retired_.clear();
+    residentBytes_ = 0;
+}
+
+void
+KeySwitchCache::setByteBudget(size_t bytes)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    budget_ = bytes;
+    // Shrink below the new bound immediately. No entry is being served
+    // right now, and no real entry has a null key_id, so the keeper
+    // guard never matches and plain LRU order decides.
+    enforceBudgetLocked(nullptr, 0);
+}
+
+size_t
+KeySwitchCache::byteBudget() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return budget_;
 }
 
 u64
@@ -70,11 +143,35 @@ KeySwitchCache::misses() const
     return misses_;
 }
 
+u64
+KeySwitchCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return evictions_;
+}
+
 size_t
 KeySwitchCache::size() const
 {
     std::lock_guard<std::mutex> lock(m_);
     return entries_.size();
+}
+
+size_t
+KeySwitchCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return residentBytes_;
+}
+
+size_t
+KeySwitchCache::retiredBytes() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    size_t bytes = 0;
+    for (const auto &pre : retired_)
+        bytes += pre->paramBytes();
+    return bytes;
 }
 
 void
@@ -83,6 +180,14 @@ KeySwitchCache::resetStats()
     std::lock_guard<std::mutex> lock(m_);
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
+}
+
+void
+KeySwitchCache::releaseRetired()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    retired_.clear();
 }
 
 } // namespace cross::ckks

@@ -9,7 +9,7 @@
  * in a batch. KeySwitchCache keeps those operands resident across
  * batches, evaluators and pipeline stages -- the "key-switch key
  * residency" the SHARP line of work motivates -- so each (key
- * identity, level) pair is built exactly once per context.
+ * identity, level) pair is built exactly once while resident.
  *
  * Identity and invalidation rules:
  *  - Entries are keyed by the *address* of the SwitchKey plus the
@@ -21,11 +21,30 @@
  *    detected and served correctly rather than silently handed the
  *    stale operands.
  *  - get() is thread-safe; builds are serialised under the cache lock
- *    and the returned reference is address-stable until the entry is
- *    invalidated or rebuilt on a fingerprint mismatch (std::map nodes
- *    never move).
+ *    and the returned reference is address-stable until clear() or a
+ *    matching invalidate() -- even across a fingerprint-mismatch
+ *    rebuild or an LRU eviction, which *retire* the displaced precomp
+ *    instead of destroying it (std::map nodes never move).
  *  - invalidate()/clear() must not run concurrently with evaluation
  *    that is still reading returned references.
+ *
+ * Residency bound (the Fig. 11b VMEM roll-off, functionally):
+ *  - setByteBudget(b) bounds the *resident* set by the summed
+ *    paramBytes of the cached precomps, evicting in strict
+ *    least-recently-used order (every get() is a use). A lookup that
+ *    lands on an evicted pair misses and rebuilds, exactly as a
+ *    switching key that rolled out of VMEM must be re-streamed. Set-D
+ *    style many-level rotation-key sets therefore degrade
+ *    deterministically instead of growing without bound.
+ *  - An eviction moves the precomp to the retired list (the "host
+ *    copy"): references already handed out stay valid, while the
+ *    resident set -- what future lookups can hit -- stays within
+ *    budget. retired storage is reclaimed by clear() or
+ *    releaseRetired(), which the caller may only invoke when no
+ *    in-flight evaluation still reads old references.
+ *  - A single precomp larger than the whole budget is still served
+ *    (the alternative is livelock); it is evicted as soon as the next
+ *    entry lands.
  */
 #pragma once
 
@@ -54,6 +73,13 @@ struct KeySwitchPrecomp
     std::vector<u32> extSlots;
     /** Per digit: (b, a) key halves pre-restricted to extSlots. */
     std::vector<std::pair<poly::RnsPoly, poly::RnsPoly>> keys;
+
+    /**
+     * Bytes of switching-key operands this precomp keeps resident --
+     * the same paramBytes quantity the TPU cost model amortises across
+     * a batch. The LRU budget accounts in this unit.
+     */
+    size_t paramBytes() const;
 };
 
 /** Context-level (key identity, level) -> KeySwitchPrecomp cache. */
@@ -66,11 +92,8 @@ class KeySwitchCache
      * Return the resident precomp for (@p key_id, @p level), invoking
      * @p build under the cache lock on the first request or when the
      * resident entry's @p fingerprint disagrees (address re-used by a
-     * different key). The reference stays valid until the entry is
-     * invalidated; a fingerprint-mismatch rebuild *retires* the old
-     * precomp instead of mutating it, so references already handed to
-     * in-flight (possibly lock-free) readers stay valid for the
-     * cache's lifetime.
+     * different key). Counts as a use for LRU purposes and may evict
+     * other entries when a byte budget is set.
      */
     const KeySwitchPrecomp &get(const void *key_id, u64 fingerprint,
                                 size_t level,
@@ -79,34 +102,67 @@ class KeySwitchCache
     /** Drop every level cached for @p key_id. */
     void invalidate(const void *key_id);
 
-    /** Drop everything. */
+    /** Drop everything, including retired precomps. */
     void clear();
+
+    /**
+     * Bound the resident set to @p bytes of precomp paramBytes
+     * (0 = unbounded, the default). Shrinking below the current
+     * resident size evicts immediately, oldest first.
+     */
+    void setByteBudget(size_t bytes);
+    size_t byteBudget() const;
 
     /** @name Introspection (conformance tests assert build counts). @{ */
     /** Lookups served from a resident entry. */
     u64 hits() const;
     /** Lookups that had to build (== precomps constructed). */
     u64 misses() const;
+    /** Entries displaced by the LRU budget (not fingerprint rebuilds). */
+    u64 evictions() const;
     /** Resident (key, level) entries. */
     size_t size() const;
-    /** Zero the hit/miss counters; resident entries stay. */
+    /** Summed paramBytes of the resident entries (<= byteBudget()
+     *  whenever a budget is set and more than one entry ever fit). */
+    size_t residentBytes() const;
+    /** Bytes parked on the retired list awaiting releaseRetired(). */
+    size_t retiredBytes() const;
+    /** Zero the hit/miss/eviction counters; resident entries stay. */
     void resetStats();
     /** @} */
+
+    /**
+     * Free retired precomps (from evictions and fingerprint rebuilds).
+     * Caller contract as for invalidate()/clear(): no in-flight
+     * evaluation may still be reading previously returned references.
+     */
+    void releaseRetired();
 
   private:
     struct Entry
     {
         u64 fingerprint = 0;
+        u64 lastUse = 0;  ///< LRU tick of the most recent get()
+        size_t bytes = 0; ///< pre->paramBytes(), cached
         std::unique_ptr<KeySwitchPrecomp> pre;
     };
 
+    /** Evict LRU entries until the budget holds; m_ must be held.
+     *  @p keep is the entry that must survive (the one being served). */
+    void enforceBudgetLocked(const void *keep_key, size_t keep_level) const;
+
     mutable std::mutex m_;
     mutable std::map<std::pair<const void *, size_t>, Entry> entries_;
-    /** Precomps displaced by fingerprint-mismatch rebuilds: kept alive
-     *  (address-stable) for readers that grabbed them pre-rebuild. */
+    /** Precomps displaced by evictions or fingerprint-mismatch
+     *  rebuilds: kept alive (address-stable) for readers that grabbed
+     *  them pre-displacement. */
     mutable std::vector<std::unique_ptr<KeySwitchPrecomp>> retired_;
+    mutable size_t budget_ = 0;
+    mutable size_t residentBytes_ = 0;
+    mutable u64 tick_ = 0;
     mutable u64 hits_ = 0;
     mutable u64 misses_ = 0;
+    mutable u64 evictions_ = 0;
 };
 
 } // namespace cross::ckks

@@ -104,6 +104,25 @@ enumerateKernels(HeOp op, const CkksParams &p, size_t level)
         }
         break;
       }
+
+      case HeOp::AddPlain:
+        push(v, KernelKind::VecModAdd, n, limbs);
+        break;
+
+      case HeOp::MultiplyPlain:
+        push(v, KernelKind::VecModMulConst, n, 2 * limbs);
+        break;
+
+      case HeOp::RotateAccum: {
+        // One branch: rotate(in, k) then add back into the running
+        // accumulator. Multi-branch fan-in goes through the PipelineOp
+        // overload.
+        auto rot = enumerateKernels(HeOp::Rotate, p, level);
+        v.insert(v.end(), rot.begin(), rot.end());
+        auto add = enumerateKernels(HeOp::Add, p, level);
+        v.insert(v.end(), add.begin(), add.end());
+        break;
+      }
     }
     return v;
 }
@@ -115,6 +134,9 @@ heOpNextLevel(HeOp op, const CkksParams &p, size_t level)
       case HeOp::Add:
       case HeOp::Mult:
       case HeOp::Rotate:
+      case HeOp::AddPlain:
+      case HeOp::MultiplyPlain:
+      case HeOp::RotateAccum:
         return level;
       case HeOp::Rescale:
         requireThat(level >= 1, "heOpNextLevel: rescale needs >= 2 limbs");
@@ -138,6 +160,22 @@ enumerateKernels(const std::vector<HeOp> &pipeline, const CkksParams &p,
         const auto one = enumerateKernels(op, p, level);
         v.insert(v.end(), one.begin(), one.end());
         level = heOpNextLevel(op, p, level);
+    }
+    return v;
+}
+
+std::vector<KernelCall>
+enumerateKernels(const std::vector<PipelineOp> &pipeline,
+                 const CkksParams &p, size_t level)
+{
+    std::vector<KernelCall> v;
+    for (const auto &st : pipeline) {
+        const size_t reps = st.op == HeOp::RotateAccum ? st.fanin : 1;
+        for (size_t b = 0; b < reps; ++b) {
+            const auto one = enumerateKernels(st.op, p, level);
+            v.insert(v.end(), one.begin(), one.end());
+        }
+        level = heOpNextLevel(st.op, p, level);
     }
     return v;
 }
@@ -193,6 +231,27 @@ HeOpCostModel::pipelineCost(const std::vector<HeOp> &pipeline,
         if (i)
             name += " > ";
         name += heOpName(pipeline[i]);
+    }
+    total.name = name + "]";
+    for (const auto &call : enumerateKernels(pipeline, params_, level))
+        total.append(kernelCost(call));
+    return total;
+}
+
+tpu::KernelCost
+HeOpCostModel::pipelineCost(const std::vector<PipelineOp> &pipeline,
+                            size_t level) const
+{
+    tpu::KernelCost total;
+    std::string name = "Pipeline[";
+    for (size_t i = 0; i < pipeline.size(); ++i) {
+        if (i)
+            name += " > ";
+        name += heOpName(pipeline[i].op);
+        if (pipeline[i].op == HeOp::RotateAccum) {
+            name += "x";
+            name += std::to_string(pipeline[i].fanin);
+        }
     }
     total.name = name + "]";
     for (const auto &call : enumerateKernels(pipeline, params_, level))

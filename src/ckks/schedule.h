@@ -37,6 +37,15 @@ std::vector<KernelCall> enumerateKernels(const std::vector<HeOp> &pipeline,
                                          const CkksParams &params,
                                          size_t level);
 
+/**
+ * Structural-arity form: like the HeOp overload but a RotateAccum
+ * entry expands to fanin x (Rotate schedule + Add schedule) -- the
+ * rotate-and-accumulate fan-in the DAG stage executes per branch.
+ */
+std::vector<KernelCall>
+enumerateKernels(const std::vector<PipelineOp> &pipeline,
+                 const CkksParams &params, size_t level);
+
 /** Kernel schedule of the hybrid key switch alone. */
 std::vector<KernelCall> enumerateKeySwitch(const CkksParams &params,
                                            size_t level);
@@ -69,6 +78,10 @@ class HeOpCostModel
      * BatchEvaluator::run executes per item.
      */
     tpu::KernelCost pipelineCost(const std::vector<HeOp> &pipeline,
+                                 size_t level) const;
+
+    /** Structural-arity form (RotateAccum fan-in priced per branch). */
+    tpu::KernelCost pipelineCost(const std::vector<PipelineOp> &pipeline,
                                  size_t level) const;
 
     /** Amortised single-batch latency of @p op in microseconds. */

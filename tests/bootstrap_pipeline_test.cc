@@ -1,0 +1,435 @@
+/**
+ * @file
+ * The executable bootstrap schedule: the full enumerateBootstrapOps
+ * pipeline -- plaintext CtS/StC stages included -- must run through one
+ * BatchEvaluator::run call with results bit-identical to the
+ * sequential per-item/per-stage loop at any thread count and the
+ * merged KernelLog identical, kernel for kernel, to
+ * enumerateBootstrapKernels(..., BootstrapKernelMode::PerOp). Also
+ * covers the branching-DAG RotateAccum stage (slot-summation rotation
+ * tree, checked semantically against a decrypted slot sum), per-level
+ * plaintext rows under mixed-level batches, the LRU-bounded key
+ * residency under the bootstrap's many-(key, level) working set, and
+ * the pipeline's fail-fast plaintext operand guards.
+ *
+ * Thread count comes from CROSS_TEST_THREADS (default 4) so the TSan
+ * CI job (ctest -L bootstrap) exercises the bounded cache's eviction
+ * path with real concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "ckks/batch_evaluator.h"
+#include "ckks/bootstrap.h"
+#include "ckks/bootstrap_pipeline.h"
+#include "ckks/context.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/keys.h"
+#include "ckks/schedule.h"
+#include "common/parallel.h"
+
+#include "test_util.h"
+
+namespace cross::ckks {
+namespace {
+
+using testutil::testThreads;
+
+/** Small-but-deep bootstrap config whose level guards never bind at
+ *  9 limbs (asserted by BootstrapPipeline::build). */
+BootstrapConfig
+smallBootstrapConfig()
+{
+    BootstrapConfig cfg;
+    cfg.ctsLevels = 2;
+    cfg.stcLevels = 2;
+    cfg.evalModDegree = 4;
+    cfg.evalModIters = 1;
+    cfg.plainMatrices = true;
+    return cfg;
+}
+
+void
+expectEqual(const CtVec &a, const CtVec &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_TRUE(a[i].c0 == b[i].c0) << "item " << i;
+        EXPECT_TRUE(a[i].c1 == b[i].c1) << "item " << i;
+        EXPECT_DOUBLE_EQ(a[i].scale, b[i].scale) << "item " << i;
+    }
+}
+
+void
+expectSameCalls(const std::vector<KernelCall> &got,
+                const std::vector<KernelCall> &want,
+                const char *what)
+{
+    ASSERT_EQ(got.size(), want.size()) << what;
+    for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_TRUE(got[i].sameShape(want[i]))
+            << what << " kernel " << i << ": got "
+            << kernelKindName(got[i].kind) << "(" << got[i].limbs << "->"
+            << got[i].limbsOut << "), want "
+            << kernelKindName(want[i].kind) << "(" << want[i].limbs
+            << "->" << want[i].limbsOut << ")";
+    }
+}
+
+class BootstrapPipelineFixture : public ::testing::Test
+{
+  protected:
+    static constexpr double kScale = 1 << 26;
+
+    BootstrapPipelineFixture()
+        : ctx(CkksParams::testSet(1 << 9, 9, 2)), keygen(ctx, 0xb007)
+    {
+    }
+
+    ~BootstrapPipelineFixture() override
+    {
+        setGlobalThreadCount(1);
+        ctx.keySwitchCache().setByteBudget(0);
+    }
+
+    CkksContext ctx;
+    KeyGenerator keygen;
+};
+
+// ---------------------------------------------------------------------
+// The acceptance criterion: full schedule, one fused pipeline
+// ---------------------------------------------------------------------
+TEST_F(BootstrapPipelineFixture,
+       FullScheduleExecutesAndMatchesEnumeratorAtAnyThreadCount)
+{
+    const auto cfg = smallBootstrapConfig();
+    const auto bp =
+        BootstrapPipeline::build(ctx, cfg, keygen, 2, kScale, 0xb1);
+
+    // The pipeline executes exactly the enumerated op schedule.
+    EXPECT_EQ(bp->ops(), enumerateBootstrapOps(ctx.params(), cfg));
+    EXPECT_EQ(bp->pipeline().stages().size(), bp->ops().size());
+
+    setGlobalThreadCount(1);
+    KernelLog seq_log;
+    const auto seq = bp->runSequential(ctx, &seq_log);
+
+    // Per-item kernels == the PerOp bootstrap enumeration; the
+    // sequential log is batch-many copies of it.
+    const auto predicted = enumerateBootstrapKernels(
+        ctx.params(), cfg, BootstrapKernelMode::PerOp);
+    ASSERT_EQ(seq_log.calls().size(), 2 * predicted.size());
+    std::vector<KernelCall> expected;
+    for (int copy = 0; copy < 2; ++copy)
+        expected.insert(expected.end(), predicted.begin(),
+                        predicted.end());
+    expectSameCalls(seq_log.calls(), expected, "sequential");
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog fused_log;
+        BatchEvaluator batch(ctx, &fused_log);
+        const auto fused = bp->run(batch);
+        expectEqual(fused, seq);
+        expectSameCalls(fused_log.calls(), expected, "fused");
+    }
+    setGlobalThreadCount(1);
+}
+
+TEST_F(BootstrapPipelineFixture, ResidencyStaysWithinByteBudget)
+{
+    const auto cfg = smallBootstrapConfig();
+    const auto bp =
+        BootstrapPipeline::build(ctx, cfg, keygen, 2, kScale, 0xb2);
+    auto &cache = ctx.keySwitchCache();
+
+    // Unbounded runs: measure the schedule's full (key, level) working
+    // set -- the BSGS pool at every CtS/StC level plus the relin key
+    // at every mult level. A second run is served entirely from
+    // resident entries (each pair built exactly once, ever).
+    setGlobalThreadCount(1);
+    cache.clear();
+    cache.resetStats();
+    BatchEvaluator batch(ctx);
+    const auto unbounded = bp->run(batch);
+    const size_t working_set = cache.residentBytes();
+    const u64 builds = cache.misses();
+    EXPECT_EQ(cache.evictions(), 0u);
+    EXPECT_GT(working_set, 0u);
+    EXPECT_GT(builds, static_cast<u64>(bp->rotationKeyCount()));
+    expectEqual(bp->run(batch), unbounded);
+    EXPECT_EQ(cache.misses(), builds); // fully resident across runs
+
+    // Set-D-style roll-off: half the working set forces evictions but
+    // must neither change results nor overshoot the budget, at any
+    // thread count.
+    const size_t budget = working_set / 2;
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        cache.clear();
+        cache.resetStats();
+        cache.setByteBudget(budget);
+        const auto bounded = bp->run(batch);
+        expectEqual(bounded, unbounded);
+        EXPECT_LE(cache.residentBytes(), budget);
+        EXPECT_GT(cache.evictions(), 0u);
+        // The bootstrap touches each (key, level) pair once per run,
+        // so the first bounded run builds exactly the working set; the
+        // *next* run must rebuild whatever rolled out -- the re-stream
+        // cost the Fig. 11b roll-off models.
+        EXPECT_EQ(cache.misses(), builds);
+        expectEqual(bp->run(batch), unbounded);
+        EXPECT_GT(cache.misses(), builds); // re-build after evict
+        EXPECT_LE(cache.residentBytes(), budget);
+    }
+    setGlobalThreadCount(1);
+    cache.setByteBudget(0);
+}
+
+// ---------------------------------------------------------------------
+// Branching-DAG stage: slot-summation rotation tree
+// ---------------------------------------------------------------------
+TEST_F(BootstrapPipelineFixture, RotateAccumTreeSumsSlots)
+{
+    CkksContext small(CkksParams::testSet(1 << 8, 3, 2));
+    CkksEncoder encoder(small);
+    KeyGenerator kg(small, 0xacc);
+    CkksEncryptor encryptor(small, kg.publicKey(), 0xacd);
+    CkksDecryptor decryptor(small, kg.secretKey());
+
+    const size_t slots = encoder.slotCount();
+    // All slots hold 1/slots, so the slot sum is exactly 1 everywhere.
+    std::vector<double> v(slots, 1.0 / static_cast<double>(slots));
+    CtVec input = {encryptor.encrypt(
+        encoder.encodeReal(v, kScale, small.qCount()))};
+
+    // log2(slots) rounds of cur += rotate(cur, 2^r): a balanced
+    // summation tree, each round one single-branch DAG stage.
+    std::vector<u32> ks;
+    std::vector<SwitchKey> keys;
+    for (size_t step = 1; step < slots; step *= 2)
+        ks.push_back(encoder.rotationAutomorphism(
+            static_cast<i64>(step)));
+    keys.reserve(ks.size()); // stages point at the keys: no realloc
+    Pipeline tree;
+    for (u32 k : ks) {
+        keys.push_back(kg.rotationKey(k));
+        tree.rotateAccum({{k, &keys.back()}});
+    }
+
+    // Sequential reference (one-shot keys) for bit-identity + log.
+    setGlobalThreadCount(1);
+    KernelLog seq_log;
+    CkksEvaluator ev(small, &seq_log);
+    Ciphertext cur = input[0];
+    for (size_t r = 0; r < ks.size(); ++r)
+        cur = ev.add(cur, ev.rotate(cur, ks[r], keys[r]));
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        BatchEvaluator batch(small, &log);
+        const auto out = batch.run(input, tree);
+        ASSERT_EQ(out.size(), 1u);
+        EXPECT_TRUE(out[0].c0 == cur.c0);
+        EXPECT_TRUE(out[0].c1 == cur.c1);
+        expectSameCalls(log.calls(), seq_log.calls(), "tree");
+
+        // Semantics: every slot now holds the full slot sum (== 1).
+        const auto decoded =
+            encoder.decode(decryptor.decrypt(out[0]));
+        for (size_t s = 0; s < 8; ++s)
+            EXPECT_NEAR(decoded[s].real(), 1.0, 1e-2) << "slot " << s;
+    }
+    setGlobalThreadCount(1);
+
+    // Schedule + costing mirror the executed kernels stage for stage.
+    const auto specs = tree.pipelineOps();
+    ASSERT_EQ(specs.size(), ks.size());
+    for (const auto &spec : specs) {
+        EXPECT_EQ(spec.op, HeOp::RotateAccum);
+        EXPECT_EQ(spec.fanin, 1u);
+    }
+    const auto predicted =
+        enumerateKernels(specs, small.params(), small.qCount() - 1);
+    expectSameCalls(seq_log.calls(), predicted, "enumerator");
+}
+
+TEST_F(BootstrapPipelineFixture, RotateAccumFanInMatchesSequential)
+{
+    CkksContext small(CkksParams::testSet(1 << 8, 3, 2));
+    CkksEncoder encoder(small);
+    KeyGenerator kg(small, 0xfa0);
+    CkksEncryptor encryptor(small, kg.publicKey(), 0xfa1);
+
+    CtVec input;
+    for (int i = 0; i < 3; ++i) {
+        std::vector<double> v(encoder.slotCount(),
+                              0.25 + 0.1 * static_cast<double>(i));
+        input.push_back(encryptor.encrypt(
+            encoder.encodeReal(v, kScale, small.qCount())));
+    }
+
+    // One stage, three fan-in branches: out = in + rot1 + rot2 + rot3.
+    const u32 k1 = encoder.rotationAutomorphism(1);
+    const u32 k2 = encoder.rotationAutomorphism(2);
+    const u32 k3 = encoder.rotationAutomorphism(5);
+    const auto key1 = kg.rotationKey(k1);
+    const auto key2 = kg.rotationKey(k2);
+    const auto key3 = kg.rotationKey(k3);
+    Pipeline p;
+    p.rotateAccum({{k1, &key1}, {k2, &key2}, {k3, &key3}});
+
+    setGlobalThreadCount(1);
+    KernelLog seq_log;
+    CkksEvaluator ev(small, &seq_log);
+    CtVec seq;
+    for (const auto &ct : input) {
+        Ciphertext acc = ct;
+        acc = ev.add(acc, ev.rotate(ct, k1, key1));
+        acc = ev.add(acc, ev.rotate(ct, k2, key2));
+        acc = ev.add(acc, ev.rotate(ct, k3, key3));
+        seq.push_back(acc);
+    }
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        BatchEvaluator batch(small, &log);
+        expectEqual(batch.run(input, p), seq);
+        expectSameCalls(log.calls(), seq_log.calls(), "fanin");
+    }
+    setGlobalThreadCount(1);
+
+    // The fan-in arity is priced per branch: 3 branches cost what
+    // three single-branch stages cost.
+    EXPECT_EQ(p.pipelineOps()[0].fanin, 3u);
+    const auto three = enumerateKernels(p.pipelineOps(), small.params(),
+                                        small.qCount() - 1);
+    const auto one = enumerateKernels(
+        {PipelineOp{HeOp::RotateAccum, 1}}, small.params(),
+        small.qCount() - 1);
+    EXPECT_EQ(three.size(), 3 * one.size());
+}
+
+// ---------------------------------------------------------------------
+// Plaintext stages: per-level rows, mixed levels, fail-fast guards
+// ---------------------------------------------------------------------
+TEST_F(BootstrapPipelineFixture, PerLevelRowsServeMixedLevelBatches)
+{
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, keygen.publicKey(), 0x9e1);
+
+    CtVec input;
+    for (int i = 0; i < 4; ++i) {
+        std::vector<double> v(encoder.slotCount(), 0.3);
+        input.push_back(encryptor.encrypt(
+            encoder.encodeReal(v, kScale, ctx.qCount())));
+    }
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    // Two start levels in one batch.
+    input[1] = ev.rescale(input[1]);
+    input[3] = ev.rescale(input[3]);
+
+    // One row per level, each encoded with exactly level+1 limbs.
+    std::vector<Plaintext> rows;
+    for (size_t l = 0; l < ctx.qCount(); ++l) {
+        std::vector<double> w(encoder.slotCount(), 0.5);
+        rows.push_back(encoder.encodeReal(w, kScale, l + 1));
+    }
+
+    Pipeline p;
+    p.multiplyPlain(rows).rescale();
+
+    CtVec seq;
+    for (const auto &ct : input) {
+        seq.push_back(ev.rescale(
+            ev.multiplyPlain(ct, rows[ct.limbs() - 1])));
+    }
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        BatchEvaluator batch(ctx);
+        expectEqual(batch.run(input, p), seq);
+    }
+    setGlobalThreadCount(1);
+}
+
+TEST_F(BootstrapPipelineFixture, RunRejectsMismatchedPlaintextOperands)
+{
+    CkksEncoder encoder(ctx);
+    CkksEncryptor encryptor(ctx, keygen.publicKey(), 0x9e2);
+    std::vector<double> v(encoder.slotCount(), 0.3);
+    CtVec input = {encryptor.encrypt(
+        encoder.encodeReal(v, kScale, ctx.qCount()))};
+    setGlobalThreadCount(1);
+    BatchEvaluator batch(ctx);
+
+    // Scale-mismatched addPlain operand: rejected before execution.
+    const auto wrong_scale =
+        encoder.encodeReal(v, kScale * 4, ctx.qCount());
+    Pipeline bad_scale;
+    bad_scale.addPlain(wrong_scale);
+    EXPECT_THROW(batch.run(input, bad_scale), std::invalid_argument);
+
+    // Plaintext chain shorter than the ciphertext's: level mismatch.
+    const auto short_pt =
+        encoder.encodeReal(v, kScale, ctx.qCount() - 2);
+    Pipeline bad_level;
+    bad_level.multiplyPlain(short_pt);
+    EXPECT_THROW(batch.run(input, bad_level), std::invalid_argument);
+
+    // Per-level rows with no row at the item's level.
+    std::vector<Plaintext> short_rows;
+    short_rows.push_back(encoder.encodeReal(v, kScale, 1));
+    Pipeline no_row;
+    no_row.multiplyPlain(short_rows);
+    EXPECT_THROW(batch.run(input, no_row), std::invalid_argument);
+
+    // A valid single-operand pipeline still runs.
+    const auto good = encoder.encodeReal(v, kScale, ctx.qCount());
+    Pipeline ok;
+    ok.addPlain(good).multiplyPlain(good);
+    EXPECT_NO_THROW(batch.run(input, ok));
+}
+
+// ---------------------------------------------------------------------
+// Estimator consistency of the plaintext-matrix schedule
+// ---------------------------------------------------------------------
+TEST_F(BootstrapPipelineFixture, PlainMatricesShrinkKeySwitchWork)
+{
+    const auto p = ctx.params();
+    auto cfg = smallBootstrapConfig();
+    cfg.plainMatrices = false;
+    const auto ct_ops = enumerateBootstrapOps(p, cfg);
+    const auto ct_kernels =
+        enumerateBootstrapKernels(p, cfg, BootstrapKernelMode::PerOp);
+    cfg.plainMatrices = true;
+    const auto pt_ops = enumerateBootstrapOps(p, cfg);
+    const auto pt_kernels =
+        enumerateBootstrapKernels(p, cfg, BootstrapKernelMode::PerOp);
+
+    // Same op count and level trajectory, different operand kinds.
+    ASSERT_EQ(ct_ops.size(), pt_ops.size());
+    for (size_t i = 0; i < ct_ops.size(); ++i)
+        EXPECT_EQ(ct_ops[i].second, pt_ops[i].second) << "op " << i;
+
+    // Plaintext matrices skip the relinearisation key switch, so the
+    // BConv count must drop strictly.
+    const auto count = [](const std::vector<KernelCall> &ks,
+                          KernelKind kind) {
+        u64 c = 0;
+        for (const auto &k : ks)
+            c += k.kind == kind;
+        return c;
+    };
+    EXPECT_LT(count(pt_kernels, KernelKind::BConv),
+              count(ct_kernels, KernelKind::BConv));
+}
+
+} // namespace
+} // namespace cross::ckks

@@ -365,6 +365,7 @@ TEST_P(ScheduleMatch, EnumeratorPredictsEvaluatorKernels)
     const auto a = randomSlots(4, 25, 0.5);
     const auto ca = enc.encrypt(encoder.encode(a, kScale, ctx.qCount()));
     const auto cb = enc.encrypt(encoder.encode(a, kScale, ctx.qCount()));
+    const auto pt = encoder.encode(a, kScale, ctx.qCount());
     const auto rlk = keygen.relinKey();
     const u32 k = encoder.rotationAutomorphism(1);
     const auto rot_key = keygen.rotationKey(k);
@@ -386,6 +387,16 @@ TEST_P(ScheduleMatch, EnumeratorPredictsEvaluatorKernels)
       case HeOp::RescaleMulti:
         (void)ev.rescaleMulti(ca);
         break;
+      case HeOp::AddPlain:
+        (void)ev.addPlain(ca, pt);
+        break;
+      case HeOp::MultiplyPlain:
+        (void)ev.multiplyPlain(ca, pt);
+        break;
+      case HeOp::RotateAccum:
+        // One fan-in branch: rotate the input, fold it back in.
+        (void)ev.add(ca, ev.rotate(ca, k, rot_key));
+        break;
     }
 
     const auto predicted =
@@ -403,7 +414,10 @@ TEST_P(ScheduleMatch, EnumeratorPredictsEvaluatorKernels)
 
 INSTANTIATE_TEST_SUITE_P(AllOps, ScheduleMatch,
                          ::testing::Values(HeOp::Add, HeOp::Mult,
-                                           HeOp::Rescale, HeOp::Rotate));
+                                           HeOp::Rescale, HeOp::Rotate,
+                                           HeOp::AddPlain,
+                                           HeOp::MultiplyPlain,
+                                           HeOp::RotateAccum));
 
 // Conformance at *every* level -- not just the top spot-check above --
 // including the double-rescale operator (rescaleSplit = 2).
@@ -425,7 +439,8 @@ TEST(ScheduleMatchAllLevels, EnumeratorPredictsEvaluatorAtEveryLevel)
         encoder.encode(randomSlots(4, 26, 0.5), kScale, ctx.qCount()));
 
     for (HeOp op : {HeOp::Add, HeOp::Mult, HeOp::Rescale, HeOp::Rotate,
-                    HeOp::RescaleMulti}) {
+                    HeOp::RescaleMulti, HeOp::AddPlain,
+                    HeOp::MultiplyPlain, HeOp::RotateAccum}) {
         for (size_t level = 0; level < ctx.qCount(); ++level) {
             const size_t min_level = op == HeOp::Rescale ? 1
                 : op == HeOp::RescaleMulti ? params.rescaleSplit
@@ -433,6 +448,8 @@ TEST(ScheduleMatchAllLevels, EnumeratorPredictsEvaluatorAtEveryLevel)
             if (level < min_level)
                 continue;
             const auto ct = ev.reduceToLimbs(fresh, level + 1);
+            const auto pt = encoder.encode(randomSlots(4, 27, 0.5),
+                                           kScale, level + 1);
             log.clear();
             switch (op) {
               case HeOp::Add:
@@ -449,6 +466,15 @@ TEST(ScheduleMatchAllLevels, EnumeratorPredictsEvaluatorAtEveryLevel)
                 break;
               case HeOp::RescaleMulti:
                 (void)ev.rescaleMulti(ct);
+                break;
+              case HeOp::AddPlain:
+                (void)ev.addPlain(ct, pt);
+                break;
+              case HeOp::MultiplyPlain:
+                (void)ev.multiplyPlain(ct, pt);
+                break;
+              case HeOp::RotateAccum:
+                (void)ev.add(ct, ev.rotate(ct, k, rot_key));
                 break;
             }
 

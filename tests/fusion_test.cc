@@ -29,19 +29,12 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 
+#include "test_util.h"
+
 namespace cross::ckks {
 namespace {
 
-u32
-testThreads()
-{
-    if (const char *env = std::getenv("CROSS_TEST_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1 && v <= 256)
-            return static_cast<u32>(v);
-    }
-    return 4;
-}
+using testutil::testThreads;
 
 class FusionFixture : public ::testing::Test
 {
@@ -355,6 +348,162 @@ TEST_F(FusionFixture, CacheDetectsAddressReuseByFingerprint)
               9u);
     EXPECT_EQ(cache.misses(), 2u);
     EXPECT_EQ(cache.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// LRU byte budget (the Fig. 11b VMEM-residency roll-off, functionally)
+// ---------------------------------------------------------------------
+
+/** Synthetic precomp of a known paramBytes (no key material). */
+KeySwitchPrecomp
+syntheticPrecomp(size_t level, size_t bytes)
+{
+    KeySwitchPrecomp pre;
+    pre.level = level;
+    pre.extSlots.resize(bytes / sizeof(u32));
+    return pre;
+}
+
+TEST_F(FusionFixture, CacheLruEvictsOldestAndAccountsBytes)
+{
+    KeySwitchCache cache;
+    cache.setByteBudget(900); // room for two 400-byte precomps
+    const int a = 0, b = 0, c = 0; // three distinct key addresses
+
+    (void)cache.get(&a, 1, 0, [] { return syntheticPrecomp(1, 400); });
+    (void)cache.get(&b, 2, 0, [] { return syntheticPrecomp(2, 400); });
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.residentBytes(), 800u);
+    EXPECT_EQ(cache.evictions(), 0u);
+
+    // Touch a: b becomes the LRU victim when c lands.
+    EXPECT_EQ(cache.get(&a, 1, 0, [] {
+                          return syntheticPrecomp(9, 400);
+                      }).level,
+              1u);
+    EXPECT_EQ(cache.hits(), 1u);
+
+    (void)cache.get(&c, 3, 0, [] { return syntheticPrecomp(3, 400); });
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_LE(cache.residentBytes(), 900u);
+
+    // a survived (resident hit); b was evicted and must rebuild.
+    EXPECT_EQ(cache.get(&a, 1, 0, [] {
+                          return syntheticPrecomp(9, 400);
+                      }).level,
+              1u);
+    const u64 misses_before = cache.misses();
+    EXPECT_EQ(cache.get(&b, 2, 0, [] {
+                          return syntheticPrecomp(5, 400);
+                      }).level,
+              5u);
+    EXPECT_EQ(cache.misses(), misses_before + 1); // re-build after evict
+    EXPECT_EQ(cache.evictions(), 2u); // c was the LRU this time
+}
+
+TEST_F(FusionFixture, CacheBudgetShrinkAndOversizeEntryBehave)
+{
+    KeySwitchCache cache;
+    const int a = 0, b = 0, c = 0;
+    (void)cache.get(&a, 1, 0, [] { return syntheticPrecomp(1, 400); });
+    (void)cache.get(&b, 2, 0, [] { return syntheticPrecomp(2, 400); });
+    (void)cache.get(&c, 3, 0, [] { return syntheticPrecomp(3, 400); });
+    EXPECT_EQ(cache.residentBytes(), 1200u);
+
+    // Shrinking the budget evicts immediately, oldest first.
+    cache.setByteBudget(500);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 2u);
+    EXPECT_LE(cache.residentBytes(), 500u);
+    // The survivor is the most recently used: c.
+    EXPECT_EQ(cache.get(&c, 3, 0, [] {
+                          return syntheticPrecomp(9, 400);
+                      }).level,
+              3u);
+
+    // A single entry larger than the whole budget is still served
+    // (never evicted while it is the only entry)...
+    const int big = 0;
+    const auto &served = cache.get(
+        &big, 4, 0, [] { return syntheticPrecomp(7, 4000); });
+    EXPECT_EQ(served.level, 7u);
+    EXPECT_EQ(cache.size(), 1u);
+    // ...and rolls out as soon as the next entry lands.
+    (void)cache.get(&a, 1, 0, [] { return syntheticPrecomp(1, 400); });
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_LE(cache.residentBytes(), 500u);
+
+    // Retired storage is reclaimable once no readers are in flight.
+    EXPECT_GT(cache.retiredBytes(), 0u);
+    cache.releaseRetired();
+    EXPECT_EQ(cache.retiredBytes(), 0u);
+}
+
+TEST_F(FusionFixture, CacheFingerprintGuardFiresAfterEvictedSlotReuse)
+{
+    // A key evicted by the LRU, then a *different* key reusing its
+    // address: the re-inserted entry must carry the new fingerprint,
+    // and the guard must still detect a later content change.
+    KeySwitchCache cache;
+    cache.setByteBudget(900);
+    const int addr = 0, other = 0;
+
+    (void)cache.get(&addr, 0xaaaa, 0,
+                    [] { return syntheticPrecomp(1, 400); });
+    (void)cache.get(&other, 0xbbbb, 0,
+                    [] { return syntheticPrecomp(2, 400); });
+    (void)cache.get(&other, 0xbbbb, 1,
+                    [] { return syntheticPrecomp(3, 400); });
+    EXPECT_EQ(cache.evictions(), 1u); // addr rolled out
+
+    // addr's slot is reused by a different key (new fingerprint): the
+    // rebuild serves the new contents, not a stale entry.
+    EXPECT_EQ(cache.get(&addr, 0xcccc, 0, [] {
+                          return syntheticPrecomp(4, 400);
+                      }).level,
+              4u);
+    // And the in-place fingerprint guard still fires on that slot.
+    EXPECT_EQ(cache.get(&addr, 0xdddd, 0, [] {
+                          return syntheticPrecomp(5, 400);
+                      }).level,
+              5u);
+}
+
+TEST_F(FusionFixture, BoundedCacheKeepsBatchResultsBitIdentical)
+{
+    const auto rlk = keygen.relinKey();
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto a = encryptBatch(4, 21);
+    const auto b = encryptBatch(4, 22);
+
+    Pipeline p;
+    p.multiply(b, rlk).rescale().rotate(k, rot_key);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+    setGlobalThreadCount(1);
+    BatchEvaluator batch(ctx);
+    const auto unbounded = batch.run(a, p);
+    const size_t working_set = cache.residentBytes();
+    ASSERT_GT(working_set, 0u);
+
+    // A budget holding only one of the two precomps forces the other
+    // to rebuild every run -- bit-identically.
+    cache.clear();
+    cache.resetStats();
+    cache.setByteBudget(working_set / 2);
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        const auto bounded = batch.run(a, p);
+        expectEqual(bounded, unbounded);
+        EXPECT_LE(cache.residentBytes(), working_set / 2);
+    }
+    setGlobalThreadCount(1);
+    EXPECT_GT(cache.evictions(), 0u);
+    cache.setByteBudget(0);
 }
 
 TEST_F(FusionFixture, ConcurrentApplicationThreadsShareCacheSafely)

@@ -150,6 +150,14 @@ TEST_F(PipelineFixture, EvaluatorErrorPaths)
     EXPECT_THROW((void)evaluator.addPlain(
                      ca, encoder.encode(a, kScale * 4, ctx.qCount())),
                  std::invalid_argument);
+    // Level-mismatched plaintext operands fail fast (scalar paths):
+    // a short plaintext would silently truncate the ciphertext chain.
+    EXPECT_THROW((void)evaluator.addPlain(
+                     ca, encoder.encode(a, kScale, ctx.qCount() - 1)),
+                 std::invalid_argument);
+    EXPECT_THROW((void)evaluator.multiplyPlain(
+                     ca, encoder.encode(a, kScale, ctx.qCount() - 1)),
+                 std::invalid_argument);
 
     auto tiny = evaluator.reduceToLimbs(ca, 1);
     EXPECT_THROW((void)evaluator.rescale(tiny), std::invalid_argument);

@@ -32,19 +32,12 @@
 #include "poly/ring.h"
 #include "rns/bconv.h"
 
+#include "test_util.h"
+
 namespace cross {
 namespace {
 
-u32
-testThreads()
-{
-    if (const char *env = std::getenv("CROSS_TEST_THREADS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v >= 1 && v <= 256)
-            return static_cast<u32>(v);
-    }
-    return 4;
-}
+using testutil::testThreads;
 
 /** Scoped thread-count override; restores 1 thread on exit. */
 struct ThreadGuard
