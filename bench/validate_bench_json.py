@@ -7,6 +7,14 @@ the CTest bench smoke driver (cmake/RunBenchSmoke.cmake) both run it,
 so a bench that silently drifts from the schema fails the build rather
 than poisoning the cross-PR perf trajectory.
 
+Beyond the schema, trajectory metrics with a checked-in tolerance band
+(bench/fidelity_tolerance.json, loaded from this script's directory)
+are range-checked: a record whose name matches a tolerance entry must
+have items_per_sec inside [min, max], so e.g. the estimator-fidelity
+ratio table9/functional_vs_estimated failing structurally (estimator
+schedule and functional execution diverging) fails CI instead of
+silently drifting.
+
 Usage: validate_bench_json.py FILE.json [FILE.json ...]
 
 Exits 0 when every file conforms; prints one line per failure and
@@ -15,9 +23,30 @@ exits 1 otherwise.
 
 import json
 import numbers
+import os
 import sys
 
 SCHEMA = "cross-bench-v1"
+TOLERANCE_FILE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fidelity_tolerance.json"
+)
+
+
+def load_tolerances():
+    """name -> {min, max} bands; missing file means no range checks."""
+    try:
+        with open(TOLERANCE_FILE, encoding="utf-8") as f:
+            doc = json.load(f)
+    except OSError:
+        return {}
+    bands = {}
+    for name, band in doc.items():
+        if name.startswith("__") or not isinstance(band, dict):
+            continue
+        lo, hi = band.get("min"), band.get("max")
+        if isinstance(lo, numbers.Real) and isinstance(hi, numbers.Real):
+            bands[name] = (float(lo), float(hi))
+    return bands
 
 
 def fail(path, msg):
@@ -25,7 +54,7 @@ def fail(path, msg):
     return False
 
 
-def validate_record(path, i, rec):
+def validate_record(path, i, rec, tolerances):
     where = f"records[{i}]"
     if not isinstance(rec, dict):
         return fail(path, f"{where} is not an object")
@@ -47,6 +76,15 @@ def validate_record(path, i, rec):
         if v < 0 or v != v:  # negative or NaN
             return fail(path, f"{where}.{field} = {v} is not a valid "
                               "measurement")
+    if name in tolerances:
+        lo, hi = tolerances[name]
+        v = rec.get("items_per_sec")
+        if not lo <= v <= hi:
+            return fail(
+                path,
+                f"{where} '{name}' = {v} outside the checked-in "
+                f"tolerance [{lo}, {hi}] (bench/fidelity_tolerance.json)",
+            )
     return True
 
 
@@ -67,7 +105,11 @@ def validate_file(path):
     records = doc.get("records")
     if not isinstance(records, list) or not records:
         return fail(path, "records missing or empty")
-    ok = all(validate_record(path, i, r) for i, r in enumerate(records))
+    tolerances = load_tolerances()
+    ok = all(
+        validate_record(path, i, r, tolerances)
+        for i, r in enumerate(records)
+    )
     if ok:
         print(f"{path}: ok ({bench}, {len(records)} record(s))")
     return ok

@@ -217,6 +217,9 @@ BatchEvaluator::multiply(const CtVec &a, const CtVec &b,
 {
     requireThat(a.size() == b.size(),
                 "BatchEvaluator::multiply: size mismatch");
+    // Quiesce scope: retired precomps are reclaimed when the last
+    // in-flight reader (this call, possibly concurrent ones) drops.
+    const KeySwitchCache::ReaderGuard guard(ctx_.keySwitchCache());
     std::vector<size_t> levels(a.size());
     for (size_t i = 0; i < a.size(); ++i)
         levels[i] = std::min(a[i].limbs(), b[i].limbs()) - 1;
@@ -247,6 +250,7 @@ BatchEvaluator::rotate(const CtVec &cts, u32 auto_idx,
                        const SwitchKey &rot_key) const
 {
     checkAutomorphismIndex(ctx_, auto_idx);
+    const KeySwitchCache::ReaderGuard guard(ctx_.keySwitchCache());
     std::vector<size_t> levels(cts.size());
     for (size_t i = 0; i < cts.size(); ++i)
         levels[i] = cts[i].limbs() - 1;
@@ -281,6 +285,11 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
 {
     const size_t count = input.size();
     const auto &stages = pipeline.stages();
+
+    // Quiesce scope for the whole pipeline: precomp references fetched
+    // below stay valid across eviction while any run is in flight, and
+    // the last run to finish reclaims the retired storage.
+    const KeySwitchCache::ReaderGuard guard(ctx_.keySwitchCache());
 
     // Walk every item's (limb count, scale) through the stages to
     // discover the exact set of (key, level) precomps the pipeline

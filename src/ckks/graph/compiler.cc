@@ -1,0 +1,684 @@
+#include "ckks/graph/compiler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "common/check.h"
+
+namespace cross::ckks::graph {
+
+namespace {
+
+/** Ledger entry of one graph edge: the (limb count, scale) a value
+ *  has after its producing node, tracked through the evaluator's
+ *  exact floating-point updates. */
+struct Ledger
+{
+    size_t limbs = 0;
+    double scale = 0.0;
+};
+
+[[noreturn]] void
+failAt(NodeId id, const Node &n, const std::string &msg)
+{
+    std::string where =
+        "graph: " + msg + " at node #" + std::to_string(id) + " (" +
+        nodeKindName(n.kind);
+    if (!n.label.empty())
+        where += ", " + n.label;
+    where += ")";
+    throw std::invalid_argument(where);
+}
+
+double
+resolvePlainScale(const PlainOperand &p, double cur_scale, double base)
+{
+    switch (p.policy) {
+      case PlainOperand::ScalePolicy::Base:
+        return base;
+      case PlainOperand::ScalePolicy::Match:
+        return cur_scale;
+      case PlainOperand::ScalePolicy::Explicit:
+        return p.explicitScale;
+    }
+    return base;
+}
+
+/** Everything the ledger walk learns about an expanded graph. */
+struct WalkResult
+{
+    std::vector<GraphOp> ops;                  ///< flat, program order
+    std::vector<std::vector<GraphOp>> nodeOps; ///< per node (+synthetic)
+    std::vector<Ledger> after;                 ///< ledger after node
+    std::vector<double> ptScale;  ///< resolved plaintext operand scale
+    std::vector<InputSpec> inputSpecs; ///< resolved per input
+    std::vector<NodeId> outputs;       ///< effective outputs
+};
+
+/**
+ * The shared lowering walk. With @p ctx (exact mode) the rescale
+ * divisors are the real moduli and scale mismatches fail fast --
+ * compileGraph's contract. Without it (structural mode) moduli are
+ * nominal 2^logq and only level violations throw -- what
+ * enumerateGraphOps needs to price a workload without building keys.
+ */
+WalkResult
+walkGraph(const Graph &ex, const CkksParams &params,
+          const CkksContext *ctx, const LoweringOptions &opts)
+{
+    const bool exact = ctx != nullptr;
+    const double base = opts.baseScale > 0
+                            ? opts.baseScale
+                            : std::ldexp(1.0, static_cast<int>(
+                                                  params.scaleBits));
+    const auto q_at = [&](size_t i) {
+        return exact ? static_cast<double>(ctx->qModulus(i))
+                     : std::ldexp(1.0, static_cast<int>(params.logq));
+    };
+    requireThat(opts.inputs.empty() ||
+                    opts.inputs.size() == ex.inputs().size(),
+                "graph: input spec count does not match graph inputs");
+
+    const auto &nodes = ex.nodes();
+    WalkResult wr;
+    wr.nodeOps.resize(nodes.size());
+    wr.after.resize(nodes.size());
+    wr.ptScale.assign(nodes.size(), 0.0);
+
+    size_t input_idx = 0;
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node &n = nodes[id];
+        Ledger cur;
+        if (n.kind != NodeKind::Input)
+            cur = wr.after[n.args[0]];
+
+        const auto emit = [&](HeOp op, size_t fanin, size_t level,
+                              bool synthetic) {
+            GraphOp gop;
+            gop.node = id;
+            gop.op = op;
+            gop.fanin = fanin;
+            gop.level = level;
+            gop.repeat = n.repeat;
+            gop.label = n.label;
+            gop.synthetic = synthetic;
+            wr.nodeOps[id].push_back(gop);
+            wr.ops.push_back(std::move(gop));
+        };
+        const auto maybeAutoRescale = [&] {
+            while (opts.autoRescaleAbove > 0 &&
+                   cur.scale > opts.autoRescaleAbove && cur.limbs >= 2) {
+                emit(HeOp::Rescale, 1, cur.limbs - 1, true);
+                cur.scale /= q_at(cur.limbs - 1);
+                --cur.limbs;
+            }
+        };
+
+        switch (n.kind) {
+          case NodeKind::Input: {
+            InputSpec spec;
+            if (!opts.inputs.empty())
+                spec = opts.inputs[input_idx];
+            ++input_idx;
+            cur.limbs = spec.limbs > 0 ? spec.limbs : params.limbs;
+            if (cur.limbs > params.limbs)
+                failAt(id, n, "input level above the modulus chain");
+            cur.scale = spec.scale > 0 ? spec.scale : base;
+            wr.inputSpecs.push_back({cur.limbs, cur.scale});
+            break;
+          }
+          case NodeKind::Add: {
+            const Ledger &rhs = wr.after[n.args[1]];
+            if (exact && !ckksScalesMatch(cur.scale, rhs.scale))
+                failAt(id, n, "add operand scales do not match");
+            cur.limbs = std::min(cur.limbs, rhs.limbs);
+            emit(HeOp::Add, 1, cur.limbs - 1, false);
+            break;
+          }
+          case NodeKind::Multiply: {
+            const Ledger &rhs = wr.after[n.args[1]];
+            cur.limbs = std::min(cur.limbs, rhs.limbs);
+            emit(HeOp::Mult, 1, cur.limbs - 1, false);
+            cur.scale = cur.scale * rhs.scale;
+            maybeAutoRescale();
+            break;
+          }
+          case NodeKind::AddPlain: {
+            const double pts =
+                resolvePlainScale(n.plain, cur.scale, base);
+            wr.ptScale[id] = pts;
+            if (exact && !ckksScalesMatch(cur.scale, pts))
+                failAt(id, n,
+                       "addPlain operand scale does not match the "
+                       "ciphertext scale");
+            emit(HeOp::AddPlain, 1, cur.limbs - 1, false);
+            break;
+          }
+          case NodeKind::MultiplyPlain: {
+            const double pts =
+                resolvePlainScale(n.plain, cur.scale, base);
+            wr.ptScale[id] = pts;
+            emit(HeOp::MultiplyPlain, 1, cur.limbs - 1, false);
+            cur.scale *= pts;
+            maybeAutoRescale();
+            break;
+          }
+          case NodeKind::Rotate:
+            emit(HeOp::Rotate, 1, cur.limbs - 1, false);
+            break;
+          case NodeKind::SlotSum:
+            emit(HeOp::RotateAccum, n.sumSteps.size(), cur.limbs - 1,
+                 false);
+            break;
+          case NodeKind::Rescale:
+            if (cur.limbs < 2)
+                failAt(id, n, "rescale has no limb left to drop");
+            emit(HeOp::Rescale, 1, cur.limbs - 1, false);
+            cur.scale /= q_at(cur.limbs - 1);
+            --cur.limbs;
+            break;
+          case NodeKind::RescaleMulti:
+            if (cur.limbs <= params.rescaleSplit)
+                failAt(id, n, "not enough limbs for a double rescale");
+            emit(HeOp::RescaleMulti, 1, cur.limbs - 1, false);
+            for (u32 r = 0; r < params.rescaleSplit; ++r) {
+                cur.scale /= q_at(cur.limbs - 1);
+                --cur.limbs;
+            }
+            break;
+          case NodeKind::Reduce: {
+            const Ledger &ref = wr.after[n.args[1]];
+            if (ref.limbs > cur.limbs)
+                failAt(id, n,
+                       "reduce reference has more limbs than the "
+                       "operand");
+            cur.limbs = ref.limbs;
+            if (n.adoptScale)
+                cur.scale = ref.scale;
+            break;
+          }
+          case NodeKind::MatVec:
+          case NodeKind::Polynomial:
+            failAt(id, n,
+                   "macro node reached the lowering walk (expand "
+                   "first)");
+        }
+        wr.after[id] = cur;
+    }
+
+    wr.outputs = ex.outputs();
+    if (wr.outputs.empty() && !nodes.empty())
+        wr.outputs.push_back(static_cast<NodeId>(nodes.size() - 1));
+    return wr;
+}
+
+/** One planned execution step: a Reduce node or a group of
+ *  consecutive nodes fused into one pipeline segment. */
+struct StepPlan
+{
+    bool isReduce = false;
+    NodeId node = 0;            ///< Reduce node
+    std::vector<NodeId> group;  ///< segment nodes, program order
+};
+
+/**
+ * Segmentation: nodes fuse into the running segment while they form a
+ * pure chain -- the new node's primary input is the segment's last
+ * node, that value has no other consumer (and is not a graph output,
+ * which must be materialized), and every secondary operand is already
+ * materialized. Reduce nodes and @p per_op force a segment boundary.
+ * Execution order is program order either way, so results and
+ * per-item kernel sequences are schedule-independent.
+ */
+std::vector<StepPlan>
+planSteps(const Graph &ex, const WalkResult &wr, bool per_op)
+{
+    const auto &nodes = ex.nodes();
+    std::vector<u32> uses(nodes.size(), 0);
+    for (const Node &n : nodes) {
+        if (n.kind == NodeKind::Input)
+            continue;
+        ++uses[n.args[0]];
+        if (n.kind == NodeKind::Add || n.kind == NodeKind::Multiply)
+            ++uses[n.args[1]];
+    }
+    std::vector<bool> is_output(nodes.size(), false);
+    for (NodeId o : wr.outputs) {
+        is_output[o] = true;
+        ++uses[o];
+    }
+
+    std::vector<bool> materialized(nodes.size(), false);
+    std::vector<StepPlan> plan;
+    std::vector<NodeId> group;
+    const auto close = [&] {
+        if (group.empty())
+            return;
+        materialized[group.back()] = true;
+        StepPlan sp;
+        sp.group = std::move(group);
+        plan.push_back(std::move(sp));
+        group.clear();
+    };
+
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node &n = nodes[id];
+        if (n.kind == NodeKind::Input) {
+            materialized[id] = true;
+            continue;
+        }
+        if (n.kind == NodeKind::Reduce) {
+            close();
+            internalCheck(materialized[n.args[0]],
+                          "graph: reduce operand not materialized");
+            StepPlan sp;
+            sp.isReduce = true;
+            sp.node = id;
+            plan.push_back(std::move(sp));
+            materialized[id] = true;
+            continue;
+        }
+        bool extend = !group.empty() && n.args[0] == group.back() &&
+                      uses[group.back()] == 1 &&
+                      !is_output[group.back()];
+        if (extend &&
+            (n.kind == NodeKind::Add || n.kind == NodeKind::Multiply))
+            extend = materialized[n.args[1]];
+        if (!extend) {
+            close();
+            internalCheck(materialized[n.args[0]],
+                          "graph: segment input not materialized");
+            if (n.kind == NodeKind::Add || n.kind == NodeKind::Multiply)
+                internalCheck(materialized[n.args[1]],
+                              "graph: segment operand not "
+                              "materialized");
+        }
+        group.push_back(id);
+        if (per_op)
+            close();
+    }
+    close();
+    return plan;
+}
+
+} // namespace
+
+std::vector<GraphOp>
+enumerateGraphOps(const Graph &g, const CkksParams &params,
+                  const LoweringOptions &opts)
+{
+    const Graph ex = g.expanded();
+    return walkGraph(ex, params, nullptr, opts).ops;
+}
+
+std::unique_ptr<CompiledGraph>
+compileGraph(const CkksContext &ctx, const Graph &g,
+             const CompileOptions &opts)
+{
+    const CkksParams &params = ctx.params();
+    const Graph ex = g.expanded();
+    const WalkResult wr = walkGraph(ex, params, &ctx, opts.lowering);
+    const auto &nodes = ex.nodes();
+
+    std::unique_ptr<CompiledGraph> cg(new CompiledGraph());
+    cg->ctx_ = &ctx;
+    cg->ops_ = wr.ops;
+    cg->inputIds_ = ex.inputs();
+    cg->outputIds_ = wr.outputs;
+    cg->inputSpecs_ = wr.inputSpecs;
+
+    // Galois elements of every rotation the lowered program performs.
+    const CkksEncoder enc(ctx);
+    std::map<NodeId, u32> rot_idx;
+    std::map<NodeId, std::vector<u32>> sum_idx;
+    std::set<u32> galois;
+    bool need_relin = false;
+    for (NodeId id = 0; id < nodes.size(); ++id) {
+        const Node &n = nodes[id];
+        if (n.kind == NodeKind::Rotate) {
+            const u32 a = enc.rotationAutomorphism(n.steps);
+            rot_idx[id] = a;
+            galois.insert(a);
+        } else if (n.kind == NodeKind::SlotSum) {
+            auto &v = sum_idx[id];
+            for (i64 s : n.sumSteps) {
+                v.push_back(enc.rotationAutomorphism(s));
+                galois.insert(v.back());
+            }
+        } else if (n.kind == NodeKind::Multiply) {
+            need_relin = true;
+        }
+    }
+
+    // Key material: explicit caller keys fail fast when one is
+    // missing; a generator derives exactly the working set.
+    if (need_relin) {
+        if (opts.relinKey) {
+            cg->relinKey_ = opts.relinKey;
+        } else if (opts.keygen) {
+            cg->ownedRelinKey_ =
+                std::make_unique<SwitchKey>(opts.keygen->relinKey());
+            cg->relinKey_ = cg->ownedRelinKey_.get();
+        } else {
+            throw std::invalid_argument(
+                "graph compile: the graph multiplies ciphertexts but "
+                "no relinearisation key or key generator was given");
+        }
+    }
+    std::map<u32, const SwitchKey *> rot_keys;
+    for (u32 a : galois) {
+        if (opts.rotationKeys) {
+            const auto it = opts.rotationKeys->find(a);
+            if (it == opts.rotationKeys->end())
+                throw std::invalid_argument(
+                    "graph compile: missing rotation key for Galois "
+                    "element " +
+                    std::to_string(a));
+            rot_keys[a] = &it->second;
+        } else if (opts.keygen) {
+            cg->ownedRotKeys_.emplace(a, opts.keygen->rotationKey(a));
+            rot_keys[a] = &cg->ownedRotKeys_.at(a);
+        } else {
+            throw std::invalid_argument(
+                "graph compile: the graph rotates slots but no "
+                "rotation keys or key generator was given");
+        }
+    }
+
+    // Key working-set plan vs the residency budget. Bytes mirror
+    // KeySwitchPrecomp::paramBytes analytically: the extended slot
+    // list plus, per active digit, two polynomials over the extended
+    // basis.
+    const auto precomp_bytes = [&](size_t level) {
+        const size_t ext = level + 1 + ctx.pCount();
+        const size_t digits = ctx.activeDigits(level);
+        return ext * sizeof(u32) +
+               digits * 2 * ext * static_cast<size_t>(ctx.degree()) *
+                   sizeof(u32);
+    };
+    std::set<std::tuple<bool, u32, size_t>> seen;
+    for (const GraphOp &op : cg->ops_) {
+        const auto add_entry = [&](bool relin, u32 a, size_t level) {
+            if (!seen.insert({relin, a, level}).second)
+                return;
+            KeyWorkingSet::Entry e;
+            e.relin = relin;
+            e.autoIdx = a;
+            e.level = level;
+            e.bytes = precomp_bytes(level);
+            cg->keyPlan_.entries.push_back(e);
+            cg->keyPlan_.totalBytes += e.bytes;
+        };
+        if (op.op == HeOp::Mult)
+            add_entry(true, 0, op.level);
+        else if (op.op == HeOp::Rotate)
+            add_entry(false, rot_idx.at(op.node), op.level);
+        else if (op.op == HeOp::RotateAccum)
+            for (u32 a : sum_idx.at(op.node))
+                add_entry(false, a, op.level);
+    }
+    cg->keyPlan_.budgetBytes = ctx.keySwitchCache().byteBudget();
+    cg->keyPlan_.fitsResidency =
+        cg->keyPlan_.budgetBytes == 0 ||
+        cg->keyPlan_.totalBytes <= cg->keyPlan_.budgetBytes;
+
+    // Schedule choice: price the maximal fused segments against a
+    // per-operator launch granularity and keep the cheaper plan.
+    auto plan = planSteps(ex, wr, /*per_op=*/false);
+    const auto pops_of = [&](const std::vector<NodeId> &group) {
+        std::vector<PipelineOp> pops;
+        for (NodeId id : group)
+            for (const GraphOp &op : wr.nodeOps[id])
+                pops.push_back({op.op, op.fanin});
+        return pops;
+    };
+    const auto start_level_of = [&](NodeId first) {
+        return wr.after[nodes[first].args[0]].limbs - 1;
+    };
+    if (opts.device) {
+        requireThat(opts.plannedBatch >= 1,
+                    "graph compile: plannedBatch must be >= 1");
+        const HeOpCostModel model(*opts.device, opts.costConfig,
+                                  params);
+        for (const auto &sp : plan) {
+            if (sp.isReduce)
+                continue;
+            cg->fusedUs_ +=
+                tpu::runBatched(*opts.device,
+                                model.pipelineCost(
+                                    pops_of(sp.group),
+                                    start_level_of(sp.group.front())),
+                                opts.plannedBatch)
+                    .totalUs;
+            for (NodeId id : sp.group) {
+                cg->perOpUs_ +=
+                    tpu::runBatched(*opts.device,
+                                    model.pipelineCost(
+                                        pops_of({id}),
+                                        start_level_of(id)),
+                                    opts.plannedBatch)
+                        .totalUs;
+            }
+        }
+    }
+    switch (opts.schedule) {
+      case ScheduleKind::Fused:
+        cg->schedule_ = ScheduleKind::Fused;
+        break;
+      case ScheduleKind::PerOp:
+        cg->schedule_ = ScheduleKind::PerOp;
+        break;
+      case ScheduleKind::Auto:
+        cg->schedule_ = (opts.device && cg->perOpUs_ < cg->fusedUs_)
+                            ? ScheduleKind::PerOp
+                            : ScheduleKind::Fused;
+        break;
+    }
+    if (cg->schedule_ == ScheduleKind::PerOp)
+        plan = planSteps(ex, wr, /*per_op=*/true);
+
+    // Build the executable steps. Value slots are allocated once here;
+    // every stage operand pointer (rhs batches, plaintexts, keys)
+    // targets owned, address-stable storage.
+    cg->values_.resize(nodes.size());
+    for (const auto &sp : plan) {
+        CompiledGraph::Step step;
+        if (sp.isReduce) {
+            const Node &n = nodes[sp.node];
+            step.isReduce = true;
+            step.in = n.args[0];
+            step.out = sp.node;
+            step.reduceLimbs = wr.after[sp.node].limbs;
+            step.reduceScale = wr.after[sp.node].scale;
+            cg->steps_.push_back(std::move(step));
+            continue;
+        }
+        step.in = nodes[sp.group.front()].args[0];
+        step.out = sp.group.back();
+        step.startLevel = start_level_of(sp.group.front());
+        step.pops = pops_of(sp.group);
+        for (NodeId id : sp.group) {
+            const Node &n = nodes[id];
+            for (const GraphOp &op : wr.nodeOps[id]) {
+                switch (op.op) {
+                  case HeOp::Add:
+                    step.pipe.add(cg->values_[n.args[1]]);
+                    break;
+                  case HeOp::Mult:
+                    step.pipe.multiply(cg->values_[n.args[1]],
+                                       *cg->relinKey_);
+                    break;
+                  case HeOp::Rescale:
+                    step.pipe.rescale();
+                    break;
+                  case HeOp::RescaleMulti:
+                    step.pipe.rescaleMulti();
+                    break;
+                  case HeOp::Rotate:
+                    step.pipe.rotate(rot_idx.at(id),
+                                     *rot_keys.at(rot_idx.at(id)));
+                    break;
+                  case HeOp::AddPlain:
+                  case HeOp::MultiplyPlain:
+                    cg->plains_.push_back(
+                        enc.encodeReal(n.plain.values, wr.ptScale[id],
+                                       op.level + 1));
+                    if (op.op == HeOp::AddPlain)
+                        step.pipe.addPlain(cg->plains_.back());
+                    else
+                        step.pipe.multiplyPlain(cg->plains_.back());
+                    break;
+                  case HeOp::RotateAccum: {
+                    std::vector<RotateBranch> branches;
+                    for (u32 a : sum_idx.at(id))
+                        branches.push_back({a, rot_keys.at(a)});
+                    step.pipe.rotateAccum(std::move(branches));
+                    break;
+                  }
+                }
+            }
+        }
+        ++cg->segments_;
+        cg->steps_.push_back(std::move(step));
+    }
+    return cg;
+}
+
+void
+CompiledGraph::bindInputs(const std::vector<CtVec> &inputs)
+{
+    requireThat(inputs.size() == inputIds_.size(),
+                "CompiledGraph::run: input count does not match the "
+                "graph");
+    size_t count = 0;
+    bool first = true;
+    for (size_t k = 0; k < inputs.size(); ++k) {
+        if (first) {
+            count = inputs[k].size();
+            first = false;
+        }
+        requireThat(inputs[k].size() == count,
+                    "CompiledGraph::run: input batches must have the "
+                    "same item count");
+        const InputSpec &spec = inputSpecs_[k];
+        for (const Ciphertext &ct : inputs[k]) {
+            requireThat(ct.limbs() == spec.limbs,
+                        "CompiledGraph::run: input item level does "
+                        "not match the compiled ledger");
+            requireThat(ckksScalesMatch(ct.scale, spec.scale),
+                        "CompiledGraph::run: input item scale does "
+                        "not match the compiled ledger");
+        }
+    }
+    for (size_t k = 0; k < inputs.size(); ++k)
+        values_[inputIds_[k]] = inputs[k];
+}
+
+std::vector<CtVec>
+CompiledGraph::run(const BatchEvaluator &batch,
+                   const std::vector<CtVec> &inputs)
+{
+    requireThat(&batch.context() == ctx_,
+                "CompiledGraph::run: evaluator bound to a different "
+                "context");
+    bindInputs(inputs);
+    const CkksEvaluator ev(*ctx_);
+    for (Step &st : steps_) {
+        if (st.isReduce) {
+            const CtVec &in = values_[st.in];
+            CtVec out(in.size());
+            for (size_t i = 0; i < in.size(); ++i) {
+                out[i] = ev.reduceToLimbs(in[i], st.reduceLimbs);
+                out[i].scale = st.reduceScale;
+            }
+            values_[st.out] = std::move(out);
+        } else {
+            values_[st.out] = batch.run(values_[st.in], st.pipe);
+        }
+    }
+    std::vector<CtVec> res;
+    res.reserve(outputIds_.size());
+    for (NodeId o : outputIds_)
+        res.push_back(values_[o]);
+    return res;
+}
+
+std::vector<CtVec>
+CompiledGraph::runSequential(KernelLog *log,
+                             const std::vector<CtVec> &inputs)
+{
+    bindInputs(inputs);
+    const CkksEvaluator ev(*ctx_, log);
+    for (Step &st : steps_) {
+        if (st.isReduce) {
+            const CtVec &in = values_[st.in];
+            CtVec out(in.size());
+            for (size_t i = 0; i < in.size(); ++i) {
+                out[i] = ev.reduceToLimbs(in[i], st.reduceLimbs);
+                out[i].scale = st.reduceScale;
+            }
+            values_[st.out] = std::move(out);
+            continue;
+        }
+        const CtVec &in = values_[st.in];
+        CtVec out(in.size());
+        for (size_t i = 0; i < in.size(); ++i) {
+            Ciphertext cur = in[i];
+            for (const PipelineStage &stage : st.pipe.stages()) {
+                switch (stage.op) {
+                  case HeOp::Add:
+                    cur = ev.add(cur, (*stage.rhs)[i]);
+                    break;
+                  case HeOp::Mult:
+                    cur = ev.multiply(cur, (*stage.rhs)[i],
+                                      *stage.key);
+                    break;
+                  case HeOp::Rescale:
+                    cur = ev.rescale(cur);
+                    break;
+                  case HeOp::RescaleMulti:
+                    cur = ev.rescaleMulti(cur);
+                    break;
+                  case HeOp::Rotate:
+                    cur = ev.rotate(cur, stage.autoIdx, *stage.key);
+                    break;
+                  case HeOp::AddPlain:
+                    cur = ev.addPlain(
+                        cur, pipelineStagePlain(stage,
+                                                cur.limbs() - 1));
+                    break;
+                  case HeOp::MultiplyPlain:
+                    cur = ev.multiplyPlain(
+                        cur, pipelineStagePlain(stage,
+                                                cur.limbs() - 1));
+                    break;
+                  case HeOp::RotateAccum: {
+                    Ciphertext acc = cur;
+                    for (const RotateBranch &br : stage.branches) {
+                        const Ciphertext rotated =
+                            ev.rotate(cur, br.autoIdx, *br.key);
+                        acc = ev.add(acc, rotated);
+                    }
+                    cur = acc;
+                    break;
+                  }
+                }
+            }
+            out[i] = cur;
+        }
+        values_[st.out] = std::move(out);
+    }
+    std::vector<CtVec> res;
+    res.reserve(outputIds_.size());
+    for (NodeId o : outputIds_)
+        res.push_back(values_[o]);
+    return res;
+}
+
+} // namespace cross::ckks::graph

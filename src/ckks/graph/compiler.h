@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Graph compiler: lowers an operator graph (graph.h) onto the fused
+ * Pipeline / BatchEvaluator machinery, the way BootstrapPipeline::build
+ * lowers the bootstrap schedule.
+ *
+ * Lowering walks the expanded graph in program order and maintains a
+ * level/scale *ledger* per edge that replays the evaluator's exact
+ * floating-point scale updates (the walkBootstrap trick): every
+ * add/addPlain operand pair is checked against the same
+ * ckksScalesMatch predicate the evaluator applies, every rescale
+ * divides by the real q_l, and plaintext operands are encoded at the
+ * ledger's (limbs, scale) -- so a graph that compiles executes without
+ * a single scale or level surprise, and a malformed one fails at
+ * compile time with the node that broke. Optionally the compiler
+ * inserts rescales automatically after multiplies whose result scale
+ * exceeds a threshold.
+ *
+ * The compiler also plans the rotation/relinearisation key working set
+ * against the context's KeySwitchCache byte budget (KeyWorkingSet: the
+ * distinct (key, level) precomps the compiled program touches and
+ * whether they fit residency), and chooses between the fused schedule
+ * (maximal pipeline segments, one BatchEvaluator::run per segment) and
+ * a per-operator schedule by pricing both with
+ * HeOpCostModel::pipelineCost on a simulated device. Either schedule
+ * is bit-identical; only launch granularity differs.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "ckks/batch_evaluator.h"
+#include "ckks/graph/graph.h"
+#include "ckks/keys.h"
+#include "ckks/schedule.h"
+
+namespace cross::ckks::graph {
+
+/** Level/scale of one graph input. Zero fields mean the defaults:
+ *  the full modulus chain and the base scale. */
+struct InputSpec
+{
+    size_t limbs = 0;
+    double scale = 0.0;
+};
+
+/** Ledger / lowering knobs shared by compileGraph and the structural
+ *  enumerator. */
+struct LoweringOptions
+{
+    /** Scale of Base-policy plaintext operands and default input
+     *  scale; 0 = 2^params.scaleBits. */
+    double baseScale = 0.0;
+    /** When > 0: auto-insert a Rescale after any (plaintext) multiply
+     *  whose result scale exceeds this threshold (0 = off; the graph
+     *  must then manage levels explicitly). */
+    double autoRescaleAbove = 0.0;
+    /** Per-input levels/scales; empty = all defaults. */
+    std::vector<InputSpec> inputs;
+};
+
+/**
+ * One lowered HE operator: what the compiled program executes, in
+ * program order. Reduce nodes lower to no operator (reduceToLimbs runs
+ * no kernels); auto-inserted rescales appear with synthetic = true.
+ * Concatenating enumerateKernels({op, fanin}, params, level) over the
+ * list predicts a sequential run's KernelLog exactly.
+ */
+struct GraphOp
+{
+    NodeId node = 0;   ///< expanded-graph node this op came from
+    HeOp op = HeOp::Add;
+    size_t fanin = 1;  ///< RotateAccum branch count (1 otherwise)
+    size_t level = 0;  ///< level the op executes at
+    u64 repeat = 1;    ///< estimator multiplicity (node's repeat)
+    std::string label; ///< node's stage label
+    bool synthetic = false; ///< auto-inserted rescale
+};
+
+/**
+ * Structural lowering: the (op, level) schedule of @p g under the
+ * ledger rules, without a context, keys or operand encoding (moduli
+ * are taken at their nominal 2^logq width). This is what the workload
+ * estimators price -- the same walk compileGraph executes, so the
+ * estimated schedule cannot drift from the functional one.
+ */
+std::vector<GraphOp> enumerateGraphOps(const Graph &g,
+                                       const CkksParams &params,
+                                       const LoweringOptions &opts = {});
+
+/** Launch granularity of the compiled program. */
+enum class ScheduleKind
+{
+    /** Price both with HeOpCostModel::pipelineCost and pick the
+     *  cheaper (requires CompileOptions::device; Fused otherwise). */
+    Auto,
+    /** Maximal fused segments, one BatchEvaluator::run each. */
+    Fused,
+    /** One pipeline per graph operator (a batch barrier between ops;
+     *  an auto-inserted rescale stays with its producer). */
+    PerOp,
+};
+
+/** Key material and scheduling knobs for compileGraph. */
+struct CompileOptions
+{
+    LoweringOptions lowering;
+
+    /** @name Key sources. Either a generator (the compiler derives and
+     *  owns exactly the rotation keys the graph needs, plus the relin
+     *  key unless one is supplied), or explicit caller-owned keys --
+     *  then a rotation the graph needs but the map lacks fails the
+     *  compile. Caller-owned keys must outlive the CompiledGraph.
+     *  @{ */
+    KeyGenerator *keygen = nullptr;
+    const SwitchKey *relinKey = nullptr;
+    /** Caller rotation keys by Galois element. */
+    const std::map<u32, SwitchKey> *rotationKeys = nullptr;
+    /** @} */
+
+    ScheduleKind schedule = ScheduleKind::Auto;
+    /** Device for the Auto schedule choice and the cost report. */
+    const tpu::DeviceConfig *device = nullptr;
+    lowering::Config costConfig{};
+    /** Batch size the schedule choice amortises over. */
+    u64 plannedBatch = 1;
+};
+
+/**
+ * The rotation/relin key working set of a compiled graph: one entry
+ * per distinct (key, level) precomp the program touches, with the
+ * byte sizes the KeySwitchCache accounts (KeySwitchPrecomp::
+ * paramBytes), against the context's residency budget.
+ */
+struct KeyWorkingSet
+{
+    struct Entry
+    {
+        bool relin = false; ///< relinearisation key (autoIdx unused)
+        u32 autoIdx = 0;    ///< rotation: Galois element
+        size_t level = 0;
+        size_t bytes = 0;
+    };
+
+    std::vector<Entry> entries;
+    size_t totalBytes = 0;
+    /** Context cache budget (0 = unbounded). */
+    size_t budgetBytes = 0;
+    /** Whole working set stays resident at once (always true when the
+     *  budget is unbounded). When false, a run still executes
+     *  correctly but re-builds evicted precomps LRU-style. */
+    bool fitsResidency = true;
+};
+
+/**
+ * A lowered, runnable graph. Owns its pipelines, plaintext operands,
+ * generated keys and intermediate-value slots (stages point into the
+ * owned storage, so the object is neither copyable nor movable;
+ * compileGraph hands it out by unique_ptr). One run at a time: the
+ * value slots are reused, so concurrent run() calls on the same
+ * CompiledGraph would race (batch items inside a run parallelise as
+ * usual).
+ */
+class CompiledGraph
+{
+  public:
+    /**
+     * Execute on a batch: @p inputs, one CtVec per graph input (all
+     * the same item count), each item at its input's ledger level and
+     * scale (validated fail-fast). Returns one CtVec per graph
+     * output. Results and the merged KernelLog are bit-identical to
+     * runSequential at any thread count.
+     */
+    std::vector<CtVec> run(const BatchEvaluator &batch,
+                           const std::vector<CtVec> &inputs);
+
+    /**
+     * Sequential reference: item by item, stage by stage, one-shot
+     * SwitchKey paths (no residency cache). The conformance baseline
+     * for run(), exactly like BootstrapPipeline::runSequential.
+     */
+    std::vector<CtVec> runSequential(KernelLog *log,
+                                     const std::vector<CtVec> &inputs);
+
+    /** The lowered operator schedule, in program order. */
+    const std::vector<GraphOp> &ops() const { return ops_; }
+
+    /** The planned key working set vs the cache budget. */
+    const KeyWorkingSet &keyPlan() const { return keyPlan_; }
+
+    /** Resolved schedule (Fused or PerOp, never Auto). */
+    ScheduleKind schedule() const { return schedule_; }
+
+    /** @name Schedule prices (0 when no device was given). @{ */
+    double fusedCostUs() const { return fusedUs_; }
+    double perOpCostUs() const { return perOpUs_; }
+    /** @} */
+
+    /** Fused pipeline segments the program executes. */
+    size_t segmentCount() const { return segments_; }
+
+    /** Resolved (limbs, scale) each input must arrive at. */
+    const std::vector<InputSpec> &inputLedger() const
+    {
+        return inputSpecs_;
+    }
+
+    CompiledGraph(const CompiledGraph &) = delete;
+    CompiledGraph &operator=(const CompiledGraph &) = delete;
+
+  private:
+    CompiledGraph() = default;
+
+    friend std::unique_ptr<CompiledGraph>
+    compileGraph(const CkksContext &ctx, const Graph &g,
+                 const CompileOptions &opts);
+
+    /** One execution step: a fused pipeline segment, or a Reduce
+     *  (level alignment between segments; runs no kernels). */
+    struct Step
+    {
+        bool isReduce = false;
+        NodeId in = 0;  ///< value slot feeding the step
+        NodeId out = 0; ///< value slot the step writes
+        Pipeline pipe;
+        std::vector<PipelineOp> pops;
+        size_t startLevel = 0;
+        size_t reduceLimbs = 0;  ///< Reduce: target limb count
+        double reduceScale = 0;  ///< Reduce: result scale (bit-exact)
+    };
+
+    void bindInputs(const std::vector<CtVec> &inputs);
+
+    const CkksContext *ctx_ = nullptr;
+    std::vector<Step> steps_;
+    std::vector<GraphOp> ops_;
+    KeyWorkingSet keyPlan_;
+    ScheduleKind schedule_ = ScheduleKind::Fused;
+    double fusedUs_ = 0;
+    double perOpUs_ = 0;
+    size_t segments_ = 0;
+
+    std::vector<NodeId> inputIds_;
+    std::vector<NodeId> outputIds_;
+    std::vector<InputSpec> inputSpecs_;
+
+    /** One value slot per expanded node; pipeline stages hold
+     *  pointers into this vector, which is sized once at compile
+     *  (stable addresses). */
+    std::vector<CtVec> values_;
+    std::deque<Plaintext> plains_;
+    std::map<u32, SwitchKey> ownedRotKeys_;
+    std::unique_ptr<SwitchKey> ownedRelinKey_;
+    const SwitchKey *relinKey_ = nullptr;
+};
+
+/**
+ * Compile @p g for @p ctx: expand macros, run the exact ledger walk
+ * (fail-fast on level/scale misuse, auto-rescale if configured),
+ * encode plaintext operands, materialise keys, plan the key working
+ * set, choose the schedule and build the executable steps.
+ *
+ * @throws std::invalid_argument on ledger violations, missing keys or
+ *         malformed inputs.
+ */
+std::unique_ptr<CompiledGraph> compileGraph(const CkksContext &ctx,
+                                            const Graph &g,
+                                            const CompileOptions &opts);
+
+} // namespace cross::ckks::graph

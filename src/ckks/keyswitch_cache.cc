@@ -1,5 +1,7 @@
 #include "ckks/keyswitch_cache.h"
 
+#include "common/check.h"
+
 namespace cross::ckks {
 
 size_t
@@ -188,6 +190,30 @@ KeySwitchCache::releaseRetired()
 {
     std::lock_guard<std::mutex> lock(m_);
     retired_.clear();
+}
+
+void
+KeySwitchCache::retainReader() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    ++activeReaders_;
+}
+
+void
+KeySwitchCache::releaseReader() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    internalCheck(activeReaders_ > 0,
+                  "KeySwitchCache: reader underflow");
+    if (--activeReaders_ == 0)
+        retired_.clear();
+}
+
+u64
+KeySwitchCache::activeReaders() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return activeReaders_;
 }
 
 } // namespace cross::ckks

@@ -39,9 +39,14 @@
  *  - An eviction moves the precomp to the retired list (the "host
  *    copy"): references already handed out stay valid, while the
  *    resident set -- what future lookups can hit -- stays within
- *    budget. retired storage is reclaimed by clear() or
- *    releaseRetired(), which the caller may only invoke when no
- *    in-flight evaluation still reads old references.
+ *    budget. Retired storage is reclaimed at a *quiesce point*: every
+ *    evaluation that reads cached precomps holds a ReaderGuard
+ *    (BatchEvaluator takes one around each batched key-switching
+ *    entry point), and when the last guard drops the retired list is
+ *    freed automatically -- no reference can still point into it.
+ *    clear() and releaseRetired() remain as explicit reclamation for
+ *    callers that manage quiescence themselves (tests, teardown); the
+ *    same no-in-flight-readers contract applies.
  *  - A single precomp larger than the whole budget is still served
  *    (the alternative is livelock); it is evicted as soon as the next
  *    entry lands.
@@ -135,10 +140,47 @@ class KeySwitchCache
      * Free retired precomps (from evictions and fingerprint rebuilds).
      * Caller contract as for invalidate()/clear(): no in-flight
      * evaluation may still be reading previously returned references.
+     * Usually unnecessary -- the last ReaderGuard to drop reclaims
+     * retired storage automatically.
      */
     void releaseRetired();
 
+    /**
+     * RAII registration of an in-flight reader of cached precomps.
+     * While any guard is alive, retired precomps stay allocated (their
+     * references may still be read); when the last guard drops, the
+     * retired list is freed -- the quiesce point. BatchEvaluator holds
+     * one across every batched key-switching operation.
+     */
+    class ReaderGuard
+    {
+      public:
+        explicit ReaderGuard(const KeySwitchCache &cache) : cache_(&cache)
+        {
+            cache_->retainReader();
+        }
+        ~ReaderGuard()
+        {
+            if (cache_)
+                cache_->releaseReader();
+        }
+        ReaderGuard(const ReaderGuard &) = delete;
+        ReaderGuard &operator=(const ReaderGuard &) = delete;
+
+      private:
+        const KeySwitchCache *cache_;
+    };
+
+    /** In-flight ReaderGuard count (0 = quiesced). */
+    u64 activeReaders() const;
+
   private:
+    friend class ReaderGuard;
+
+    void retainReader() const;
+    /** Drops a reader; the last one out frees retired storage. */
+    void releaseReader() const;
+
     struct Entry
     {
         u64 fingerprint = 0;
@@ -159,6 +201,7 @@ class KeySwitchCache
     mutable std::vector<std::unique_ptr<KeySwitchPrecomp>> retired_;
     mutable size_t budget_ = 0;
     mutable size_t residentBytes_ = 0;
+    mutable u64 activeReaders_ = 0;
     mutable u64 tick_ = 0;
     mutable u64 hits_ = 0;
     mutable u64 misses_ = 0;

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "ckks/graph/compiler.h"
+#include "ckks/graph/graph.h"
 #include "ckks/schedule.h"
 
 namespace cross::workloads {
@@ -40,11 +42,62 @@ struct Workload
     std::vector<OpGroup> ops;
 };
 
-/** HELR: one logistic-regression training iteration (batch 1024). */
+/**
+ * Workload described once as an operator graph (ckks::graph). The
+ * estimator schedule is *derived* from the graph by the same
+ * structural lowering walk the graph compiler executes
+ * (enumerateGraphOps), so the priced schedule and a functional
+ * execution of the graph cannot drift -- the walkBootstrap trick
+ * applied to the ML workloads.
+ */
+struct GraphWorkload
+{
+    std::string name;
+    ckks::CkksParams params;
+    u64 itemsPerRun = 0;
+    ckks::graph::Graph graph;
+    ckks::graph::LoweringOptions lowering;
+};
+
+/** HELR one-iteration schedule as an operator graph. */
+GraphWorkload helrIterationGraph();
+
+/** MNIST CNN inference schedule as an operator graph. */
+GraphWorkload mnistInferenceGraph();
+
+/**
+ * Lower a graph workload to the estimator's operator groups: one
+ * OpGroup per lowered operator (node repeat counts become invocation
+ * counts, SlotSum fan-in expands to its rotate + add pairs),
+ * consecutive identical (stage, op, level) groups merged.
+ */
+Workload workloadFromGraph(const GraphWorkload &gw);
+
+/** HELR: one logistic-regression training iteration (batch 1024).
+ *  Derived from helrIterationGraph(). */
 Workload helrIteration();
 
-/** MNIST CNN inference, batch 64. */
+/** MNIST CNN inference, batch 64. Derived from mnistInferenceGraph(). */
 Workload mnistInference();
+
+/** @name Runnable example graphs.
+ *  Small concrete-weight graphs shared by the examples and graph_test,
+ *  matching the hand-rolled operator sequences the examples originally
+ *  executed (bit-identity is asserted by tests/graph_test.cc).
+ *  @{ */
+
+/** y = square(W x + b): diagonal-method mat-vec over an input packed
+ *  with @p replicate copies, rescale, bias add, square activation. */
+ckks::graph::Graph
+denseSquareLayerGraph(const std::vector<std::vector<double>> &w,
+                      const std::vector<double> &bias, size_t replicate);
+
+/** HELR gradient coefficients g = 0.5 - 0.197 (y z) + 0.004 (y z)^3:
+ *  label mask multiply + rescale, then the degree-3 polynomial macro
+ *  over @p y_slots.size() slots. */
+ckks::graph::Graph helrGradientGraph(const std::vector<double> &y_slots);
+
+/** @} */
 
 /** Cost summary on a simulated device. */
 struct WorkloadEstimate

@@ -1,0 +1,590 @@
+/**
+ * @file
+ * Tests for the operator-graph IR and its compiler (src/ckks/graph/):
+ * graph-compiled workloads must be bit-identical (results and merged
+ * KernelLog) to the hand-rolled operator sequences they replace, at
+ * any thread count; the level/scale ledger must fail fast at compile
+ * time on misuse; the key working-set plan must match the residency
+ * cache's observed footprint; and the structural enumerator used by
+ * the workload estimators must agree with the compiled schedule (the
+ * no-drift guarantee).
+ *
+ * Thread count comes from CROSS_TEST_THREADS (default 4) so the
+ * TSan/ASan CI shards (ctest -L graph) exercise the compiled pipelines
+ * with real concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ckks/batch_evaluator.h"
+#include "ckks/context.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/graph/compiler.h"
+#include "ckks/keys.h"
+#include "ckks/schedule.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tpu/sim.h"
+#include "workloads/ml_workloads.h"
+
+#include "test_util.h"
+
+namespace cross::ckks::graph {
+namespace {
+
+using testutil::testThreads;
+
+class GraphFixture : public ::testing::Test
+{
+  protected:
+    static constexpr double kScale = 1 << 26;
+
+    GraphFixture()
+        : ctx(CkksParams::testSet(1 << 9, 6, 2)), encoder(ctx),
+          keygen(ctx, 0x61), encryptor(ctx, keygen.publicKey(), 0x62)
+    {
+    }
+
+    ~GraphFixture() override { setGlobalThreadCount(1); }
+
+    Ciphertext
+    encryptReal(const std::vector<double> &v)
+    {
+        return encryptor.encrypt(
+            encoder.encodeReal(v, kScale, ctx.qCount()));
+    }
+
+    CtVec
+    encryptBatch(size_t count, u64 seed)
+    {
+        Rng rng(seed);
+        CtVec cts;
+        for (size_t i = 0; i < count; ++i) {
+            std::vector<double> v(encoder.slotCount());
+            for (auto &x : v)
+                x = rng.real() * 2 - 1;
+            cts.push_back(encryptReal(v));
+        }
+        return cts;
+    }
+
+    static void
+    expectEqual(const CtVec &a, const CtVec &b)
+    {
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_TRUE(a[i].c0 == b[i].c0) << "item " << i;
+            EXPECT_TRUE(a[i].c1 == b[i].c1) << "item " << i;
+            EXPECT_DOUBLE_EQ(a[i].scale, b[i].scale) << "item " << i;
+        }
+    }
+
+    static void
+    expectSameLog(const KernelLog &got, const KernelLog &want)
+    {
+        ASSERT_EQ(got.calls().size(), want.calls().size());
+        for (size_t i = 0; i < got.calls().size(); ++i) {
+            EXPECT_TRUE(got.calls()[i].sameShape(want.calls()[i]))
+                << "call " << i << ": got "
+                << kernelKindName(got.calls()[i].kind) << "("
+                << got.calls()[i].limbs << "->"
+                << got.calls()[i].limbsOut << "), want "
+                << kernelKindName(want.calls()[i].kind) << "("
+                << want.calls()[i].limbs << "->"
+                << want.calls()[i].limbsOut << ")";
+        }
+    }
+
+    /** The private-inference layer weights, scaled-down fixture. */
+    static std::vector<std::vector<double>>
+    layerWeights()
+    {
+        return {
+            {0.5, -0.1, 0.2, 0.0},
+            {0.1, 0.3, -0.2, 0.4},
+            {-0.3, 0.2, 0.1, 0.1},
+            {0.2, 0.0, 0.4, -0.5},
+        };
+    }
+
+    static std::vector<double>
+    layerBias()
+    {
+        return {0.05, -0.05, 0.1, 0.0};
+    }
+
+    /** Rotation keys for steps 1..dim-1 (diagonal method). */
+    std::map<u32, SwitchKey>
+    layerRotationKeys(size_t dim)
+    {
+        std::map<u32, SwitchKey> keys;
+        for (size_t d = 1; d < dim; ++d) {
+            const u32 g =
+                encoder.rotationAutomorphism(static_cast<i64>(d));
+            keys.emplace(g, keygen.rotationKey(g));
+        }
+        return keys;
+    }
+
+    /** Hand-rolled y = square(Wx + b): the operator loop the example
+     *  originally executed, kept verbatim as the reference. */
+    Ciphertext
+    handRolledLayer(const Ciphertext &ct,
+                    const std::map<u32, SwitchKey> &rot_keys,
+                    const SwitchKey &rlk, KernelLog *log)
+    {
+        setGlobalThreadCount(1);
+        const CkksEvaluator ev(ctx, log);
+        const auto w = layerWeights();
+        const auto bias = layerBias();
+        const size_t dim = w.size();
+        Ciphertext acc;
+        for (size_t d = 0; d < dim; ++d) {
+            std::vector<double> diag(dim * 2, 0.0);
+            for (size_t i = 0; i < dim; ++i)
+                diag[i] = w[i][(i + d) % dim];
+            const auto pt =
+                encoder.encodeReal(diag, kScale, ctx.qCount());
+            Ciphertext term;
+            if (d == 0) {
+                term = ev.multiplyPlain(ct, pt);
+            } else {
+                const u32 g = encoder.rotationAutomorphism(
+                    static_cast<i64>(d));
+                term = ev.multiplyPlain(
+                    ev.rotate(ct, g, rot_keys.at(g)), pt);
+            }
+            acc = d == 0 ? term : ev.add(acc, term);
+        }
+        acc = ev.rescale(acc);
+        std::vector<double> bias_packed;
+        for (int rep = 0; rep < 2; ++rep)
+            bias_packed.insert(bias_packed.end(), bias.begin(),
+                               bias.end());
+        acc = ev.addPlain(acc, encoder.encodeReal(bias_packed, acc.scale,
+                                                  acc.limbs()));
+        return ev.rescale(ev.multiply(acc, acc, rlk));
+    }
+
+    /** Hand-rolled HELR gradient g = 0.5 - 0.197 yz + 0.004 (yz)^3. */
+    Ciphertext
+    handRolledGradient(const Ciphertext &ct_z,
+                       const std::vector<double> &y_slots,
+                       const SwitchKey &rlk, KernelLog *log)
+    {
+        setGlobalThreadCount(1);
+        const CkksEvaluator ev(ctx, log);
+        const size_t samples = y_slots.size();
+        const auto pt_y =
+            encoder.encodeReal(y_slots, kScale, ctx.qCount());
+        auto yz = ev.rescale(ev.multiplyPlain(ct_z, pt_y));
+        auto yz2 = ev.rescale(ev.multiply(yz, yz, rlk));
+        auto yz_low = ev.reduceToLimbs(yz, yz2.limbs());
+        yz_low.scale = yz.scale;
+        auto yz3 = ev.rescale(ev.multiply(yz2, yz_low, rlk));
+
+        auto lin = ev.rescale(ev.multiplyPlain(
+            yz, encoder.encodeReal(std::vector<double>(samples, -0.197),
+                                   kScale, yz.limbs())));
+        auto cub = ev.rescale(ev.multiplyPlain(
+            yz3, encoder.encodeReal(std::vector<double>(samples, 0.004),
+                                    kScale, yz3.limbs())));
+        lin = ev.reduceToLimbs(lin, cub.limbs());
+        lin.scale = cub.scale;
+        auto g = ev.add(lin, cub);
+        return ev.addPlain(
+            g, encoder.encodeReal(std::vector<double>(samples, 0.5),
+                                  g.scale, g.limbs()));
+    }
+
+    CompileOptions
+    layerOptions(const SwitchKey &rlk,
+                 const std::map<u32, SwitchKey> &rot_keys)
+    {
+        CompileOptions opts;
+        opts.lowering.baseScale = kScale;
+        opts.relinKey = &rlk;
+        opts.rotationKeys = &rot_keys;
+        return opts;
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+};
+
+// ---------------------------------------------------------------------
+// Bit-identity + kernel-log equality vs the hand-rolled sequences
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, DenseLayerMatchesHandRolledAtAnyThreadCount)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const std::vector<double> x = {0.8, -0.4, 0.6, 0.2,
+                                   0.8, -0.4, 0.6, 0.2};
+    const auto ct = encryptReal(x);
+
+    KernelLog ref_log;
+    const auto ref = handRolledLayer(ct, rot_keys, rlk, &ref_log);
+
+    const auto layer = workloads::denseSquareLayerGraph(
+        layerWeights(), layerBias(), 2);
+    const auto compiled =
+        compileGraph(ctx, layer, layerOptions(rlk, rot_keys));
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        const BatchEvaluator batch(ctx, &log);
+        const auto outs = compiled->run(batch, {{ct}});
+        ASSERT_EQ(outs.size(), 1u);
+        expectEqual(outs[0], {ref});
+        expectSameLog(log, ref_log);
+    }
+}
+
+TEST_F(GraphFixture, DenseLayerBatchMatchesItsSequentialReference)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const auto input = encryptBatch(4, 7);
+
+    const auto layer = workloads::denseSquareLayerGraph(
+        layerWeights(), layerBias(), 2);
+    const auto compiled =
+        compileGraph(ctx, layer, layerOptions(rlk, rot_keys));
+
+    setGlobalThreadCount(1);
+    KernelLog seq_log;
+    const auto seq = compiled->runSequential(&seq_log, {input});
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        const BatchEvaluator batch(ctx, &log);
+        const auto outs = compiled->run(batch, {input});
+        expectEqual(outs.at(0), seq.at(0));
+        expectSameLog(log, seq_log);
+    }
+}
+
+TEST_F(GraphFixture, HelrGradientMatchesHandRolled)
+{
+    const auto rlk = keygen.relinKey();
+    const std::vector<double> y = {1, -1, 1, 1, -1, 1, -1, -1};
+    std::vector<double> z(y.size());
+    for (size_t i = 0; i < z.size(); ++i)
+        z[i] = 0.1 * static_cast<double>(i) - 0.3;
+    const auto ct_z = encryptReal(z);
+
+    KernelLog ref_log;
+    const auto ref = handRolledGradient(ct_z, y, rlk, &ref_log);
+
+    const auto g = workloads::helrGradientGraph(y);
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    opts.relinKey = &rlk;
+    const auto compiled = compileGraph(ctx, g, opts);
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        const BatchEvaluator batch(ctx, &log);
+        const auto outs = compiled->run(batch, {{ct_z}});
+        expectEqual(outs.at(0), {ref});
+        expectSameLog(log, ref_log);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ledger fail-fast
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, LedgerRejectsAddScaleMismatch)
+{
+    // rescale(x) has scale base/q != base: adding it to x must fail at
+    // compile time, not at run time.
+    Graph g;
+    const auto x = g.input();
+    const auto r = g.rescale(x);
+    g.add(r, x);
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    EXPECT_THROW((void)compileGraph(ctx, g, opts),
+                 std::invalid_argument);
+}
+
+TEST_F(GraphFixture, LedgerRejectsAddPlainScaleMismatch)
+{
+    Graph g;
+    const auto x = g.input();
+    g.addPlain(x, PlainOperand::at({1.0}, kScale * 4));
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    EXPECT_THROW((void)compileGraph(ctx, g, opts),
+                 std::invalid_argument);
+}
+
+TEST_F(GraphFixture, LedgerRejectsRescalePastTheChain)
+{
+    Graph g;
+    auto cur = g.input();
+    for (size_t i = 0; i < ctx.qCount(); ++i)
+        cur = g.rescale(cur);
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    EXPECT_THROW((void)compileGraph(ctx, g, opts),
+                 std::invalid_argument);
+}
+
+TEST_F(GraphFixture, CompileRejectsMissingKeys)
+{
+    const auto rlk = keygen.relinKey();
+    // A rotation the caller's key map lacks fails the compile...
+    Graph g;
+    g.rotate(g.input(), 1);
+    const std::map<u32, SwitchKey> empty;
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    opts.rotationKeys = &empty;
+    try {
+        (void)compileGraph(ctx, g, opts);
+        FAIL() << "missing rotation key must throw";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("rotation key"),
+                  std::string::npos);
+    }
+
+    // ...and a ct-ct multiply without a relin key or generator too.
+    Graph m;
+    const auto x = m.input();
+    m.multiply(x, x);
+    CompileOptions mopts;
+    mopts.lowering.baseScale = kScale;
+    EXPECT_THROW((void)compileGraph(ctx, m, mopts),
+                 std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Automatic rescale insertion
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, AutoRescaleInsertsTheSyntheticOp)
+{
+    const auto rlk = keygen.relinKey();
+    Graph g;
+    const auto x = g.input();
+    g.multiply(x, x);
+
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    // base^2 exceeds 1.5 * base: the compiler must ride a rescale on
+    // the multiply.
+    opts.lowering.autoRescaleAbove = kScale * 1.5;
+    opts.relinKey = &rlk;
+    const auto compiled = compileGraph(ctx, g, opts);
+
+    ASSERT_EQ(compiled->ops().size(), 2u);
+    EXPECT_EQ(compiled->ops()[0].op, HeOp::Mult);
+    EXPECT_EQ(compiled->ops()[1].op, HeOp::Rescale);
+    EXPECT_TRUE(compiled->ops()[1].synthetic);
+
+    const auto ct = encryptBatch(1, 3)[0];
+    setGlobalThreadCount(1);
+    const CkksEvaluator ev(ctx);
+    const auto want = ev.rescale(ev.multiply(ct, ct, rlk));
+    const BatchEvaluator batch(ctx);
+    const auto outs = compiled->run(batch, {{ct}});
+    expectEqual(outs.at(0), {want});
+}
+
+// ---------------------------------------------------------------------
+// Key working-set planning vs the residency cache
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, KeyWorkingSetPlanMatchesObservedResidency)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const auto layer = workloads::denseSquareLayerGraph(
+        layerWeights(), layerBias(), 2);
+    const auto compiled =
+        compileGraph(ctx, layer, layerOptions(rlk, rot_keys));
+
+    // Dense layer: 3 rotations at the top level + relin one rescale
+    // down.
+    const auto &plan = compiled->keyPlan();
+    ASSERT_EQ(plan.entries.size(), 4u);
+    EXPECT_EQ(plan.budgetBytes, 0u);
+    EXPECT_TRUE(plan.fitsResidency);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+    const BatchEvaluator batch(ctx);
+    (void)compiled->run(batch, {encryptBatch(2, 5)});
+
+    // The planned byte total is exactly what the cache now holds
+    // resident, and the planned entry count is what it built.
+    EXPECT_EQ(cache.size(), plan.entries.size());
+    EXPECT_EQ(cache.residentBytes(), plan.totalBytes);
+    EXPECT_EQ(cache.misses(), plan.entries.size());
+}
+
+// ---------------------------------------------------------------------
+// Schedule choice
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, AutoScheduleFusesAndPerOpStaysBitIdentical)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const auto layer = workloads::denseSquareLayerGraph(
+        layerWeights(), layerBias(), 2);
+
+    const auto dev = tpu::tpuV6e();
+    auto opts = layerOptions(rlk, rot_keys);
+    opts.device = &dev;
+    opts.plannedBatch = 8;
+    const auto fused = compileGraph(ctx, layer, opts);
+    EXPECT_GT(fused->fusedCostUs(), 0.0);
+    EXPECT_GT(fused->perOpCostUs(), 0.0);
+    // Fusing amortises per-launch fixed cost: the fused schedule wins
+    // and Auto resolves to it.
+    EXPECT_LE(fused->fusedCostUs(), fused->perOpCostUs());
+    EXPECT_EQ(fused->schedule(), ScheduleKind::Fused);
+
+    auto per_op_opts = layerOptions(rlk, rot_keys);
+    per_op_opts.schedule = ScheduleKind::PerOp;
+    const auto per_op = compileGraph(ctx, layer, per_op_opts);
+    EXPECT_GT(per_op->segmentCount(), fused->segmentCount());
+
+    // Launch granularity must not change a single bit.
+    const auto input = encryptBatch(3, 9);
+    const BatchEvaluator batch(ctx);
+    const auto a = fused->run(batch, {input});
+    const auto b = per_op->run(batch, {input});
+    expectEqual(a.at(0), b.at(0));
+}
+
+// ---------------------------------------------------------------------
+// Estimator conformance (the no-drift guarantee)
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, StructuralEnumerationMatchesCompiledSchedule)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const auto layer = workloads::denseSquareLayerGraph(
+        layerWeights(), layerBias(), 2);
+    const auto compiled =
+        compileGraph(ctx, layer, layerOptions(rlk, rot_keys));
+
+    LoweringOptions lopts;
+    lopts.baseScale = kScale;
+    const auto structural =
+        enumerateGraphOps(layer, ctx.params(), lopts);
+    ASSERT_EQ(structural.size(), compiled->ops().size());
+    for (size_t i = 0; i < structural.size(); ++i) {
+        EXPECT_EQ(structural[i].op, compiled->ops()[i].op) << i;
+        EXPECT_EQ(structural[i].level, compiled->ops()[i].level) << i;
+        EXPECT_EQ(structural[i].fanin, compiled->ops()[i].fanin) << i;
+    }
+
+    // Concatenating the kernel enumerator over the lowered ops
+    // predicts the compiled run's KernelLog exactly.
+    std::vector<KernelCall> want;
+    for (const auto &op : compiled->ops()) {
+        const auto calls = enumerateKernels(
+            std::vector<PipelineOp>{{op.op, op.fanin}}, ctx.params(),
+            op.level);
+        want.insert(want.end(), calls.begin(), calls.end());
+    }
+    setGlobalThreadCount(1);
+    KernelLog log;
+    const BatchEvaluator batch(ctx, &log);
+    (void)compiled->run(batch, {encryptBatch(1, 11)});
+    ASSERT_EQ(log.calls().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_TRUE(log.calls()[i].sameShape(want[i])) << "call " << i;
+}
+
+TEST_F(GraphFixture, WorkloadEstimatorsDeriveFromTheGraphs)
+{
+    // helrIteration()/mnistInference() are now thin wrappers over the
+    // graph lowering; deriving explicitly must give the same schedule.
+    const auto helr =
+        workloads::workloadFromGraph(workloads::helrIterationGraph());
+    const auto direct = workloads::helrIteration();
+    ASSERT_EQ(helr.ops.size(), direct.ops.size());
+    for (size_t i = 0; i < helr.ops.size(); ++i) {
+        EXPECT_EQ(helr.ops[i].op, direct.ops[i].op) << i;
+        EXPECT_EQ(helr.ops[i].level, direct.ops[i].level) << i;
+        EXPECT_EQ(helr.ops[i].count, direct.ops[i].count) << i;
+    }
+    // Both paper workloads lower without level violations and keep
+    // their packing bookkeeping.
+    EXPECT_EQ(direct.itemsPerRun, 1024u);
+    EXPECT_EQ(workloads::mnistInference().itemsPerRun, 64u);
+}
+
+// ---------------------------------------------------------------------
+// Residency-cache quiesce (retired storage reclaimed after run)
+// ---------------------------------------------------------------------
+
+TEST_F(GraphFixture, RetiredPrecompsReclaimedWhenRunQuiesces)
+{
+    // A context whose key-cache budget forces evictions mid-pipeline:
+    // the evicted precomps are retired (their references stay valid for
+    // the in-flight run) and reclaimed at the run's quiesce point.
+    CkksParams params = CkksParams::testSet(1 << 9, 6, 2);
+    params.keyCacheBudgetBytes = 1; // every new precomp evicts the last
+    CkksContext small(params);
+    CkksEncoder enc(small);
+    KeyGenerator kg(small, 0x63);
+    CkksEncryptor encryptor2(small, kg.publicKey(), 0x64);
+
+    const auto rlk = kg.relinKey();
+    std::map<u32, SwitchKey> rot_keys;
+    for (size_t d = 1; d < 4; ++d) {
+        const u32 g = enc.rotationAutomorphism(static_cast<i64>(d));
+        rot_keys.emplace(g, kg.rotationKey(g));
+    }
+
+    const auto layer = workloads::denseSquareLayerGraph(
+        layerWeights(), layerBias(), 2);
+    CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    opts.relinKey = &rlk;
+    opts.rotationKeys = &rot_keys;
+    const auto compiled = compileGraph(ctx, layer, opts);
+    // The working set cannot stay resident under a 1-byte budget, and
+    // the compiler says so up front.
+    const auto small_compiled = compileGraph(small, layer, opts);
+    EXPECT_FALSE(small_compiled->keyPlan().fitsResidency);
+
+    std::vector<double> v(enc.slotCount(), 0.25);
+    const auto ct = encryptor2.encrypt(
+        enc.encodeReal(v, kScale, small.qCount()));
+
+    auto &cache = small.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+    const BatchEvaluator batch(small);
+    (void)small_compiled->run(batch, {{ct}});
+
+    // Evictions happened, yet nothing is left parked: the last
+    // ReaderGuard out reclaimed the retired precomps.
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_EQ(cache.retiredBytes(), 0u);
+    EXPECT_EQ(cache.activeReaders(), 0u);
+}
+
+} // namespace
+} // namespace cross::ckks::graph
