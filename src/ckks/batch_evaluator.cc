@@ -125,6 +125,9 @@ Pipeline::rotateAccum(std::vector<RotateBranch> branches)
 {
     requireThat(!branches.empty(),
                 "Pipeline::rotateAccum: need at least one branch");
+    for (const auto &br : branches)
+        requireThat(br.key != nullptr,
+                    "Pipeline::rotateAccum: branch has no rotation key");
     PipelineStage st{};
     st.op = HeOp::RotateAccum;
     st.branches = std::move(branches);
@@ -335,9 +338,16 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
             break;
 
           case HeOp::Mult:
+            requireThat(st.key != nullptr,
+                        "BatchEvaluator::run: multiply stage has no "
+                        "relinearisation key");
             for (size_t i = 0; i < count; ++i) {
                 limbs[i] = std::min(limbs[i], (*st.rhs)[i].limbs());
                 scale[i] = scale[i] * (*st.rhs)[i].scale;
+                requireThat(ctx_.activeDigits(limbs[i] - 1) <=
+                                st.key->digits.size(),
+                            "BatchEvaluator::run: relinearisation key "
+                            "does not cover the item level");
                 stage_pre[s][i] =
                     &builder.precomputeKeySwitchCached(*st.key,
                                                        limbs[i] - 1);
@@ -370,10 +380,17 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
             break;
 
           case HeOp::Rotate:
+            requireThat(st.key != nullptr,
+                        "BatchEvaluator::run: rotate stage has no "
+                        "rotation key");
             checkAutomorphismIndex(ctx_, st.autoIdx);
             if (count > 0)
                 (void)ctx_.ring().evalAutoMap(st.autoIdx);
             for (size_t i = 0; i < count; ++i) {
+                requireThat(ctx_.activeDigits(limbs[i] - 1) <=
+                                st.key->digits.size(),
+                            "BatchEvaluator::run: rotation key does "
+                            "not cover the item level");
                 stage_pre[s][i] =
                     &builder.precomputeKeySwitchCached(*st.key,
                                                        limbs[i] - 1);
@@ -400,12 +417,29 @@ BatchEvaluator::run(const CtVec &input, const Pipeline &pipeline) const
             requireThat(!st.branches.empty(),
                         "BatchEvaluator::run: rotateAccum stage has no "
                         "branches");
+            // Validate *every* branch key (identity and level
+            // coverage) before building a single precomp: a bad
+            // branch must fail the run up front, the way a bad
+            // plaintext row does, not after sibling branches already
+            // populated the cache or parallel work started.
+            for (const auto &br : st.branches) {
+                requireThat(br.key != nullptr,
+                            "BatchEvaluator::run: rotateAccum branch "
+                            "has no rotation key");
+                checkAutomorphismIndex(ctx_, br.autoIdx);
+                for (size_t i = 0; i < count; ++i) {
+                    requireThat(ctx_.activeDigits(limbs[i] - 1) <=
+                                    br.key->digits.size(),
+                                "BatchEvaluator::run: rotateAccum "
+                                "branch key does not cover the item "
+                                "level");
+                }
+            }
             accum_pre[s].assign(
                 st.branches.size(),
                 std::vector<const KeySwitchPrecomp *>(count, nullptr));
             for (size_t b = 0; b < st.branches.size(); ++b) {
                 const auto &br = st.branches[b];
-                checkAutomorphismIndex(ctx_, br.autoIdx);
                 if (count > 0)
                     (void)ctx_.ring().evalAutoMap(br.autoIdx);
                 for (size_t i = 0; i < count; ++i) {

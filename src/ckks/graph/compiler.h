@@ -209,6 +209,12 @@ class CompiledGraph
         return inputSpecs_;
     }
 
+    /** @name Interface arity (the serving layer admits only 1-in /
+     *  1-out models for request-level batching). @{ */
+    size_t inputCount() const { return inputIds_.size(); }
+    size_t outputCount() const { return outputIds_.size(); }
+    /** @} */
+
     CompiledGraph(const CompiledGraph &) = delete;
     CompiledGraph &operator=(const CompiledGraph &) = delete;
 

@@ -55,9 +55,12 @@ KeySwitchCache::get(const void *key_id, u64 fingerprint, size_t level,
     e.lastUse = ++tick_;
     e.pre = std::make_unique<KeySwitchPrecomp>(build());
     e.bytes = e.pre->paramBytes();
-    residentBytes_ += e.bytes;
-    const KeySwitchPrecomp &ref =
-        *entries_.emplace(key, std::move(e)).first->second.pre;
+    // Insert before touching the byte ledger: a throwing map insert
+    // (allocation failure) must not leave residentBytes_ accounting
+    // for an entry that never landed.
+    auto it2 = entries_.emplace(key, std::move(e)).first;
+    residentBytes_ += it2->second.bytes;
+    const KeySwitchPrecomp &ref = *it2->second.pre;
     enforceBudgetLocked(key_id, level);
     return ref;
 }
@@ -93,24 +96,35 @@ KeySwitchCache::enforceBudgetLocked(const void *keep_key,
 void
 KeySwitchCache::invalidate(const void *key_id)
 {
+    // Retire, don't destroy: an in-flight evaluation (or an open
+    // serving stream) may still read the displaced precomps through
+    // references it fetched earlier. The quiesce point -- the last
+    // ReaderGuard dropping -- reclaims them; with no readers the
+    // reclamation happens right here.
     std::lock_guard<std::mutex> lock(m_);
     for (auto it = entries_.begin(); it != entries_.end();) {
         if (it->first.first == key_id) {
             residentBytes_ -= it->second.bytes;
+            retired_.push_back(std::move(it->second.pre));
             it = entries_.erase(it);
         } else {
             ++it;
         }
     }
+    if (activeReaders_ == 0)
+        retired_.clear();
 }
 
 void
 KeySwitchCache::clear()
 {
     std::lock_guard<std::mutex> lock(m_);
+    for (auto &entry : entries_)
+        retired_.push_back(std::move(entry.second.pre));
     entries_.clear();
-    retired_.clear();
     residentBytes_ = 0;
+    if (activeReaders_ == 0)
+        retired_.clear();
 }
 
 void
@@ -189,7 +203,8 @@ void
 KeySwitchCache::releaseRetired()
 {
     std::lock_guard<std::mutex> lock(m_);
-    retired_.clear();
+    if (activeReaders_ == 0)
+        retired_.clear();
 }
 
 void

@@ -21,12 +21,12 @@
  *    detected and served correctly rather than silently handed the
  *    stale operands.
  *  - get() is thread-safe; builds are serialised under the cache lock
- *    and the returned reference is address-stable until clear() or a
- *    matching invalidate() -- even across a fingerprint-mismatch
- *    rebuild or an LRU eviction, which *retire* the displaced precomp
- *    instead of destroying it (std::map nodes never move).
- *  - invalidate()/clear() must not run concurrently with evaluation
- *    that is still reading returned references.
+ *    and the returned reference is address-stable until the retired
+ *    list is reclaimed at a quiesce point -- a fingerprint-mismatch
+ *    rebuild, an LRU eviction, invalidate() and clear() all *retire*
+ *    the displaced precomp instead of destroying it (std::map nodes
+ *    never move), so references fetched under a live ReaderGuard stay
+ *    valid across every one of them.
  *
  * Residency bound (the Fig. 11b VMEM roll-off, functionally):
  *  - setByteBudget(b) bounds the *resident* set by the summed
@@ -44,9 +44,10 @@
  *    (BatchEvaluator takes one around each batched key-switching
  *    entry point), and when the last guard drops the retired list is
  *    freed automatically -- no reference can still point into it.
- *    clear() and releaseRetired() remain as explicit reclamation for
- *    callers that manage quiescence themselves (tests, teardown); the
- *    same no-in-flight-readers contract applies.
+ *    clear() and releaseRetired() reclaim immediately when the cache
+ *    is quiesced, and otherwise leave the retired list for the last
+ *    guard to free -- no entry point destroys storage a registered
+ *    reader might still dereference.
  *  - A single precomp larger than the whole budget is still served
  *    (the alternative is livelock); it is evicted as soon as the next
  *    entry lands.
@@ -104,10 +105,14 @@ class KeySwitchCache
                                 size_t level,
                                 const Builder &build) const;
 
-    /** Drop every level cached for @p key_id. */
+    /** Drop every level cached for @p key_id from the resident set.
+     *  The displaced precomps are retired, not destroyed, while any
+     *  ReaderGuard is registered (reclaimed at quiesce). */
     void invalidate(const void *key_id);
 
-    /** Drop everything, including retired precomps. */
+    /** Drop every resident entry. Retired storage (including the
+     *  entries just displaced) is freed immediately when no reader is
+     *  registered, and at the quiesce point otherwise. */
     void clear();
 
     /**
@@ -137,11 +142,10 @@ class KeySwitchCache
     /** @} */
 
     /**
-     * Free retired precomps (from evictions and fingerprint rebuilds).
-     * Caller contract as for invalidate()/clear(): no in-flight
-     * evaluation may still be reading previously returned references.
-     * Usually unnecessary -- the last ReaderGuard to drop reclaims
-     * retired storage automatically.
+     * Free retired precomps (from evictions, fingerprint rebuilds,
+     * invalidate() and clear()) if the cache is quiesced; a no-op
+     * while any ReaderGuard is registered (the last guard to drop
+     * reclaims automatically, so nothing is leaked by the no-op).
      */
     void releaseRetired();
 
@@ -150,7 +154,13 @@ class KeySwitchCache
      * While any guard is alive, retired precomps stay allocated (their
      * references may still be read); when the last guard drops, the
      * retired list is freed -- the quiesce point. BatchEvaluator holds
-     * one across every batched key-switching operation.
+     * one across every batched key-switching operation, and the
+     * serving engine holds one per open request stream (so the stream
+     * closing is the quiesce point for everything it read).
+     *
+     * Movable (a moved-from guard owns nothing and releases nothing),
+     * so owners like serving::ServingEngine::Stream can store one per
+     * stream; not copyable (a copy would double-release).
      */
     class ReaderGuard
     {
@@ -163,6 +173,20 @@ class KeySwitchCache
         {
             if (cache_)
                 cache_->releaseReader();
+        }
+        ReaderGuard(ReaderGuard &&other) noexcept : cache_(other.cache_)
+        {
+            other.cache_ = nullptr;
+        }
+        ReaderGuard &operator=(ReaderGuard &&other) noexcept
+        {
+            if (this != &other) {
+                if (cache_)
+                    cache_->releaseReader();
+                cache_ = other.cache_;
+                other.cache_ = nullptr;
+            }
+            return *this;
         }
         ReaderGuard(const ReaderGuard &) = delete;
         ReaderGuard &operator=(const ReaderGuard &) = delete;

@@ -1,0 +1,267 @@
+#include "serving/serving.h"
+
+#include <algorithm>
+#include <bit>
+#include <utility>
+
+#include "common/check.h"
+
+namespace cross::serving {
+
+ServingEngine::ServingEngine(const ckks::CkksContext &ctx,
+                             ServingConfig cfg)
+    : ctx_(ctx), cfg_(cfg), batch_(ctx)
+{
+    requireThat(cfg_.maxQueueDepth > 0,
+                "ServingEngine: maxQueueDepth must be positive");
+    requireThat(cfg_.maxBatch > 0,
+                "ServingEngine: maxBatch must be positive");
+    requireThat(cfg_.dispatchers > 0,
+                "ServingEngine: need at least one dispatcher");
+    paused_ = cfg_.startPaused;
+    dispatchers_.reserve(cfg_.dispatchers);
+    for (u32 i = 0; i < cfg_.dispatchers; ++i)
+        dispatchers_.emplace_back([this] { dispatchLoop(); });
+}
+
+ServingEngine::~ServingEngine()
+{
+    shutdown();
+}
+
+ServingEngine::Stream
+ServingEngine::openStream()
+{
+    return Stream(this, nextStream_.fetch_add(1) + 1,
+                  ctx_.keySwitchCache());
+}
+
+ServingEngine::BatchKey
+ServingEngine::keyOf(const Request &r)
+{
+    return BatchKey{r.pipe ? static_cast<const void *>(r.pipe)
+                           : static_cast<const void *>(r.model),
+                    r.input.limbs(), std::bit_cast<u64>(r.input.scale)};
+}
+
+void
+ServingEngine::checkStream(const Stream &stream) const
+{
+    requireThat(stream.engine_ == this,
+                "ServingEngine::submit: stream does not belong to this "
+                "engine (or was moved from)");
+}
+
+std::future<ckks::Ciphertext>
+ServingEngine::submit(Stream &stream, const ckks::Pipeline &pipe,
+                      ckks::Ciphertext input)
+{
+    checkStream(stream);
+    // Ciphertext-operand stages reference a caller-sized rhs batch;
+    // a dynamically formed batch has no matching rhs, so reject the
+    // model shape at submit time rather than failing whole batches.
+    for (const auto &st : pipe.stages())
+        requireThat(st.rhs == nullptr,
+                    "ServingEngine::submit: pipeline has a "
+                    "ciphertext-operand stage; only plaintext/rotation "
+                    "pipelines can be dynamically batched");
+    Request r;
+    r.pipe = &pipe;
+    r.input = std::move(input);
+    r.stream = stream.id_;
+    return enqueue(std::move(r));
+}
+
+std::future<ckks::Ciphertext>
+ServingEngine::submit(Stream &stream, graph::CompiledGraph &model,
+                      ckks::Ciphertext input)
+{
+    checkStream(stream);
+    requireThat(model.inputCount() == 1 && model.outputCount() == 1,
+                "ServingEngine::submit: serving models must be "
+                "1-input / 1-output graphs");
+    Request r;
+    r.model = &model;
+    r.input = std::move(input);
+    r.stream = stream.id_;
+    return enqueue(std::move(r));
+}
+
+std::future<ckks::Ciphertext>
+ServingEngine::enqueue(Request r)
+{
+    requireThat(r.input.limbs() >= 1,
+                "ServingEngine::submit: empty input ciphertext");
+    std::future<ckks::Ciphertext> fut = r.result.get_future();
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (stopping_) {
+            ++stats_.rejected;
+            r.result.set_exception(std::make_exception_ptr(ShutdownError(
+                "ServingEngine: engine is shutting down")));
+            return fut;
+        }
+        if (queue_.size() >= cfg_.maxQueueDepth) {
+            // Backpressure: reject-with-error, never block the
+            // submitter -- a closed-loop client slows down, an
+            // open-loop one sees the overload explicitly.
+            ++stats_.rejected;
+            r.result.set_exception(std::make_exception_ptr(QueueFullError(
+                "ServingEngine: request queue is full")));
+            return fut;
+        }
+        ++stats_.submitted;
+        queue_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return fut;
+}
+
+std::vector<ServingEngine::Request>
+ServingEngine::formBatchLocked()
+{
+    std::vector<Request> formed;
+    formed.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    const BatchKey key = keyOf(formed.front());
+    // Sweep the rest of the queue for requests sharing the leader's
+    // (model, level, scale) -- the ones whose rotation-key working
+    // set is already being made resident for this batch. Skipped
+    // requests keep their arrival order for the next batch.
+    for (auto it = queue_.begin();
+         it != queue_.end() && formed.size() < cfg_.maxBatch;) {
+        if (keyOf(*it) == key) {
+            formed.push_back(std::move(*it));
+            it = queue_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    ++stats_.batches;
+    stats_.batchedRequests += formed.size();
+    stats_.maxBatch = std::max<u64>(stats_.maxBatch, formed.size());
+    return formed;
+}
+
+void
+ServingEngine::dispatchLoop()
+{
+    for (;;) {
+        std::vector<Request> formed;
+        {
+            std::unique_lock<std::mutex> lock(m_);
+            cv_.wait(lock, [&] {
+                return stopping_ || (!paused_ && !queue_.empty());
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return; // drained
+                continue;
+            }
+            formed = formBatchLocked();
+        }
+        execute(formed);
+    }
+}
+
+void
+ServingEngine::execute(std::vector<Request> &reqs)
+{
+    ckks::CtVec inputs;
+    inputs.reserve(reqs.size());
+    for (auto &r : reqs)
+        inputs.push_back(std::move(r.input));
+    try {
+        ckks::CtVec out;
+        if (reqs.front().pipe) {
+            out = batch_.run(inputs, *reqs.front().pipe);
+        } else {
+            graph::CompiledGraph *model = reqs.front().model;
+            // One run at a time per model: CompiledGraph reuses its
+            // value slots across runs, so two dispatchers must not
+            // drive the same model concurrently.
+            std::lock_guard<std::mutex> lock(modelLock(model));
+            out = std::move(
+                model->run(batch_, {std::move(inputs)}).front());
+        }
+        internalCheck(out.size() == reqs.size(),
+                      "ServingEngine: batch result size mismatch");
+        // Count before fulfilling: a client that observed its future
+        // ready must already find itself in stats().completed.
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stats_.completed += reqs.size();
+        }
+        for (size_t i = 0; i < reqs.size(); ++i)
+            reqs[i].result.set_value(std::move(out[i]));
+    } catch (...) {
+        // The whole batch shares one failure: every member has the
+        // same (model, level, scale), so a validation error for one
+        // is a validation error for all.
+        const std::exception_ptr err = std::current_exception();
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            stats_.failed += reqs.size();
+        }
+        for (auto &r : reqs)
+            r.result.set_exception(err);
+    }
+}
+
+std::mutex &
+ServingEngine::modelLock(const void *model)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &slot = modelLocks_[model];
+    if (!slot)
+        slot = std::make_unique<std::mutex>();
+    return *slot;
+}
+
+void
+ServingEngine::pause()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    paused_ = true;
+}
+
+void
+ServingEngine::resume()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        paused_ = false;
+    }
+    cv_.notify_all();
+}
+
+void
+ServingEngine::shutdown()
+{
+    std::vector<std::thread> workers;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        stopping_ = true;
+        paused_ = false; // a paused engine still drains
+        workers.swap(dispatchers_);
+    }
+    cv_.notify_all();
+    for (auto &t : workers)
+        t.join();
+}
+
+ServingStats
+ServingEngine::stats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return stats_;
+}
+
+size_t
+ServingEngine::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return queue_.size();
+}
+
+} // namespace cross::serving

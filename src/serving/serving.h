@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Async encrypted-inference serving engine: a futures-based submission
+ * API over the existing thread pool, with dynamic batch forming.
+ *
+ * The paper's throughput story is amortisation across batches
+ * (Fig. 11b): the switching-key operands are streamed once and reused
+ * by every ciphertext of a batch. BatchEvaluator delivers that for a
+ * caller who already *has* a batch; this layer manufactures the
+ * batches from many concurrent client streams, the way the ngraph
+ * runtime split separates compile-once models from a scheduler-owning
+ * runtime:
+ *
+ *  - submit() enqueues one encrypted request (a ciphertext plus the
+ *    model to run it through -- a caller-owned fused Pipeline or a
+ *    1-input/1-output graph::CompiledGraph) and returns a
+ *    std::future<Ciphertext> immediately.
+ *  - Dispatcher threads coalesce everything waiting for the same
+ *    (model, level, scale) into one Pipeline batch and execute it as
+ *    a single BatchEvaluator::run over the global thread pool. The
+ *    grouping key is exactly the rotation-key working set: requests
+ *    sharing a model at one level touch the same (key, level)
+ *    precomps, so the LRU KeySwitchCache serves the whole batch from
+ *    the resident set instead of thrashing between key sets.
+ *    Batches are formed from whatever is queued when a dispatcher
+ *    frees up ("continuous batching"): under closed-loop load the
+ *    batch size self-tunes to the number of in-flight streams, with
+ *    no artificial batching delay at low load.
+ *  - The queue is bounded: a submit() past maxQueueDepth is rejected
+ *    with QueueFullError delivered through the returned future (the
+ *    backpressure signal; the engine never blocks a submitter).
+ *  - Every open Stream holds a KeySwitchCache::ReaderGuard, so
+ *    precomp references stay valid for as long as the stream may
+ *    read them, and retired precomp storage (LRU evictions under a
+ *    byte budget) is reclaimed when the last stream quiesces.
+ *
+ * Results are bit-identical to running each request sequentially
+ * through the scalar evaluator, whatever batches the dispatcher forms
+ * -- that is BatchEvaluator::run's conformance guarantee, and the
+ * closed-loop bench re-asserts it end to end.
+ *
+ * Lifetime rules: the context, every submitted Pipeline / model and
+ * the key material they reference must outlive the engine's last
+ * in-flight request; Streams must not outlive their engine. One
+ * engine per context is the intended shape (the cache residency
+ * budget is context-level).
+ */
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ckks/batch_evaluator.h"
+#include "ckks/context.h"
+#include "ckks/graph/compiler.h"
+#include "ckks/keyswitch_cache.h"
+#include "common/types.h"
+
+namespace cross::serving {
+
+/** The compiled-model layer lives under ckks::graph. */
+namespace graph = cross::ckks::graph;
+
+/** Base of every rejection the engine delivers through a future. */
+class RejectedError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** Backpressure: the bounded request queue was at maxQueueDepth. */
+class QueueFullError : public RejectedError
+{
+  public:
+    using RejectedError::RejectedError;
+};
+
+/** The engine stopped accepting before this request was queued. */
+class ShutdownError : public RejectedError
+{
+  public:
+    using RejectedError::RejectedError;
+};
+
+/** Admission and batch-forming knobs. */
+struct ServingConfig
+{
+    /** Pending requests past this are rejected (QueueFullError). */
+    size_t maxQueueDepth = 1024;
+    /** Most requests coalesced into one formed batch. */
+    size_t maxBatch = 64;
+    /** Batch-forming/executing threads. Each executes one batch at a
+     *  time through the shared global thread pool, so 1 (the default)
+     *  already saturates the pool; more overlap batch forming with
+     *  execution. */
+    u32 dispatchers = 1;
+    /** Start with dispatch paused (requests queue but do not run
+     *  until resume()) -- deterministic batch-forming for tests. */
+    bool startPaused = false;
+};
+
+/** Monotonic engine counters (a snapshot; see stats()). */
+struct ServingStats
+{
+    u64 submitted = 0;       ///< requests admitted to the queue
+    u64 rejected = 0;        ///< backpressure + post-shutdown rejects
+    u64 completed = 0;       ///< futures fulfilled with a result
+    u64 failed = 0;          ///< futures fulfilled with an exception
+    u64 batches = 0;         ///< batches formed
+    u64 batchedRequests = 0; ///< requests across all formed batches
+    u64 maxBatch = 0;        ///< largest batch formed
+};
+
+/** Futures-based request broker over BatchEvaluator. */
+class ServingEngine
+{
+  public:
+    explicit ServingEngine(const ckks::CkksContext &ctx,
+                           ServingConfig cfg = {});
+    /** Drains the queue (shutdown()) before destruction. */
+    ~ServingEngine();
+
+    ServingEngine(const ServingEngine &) = delete;
+    ServingEngine &operator=(const ServingEngine &) = delete;
+
+    /**
+     * One client's submission handle. Owns the stream's
+     * KeySwitchCache::ReaderGuard: while the stream is open, cached
+     * precomp references its requests read stay valid even across LRU
+     * evictions; closing (destroying) the last stream is the quiesce
+     * point where retired precomp storage is reclaimed. Movable, not
+     * copyable; a moved-from stream cannot submit.
+     */
+    class Stream
+    {
+      public:
+        Stream(Stream &&other) noexcept
+            : engine_(other.engine_), id_(other.id_),
+              guard_(std::move(other.guard_))
+        {
+            other.engine_ = nullptr;
+        }
+        Stream &operator=(Stream &&other) noexcept
+        {
+            if (this != &other) {
+                guard_ = std::move(other.guard_);
+                engine_ = other.engine_;
+                id_ = other.id_;
+                other.engine_ = nullptr;
+            }
+            return *this;
+        }
+        Stream(const Stream &) = delete;
+        Stream &operator=(const Stream &) = delete;
+
+        u64 id() const { return id_; }
+
+      private:
+        friend class ServingEngine;
+        Stream(ServingEngine *engine, u64 id,
+               const ckks::KeySwitchCache &cache)
+            : engine_(engine), id_(id), guard_(cache)
+        {
+        }
+
+        ServingEngine *engine_;
+        u64 id_;
+        ckks::KeySwitchCache::ReaderGuard guard_;
+    };
+
+    /** Open a request stream (thread-safe). */
+    Stream openStream();
+
+    /**
+     * Submit one request: run @p input through the caller-owned fused
+     * @p pipe. Returns immediately; the future resolves to the result
+     * ciphertext, or to QueueFullError / ShutdownError on rejection,
+     * or to the evaluation error if the batch failed. The pipeline
+     * must contain no ciphertext-operand (rhs) stages -- those are
+     * batch-shaped and cannot be re-batched dynamically -- and must
+     * outlive the future's completion.
+     *
+     * @throws std::invalid_argument on misuse detected at submit time
+     *         (foreign/moved-from stream, rhs stages, empty input).
+     */
+    std::future<ckks::Ciphertext> submit(Stream &stream,
+                                         const ckks::Pipeline &pipe,
+                                         ckks::Ciphertext input);
+    /** Stages hold pointers; a temporary pipeline would dangle. */
+    std::future<ckks::Ciphertext> submit(Stream &, ckks::Pipeline &&,
+                                         ckks::Ciphertext) = delete;
+
+    /**
+     * Submit against a compiled model: @p model must be a
+     * 1-input / 1-output graph (requests are single ciphertexts; the
+     * engine forms the CtVec batches). The engine serialises runs of
+     * one CompiledGraph (its value slots are reused per run), so a
+     * model shared by many streams executes its coalesced batches one
+     * after another -- which is the batching win, not a limitation.
+     */
+    std::future<ckks::Ciphertext> submit(Stream &stream,
+                                         graph::CompiledGraph &model,
+                                         ckks::Ciphertext input);
+
+    /** @name Dispatch gate. pause() lets requests accumulate (they
+     *  still count against the queue bound); resume() releases the
+     *  dispatchers. @{ */
+    void pause();
+    void resume();
+    /** @} */
+
+    /**
+     * Stop accepting, run every already-queued request to completion,
+     * and join the dispatchers. Idempotent; called by the destructor.
+     * Submissions during/after shutdown resolve to ShutdownError.
+     */
+    void shutdown();
+
+    ServingStats stats() const;
+    /** Requests queued and not yet claimed by a dispatcher. */
+    size_t queueDepth() const;
+
+    const ckks::CkksContext &context() const { return ctx_; }
+
+  private:
+    struct Request
+    {
+        const ckks::Pipeline *pipe = nullptr;    ///< exactly one of
+        graph::CompiledGraph *model = nullptr;   ///< pipe / model set
+        ckks::Ciphertext input;
+        std::promise<ckks::Ciphertext> result;
+        u64 stream = 0;
+    };
+
+    /** Batch-forming key: the model identity (== its rotation-key
+     *  working set) plus the request's level and exact scale bits. */
+    struct BatchKey
+    {
+        const void *target;
+        size_t limbs;
+        u64 scaleBits;
+
+        bool operator==(const BatchKey &o) const
+        {
+            return target == o.target && limbs == o.limbs &&
+                   scaleBits == o.scaleBits;
+        }
+    };
+
+    static BatchKey keyOf(const Request &r);
+
+    void checkStream(const Stream &stream) const;
+    std::future<ckks::Ciphertext> enqueue(Request r);
+    void dispatchLoop();
+    /** Form one batch from the queue front's key. m_ must be held. */
+    std::vector<Request> formBatchLocked();
+    void execute(std::vector<Request> &reqs);
+    std::mutex &modelLock(const void *model);
+
+    const ckks::CkksContext &ctx_;
+    const ServingConfig cfg_;
+    ckks::BatchEvaluator batch_;
+
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool paused_ = false;
+    bool stopping_ = false;
+    ServingStats stats_;
+    /** Per-CompiledGraph run serialisation (value-slot reuse). */
+    std::map<const void *, std::unique_ptr<std::mutex>> modelLocks_;
+
+    std::atomic<u64> nextStream_{0};
+    std::vector<std::thread> dispatchers_;
+};
+
+} // namespace cross::serving

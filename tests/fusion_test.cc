@@ -586,5 +586,133 @@ TEST_F(FusionFixture, PipelineRejectsBadShapes)
     EXPECT_THROW(batch.run(a, bad_idx), std::invalid_argument);
 }
 
+// ---------------------------------------------------------------------
+// ReaderGuard lifecycle + exception-safe quiesce (serving regressions)
+// ---------------------------------------------------------------------
+TEST_F(FusionFixture, ReaderGuardMoveReleasesExactlyOnce)
+{
+    KeySwitchCache cache;
+    cache.setByteBudget(500);
+    const int first = 0, second = 0;
+    (void)cache.get(&first, 1, 0, [] { return syntheticPrecomp(1, 400); });
+
+    {
+        KeySwitchCache::ReaderGuard outer(cache);
+        EXPECT_EQ(cache.activeReaders(), 1u);
+
+        // Evict while the reader is registered: storage is retired.
+        (void)cache.get(&second, 2, 0,
+                        [] { return syntheticPrecomp(2, 400); });
+        EXPECT_GT(cache.retiredBytes(), 0u);
+
+        KeySwitchCache::ReaderGuard moved(std::move(outer));
+        EXPECT_EQ(cache.activeReaders(), 1u); // transferred, not added
+        {
+            KeySwitchCache::ReaderGuard extra(cache);
+            EXPECT_EQ(cache.activeReaders(), 2u);
+            extra = std::move(moved); // releases extra's registration
+            EXPECT_EQ(cache.activeReaders(), 1u);
+            EXPECT_GT(cache.retiredBytes(), 0u); // one reader remains
+        } // the moved-to guard drops the single registration...
+        EXPECT_EQ(cache.activeReaders(), 0u);
+        EXPECT_EQ(cache.retiredBytes(), 0u); // ...the quiesce point
+    } // moved-from guards must release nothing (no underflow)
+    EXPECT_EQ(cache.activeReaders(), 0u);
+}
+
+TEST_F(FusionFixture, ThrowingStageLeavesCacheQuiescedAndReclaimable)
+{
+    const u32 k1 = encoder.rotationAutomorphism(1);
+    const u32 k2 = encoder.rotationAutomorphism(2);
+    const auto key1 = keygen.rotationKey(k1);
+    const auto key2 = keygen.rotationKey(k2);
+    const auto a = encryptBatch(4, 31);
+
+    Pipeline p1, p2;
+    p1.rotate(k1, key1);
+    p2.rotate(k2, key2);
+
+    setGlobalThreadCount(1);
+    CkksEvaluator ev(ctx);
+    CtVec want1;
+    for (const auto &ct : a)
+        want1.push_back(ev.rotate(ct, k1, key1));
+    CtVec drained = a;
+    for (int i = 0; i < 4; ++i)
+        drained[1] = ev.rescale(drained[1]); // down to 1 limb
+
+    auto &cache = ctx.keySwitchCache();
+    for (u32 threads : {1u, 4u}) {
+        setGlobalThreadCount(threads);
+        BatchEvaluator batch(ctx);
+        cache.setByteBudget(0);
+        cache.clear();
+        cache.resetStats();
+        expectEqual(batch.run(a, p1), want1);
+        // Budget sized to one precomp: serving key2 retires key1's.
+        cache.setByteBudget(cache.residentBytes());
+        {
+            KeySwitchCache::ReaderGuard stream(cache);
+            (void)batch.run(a, p2);
+            EXPECT_GT(cache.retiredBytes(), 0u);
+
+            // A prevalidation failure (pipeline drains the chain)...
+            Pipeline bad;
+            for (int i = 0; i < 5; ++i)
+                bad.rescale();
+            EXPECT_THROW(batch.run(a, bad), std::invalid_argument);
+            // ...and a mid-parallel-region failure (item 1 cannot
+            // rescale): both must unwind the engine's own reader
+            // registration, leaving only ours, and must not free
+            // retired storage our guard may still reference.
+            EXPECT_THROW(batch.rescale(drained), std::invalid_argument);
+            EXPECT_EQ(cache.activeReaders(), 1u);
+            EXPECT_GT(cache.retiredBytes(), 0u);
+        }
+        // The guard dropping is the quiesce point.
+        EXPECT_EQ(cache.activeReaders(), 0u);
+        EXPECT_EQ(cache.retiredBytes(), 0u);
+        // The engine still runs bit-identically after the failures.
+        expectEqual(batch.run(a, p1), want1);
+    }
+    setGlobalThreadCount(1);
+    cache.setByteBudget(0);
+    cache.clear();
+}
+
+TEST_F(FusionFixture, RotateAccumValidatesBranchKeysBeforeAnyWork)
+{
+    const u32 k1 = encoder.rotationAutomorphism(1);
+    const u32 k2 = encoder.rotationAutomorphism(2);
+    const auto key1 = keygen.rotationKey(k1);
+    const auto a = encryptBatch(2, 32);
+    setGlobalThreadCount(1);
+    BatchEvaluator batch(ctx);
+
+    // A null branch key is rejected at the builder.
+    Pipeline null_key;
+    EXPECT_THROW(null_key.rotateAccum({{k1, &key1}, {k2, nullptr}}),
+                 std::invalid_argument);
+
+    // A wrong-level branch key -- digits that cannot cover the items'
+    // level -- fails the prevalidation walk before any precomp is
+    // prefetched or parallel work starts.
+    auto bad = keygen.rotationKey(k2);
+    bad.digits.resize(1);
+    Pipeline wrong_level;
+    wrong_level.rotateAccum({{k1, &key1}, {k2, &bad}});
+    auto &cache = ctx.keySwitchCache();
+    cache.clear();
+    cache.resetStats();
+    EXPECT_THROW(batch.run(a, wrong_level), std::invalid_argument);
+    EXPECT_EQ(cache.misses(), 0u); // fail-fast: nothing was prefetched
+    EXPECT_EQ(cache.activeReaders(), 0u);
+
+    // The same wrong-level key through the single-rotate stage.
+    Pipeline rot;
+    rot.rotate(k2, bad);
+    EXPECT_THROW(batch.run(a, rot), std::invalid_argument);
+}
+
 } // namespace
 } // namespace cross::ckks

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Tests for the async serving engine (src/serving/): futures-based
+ * submission over the batch engine must return results bit-identical
+ * to the sequential per-request reference whatever batches the
+ * dispatcher forms; batch forming must coalesce by (model, level,
+ * scale); the bounded queue must reject-with-error past its depth;
+ * shutdown must drain; and per-stream ReaderGuards must make stream
+ * close the quiesce point that reclaims retired precomp storage.
+ *
+ * Thread count comes from CROSS_TEST_THREADS (default 4) so the
+ * TSan/ASan CI shards (ctest -L serving) drive concurrent submitter
+ * threads against the LRU-bounded residency cache with real
+ * concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "ckks/batch_evaluator.h"
+#include "ckks/context.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/graph/compiler.h"
+#include "ckks/keys.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "serving/serving.h"
+#include "workloads/ml_workloads.h"
+
+#include "test_util.h"
+
+namespace cross::serving {
+namespace {
+
+using testutil::testThreads;
+
+using ckks::BatchEvaluator;
+using ckks::Ciphertext;
+using ckks::CkksEvaluator;
+using ckks::CtVec;
+using ckks::KeySwitchCache;
+using ckks::Pipeline;
+using ckks::Plaintext;
+using ckks::SwitchKey;
+
+class ServingFixture : public ::testing::Test
+{
+  protected:
+    static constexpr double kScale = 1 << 26;
+
+    ServingFixture()
+        : ctx(ckks::CkksParams::testSet(1 << 9, 6, 2)), encoder(ctx),
+          keygen(ctx, 0x5e), encryptor(ctx, keygen.publicKey(), 0x5f)
+    {
+    }
+
+    ~ServingFixture() override
+    {
+        ctx.keySwitchCache().setByteBudget(0);
+        setGlobalThreadCount(1);
+    }
+
+    CtVec
+    encryptBatch(size_t count, u64 seed)
+    {
+        Rng rng(seed);
+        CtVec cts;
+        for (size_t i = 0; i < count; ++i) {
+            std::vector<double> v(encoder.slotCount());
+            for (auto &x : v)
+                x = rng.real() * 2 - 1;
+            cts.push_back(encryptor.encrypt(
+                encoder.encodeReal(v, kScale, ctx.qCount())));
+        }
+        return cts;
+    }
+
+    static void
+    expectEqual(const Ciphertext &a, const Ciphertext &b)
+    {
+        EXPECT_TRUE(a.c0 == b.c0);
+        EXPECT_TRUE(a.c1 == b.c1);
+        EXPECT_DOUBLE_EQ(a.scale, b.scale);
+    }
+
+    /** Sequential per-request reference for servingPipeline(),
+     *  threads=1, one-shot SwitchKey paths (no cache, no batching). */
+    Ciphertext
+    sequentialReference(const Ciphertext &ct, const Plaintext &pt, u32 k,
+                        const SwitchKey &rot_key)
+    {
+        setGlobalThreadCount(1);
+        const CkksEvaluator ev(ctx);
+        return ev.rotate(ev.rescale(ev.multiplyPlain(ct, pt)), k,
+                         rot_key);
+    }
+
+    ckks::CkksContext ctx;
+    ckks::CkksEncoder encoder;
+    ckks::KeyGenerator keygen;
+    ckks::CkksEncryptor encryptor;
+};
+
+// ---------------------------------------------------------------------
+// Bit-identity to the sequential reference (the acceptance criterion)
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, PipelineSubmitsMatchSequentialAcrossStreams)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto pt = encoder.encodeReal(
+        std::vector<double>(encoder.slotCount(), 0.5), kScale,
+        ctx.qCount());
+    const auto inputs = encryptBatch(12, 41);
+
+    CtVec refs;
+    for (const auto &ct : inputs)
+        refs.push_back(sequentialReference(ct, pt, k, rot_key));
+
+    Pipeline p;
+    p.multiplyPlain(pt).rescale().rotate(k, rot_key);
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        ServingConfig cfg;
+        cfg.dispatchers = 2;
+        ServingEngine engine(ctx, cfg);
+        std::vector<ServingEngine::Stream> streams;
+        for (int s = 0; s < 4; ++s)
+            streams.push_back(engine.openStream());
+
+        std::vector<std::future<Ciphertext>> futs;
+        for (size_t i = 0; i < inputs.size(); ++i)
+            futs.push_back(engine.submit(streams[i % streams.size()], p,
+                                         inputs[i]));
+        for (size_t i = 0; i < futs.size(); ++i)
+            expectEqual(futs[i].get(), refs[i]);
+
+        const auto st = engine.stats();
+        EXPECT_EQ(st.submitted, inputs.size());
+        EXPECT_EQ(st.completed, inputs.size());
+        EXPECT_EQ(st.rejected, 0u);
+        EXPECT_EQ(st.failed, 0u);
+        EXPECT_EQ(st.batchedRequests, inputs.size());
+        engine.shutdown();
+    }
+}
+
+TEST_F(ServingFixture, CompiledGraphSubmitMatchesSequentialReference)
+{
+    const auto rlk = keygen.relinKey();
+    std::map<u32, SwitchKey> rot_keys;
+    for (size_t d = 1; d < 4; ++d) {
+        const u32 g = encoder.rotationAutomorphism(static_cast<i64>(d));
+        rot_keys.emplace(g, keygen.rotationKey(g));
+    }
+    const auto layer = workloads::denseSquareLayerGraph(
+        {{0.5, -0.1, 0.2, 0.0},
+         {0.1, 0.3, -0.2, 0.4},
+         {-0.3, 0.2, 0.1, 0.1},
+         {0.2, 0.0, 0.4, -0.5}},
+        {0.05, -0.05, 0.1, 0.0}, 2);
+    graph::CompileOptions opts;
+    opts.lowering.baseScale = kScale;
+    opts.relinKey = &rlk;
+    opts.rotationKeys = &rot_keys;
+    const auto model = graph::compileGraph(ctx, layer, opts);
+    ASSERT_EQ(model->inputCount(), 1u);
+    ASSERT_EQ(model->outputCount(), 1u);
+
+    const auto inputs = encryptBatch(6, 42);
+    setGlobalThreadCount(1);
+    CtVec refs;
+    for (const auto &ct : inputs)
+        refs.push_back(
+            model->runSequential(nullptr, {{ct}}).front().front());
+
+    setGlobalThreadCount(testThreads());
+    ServingEngine engine(ctx);
+    auto stream = engine.openStream();
+    std::vector<std::future<Ciphertext>> futs;
+    for (const auto &ct : inputs)
+        futs.push_back(engine.submit(stream, *model, ct));
+    for (size_t i = 0; i < futs.size(); ++i)
+        expectEqual(futs[i].get(), refs[i]);
+    EXPECT_EQ(engine.stats().completed, inputs.size());
+}
+
+// ---------------------------------------------------------------------
+// Batch forming
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, PausedEngineCoalescesQueuedRequestsIntoOneBatch)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(5, 43);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingConfig cfg;
+    cfg.startPaused = true;
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    std::vector<std::future<Ciphertext>> futs;
+    for (const auto &ct : inputs)
+        futs.push_back(engine.submit(stream, p, ct));
+    EXPECT_EQ(engine.queueDepth(), inputs.size());
+    EXPECT_EQ(engine.stats().batches, 0u);
+
+    engine.resume();
+    for (auto &f : futs)
+        (void)f.get();
+
+    // Everything was waiting with the same (model, level, scale) key:
+    // one formed batch serves all five requests from one residency set.
+    const auto st = engine.stats();
+    EXPECT_EQ(st.batches, 1u);
+    EXPECT_EQ(st.batchedRequests, inputs.size());
+    EXPECT_EQ(st.maxBatch, inputs.size());
+}
+
+TEST_F(ServingFixture, BatchFormingGroupsByRequestLevel)
+{
+    const u32 k = encoder.rotationAutomorphism(2);
+    const auto rot_key = keygen.rotationKey(k);
+    auto inputs = encryptBatch(4, 44);
+    setGlobalThreadCount(1);
+    const CkksEvaluator ev(ctx);
+    // Two requests one level down: their rotation touches a different
+    // (key, level) precomp, so they must form their own batch.
+    inputs[1] = ev.rescale(inputs[1]);
+    inputs[3] = ev.rescale(inputs[3]);
+    CtVec refs;
+    for (const auto &ct : inputs)
+        refs.push_back(ev.rotate(ct, k, rot_key));
+
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    ServingConfig cfg;
+    cfg.startPaused = true;
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+    std::vector<std::future<Ciphertext>> futs;
+    for (const auto &ct : inputs)
+        futs.push_back(engine.submit(stream, p, ct));
+
+    engine.resume();
+    for (size_t i = 0; i < futs.size(); ++i)
+        expectEqual(futs[i].get(), refs[i]);
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.batches, 2u);
+    EXPECT_EQ(st.batchedRequests, inputs.size());
+    EXPECT_EQ(st.maxBatch, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Backpressure + shutdown
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, BoundedQueueRejectsWithQueueFullError)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(4, 45);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingConfig cfg;
+    cfg.startPaused = true;
+    cfg.maxQueueDepth = 3;
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    std::vector<std::future<Ciphertext>> futs;
+    for (int i = 0; i < 3; ++i)
+        futs.push_back(engine.submit(stream, p, inputs[i]));
+    // The queue is at depth: the fourth submit is rejected through its
+    // future (the submitter is never blocked).
+    auto rejected = engine.submit(stream, p, inputs[3]);
+    EXPECT_THROW(rejected.get(), QueueFullError);
+    EXPECT_EQ(engine.queueDepth(), 3u);
+    EXPECT_EQ(engine.stats().rejected, 1u);
+
+    engine.resume();
+    for (auto &f : futs)
+        (void)f.get(); // the admitted requests still complete
+    EXPECT_EQ(engine.stats().completed, 3u);
+}
+
+TEST_F(ServingFixture, ShutdownDrainsQueueThenRejectsNewSubmits)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(3, 46);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingConfig cfg;
+    cfg.startPaused = true; // requests queue up before shutdown
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    std::vector<std::future<Ciphertext>> futs;
+    for (const auto &ct : inputs)
+        futs.push_back(engine.submit(stream, p, ct));
+
+    engine.shutdown(); // must run every already-queued request
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().limbs(), inputs.front().limbs());
+    EXPECT_EQ(engine.stats().completed, inputs.size());
+
+    auto late = engine.submit(stream, p, inputs[0]);
+    EXPECT_THROW(late.get(), ShutdownError);
+    engine.shutdown(); // idempotent
+}
+
+// ---------------------------------------------------------------------
+// Submit-time validation
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, SubmitRejectsMisuseAtTheCallSite)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto rlk = keygen.relinKey();
+    const auto inputs = encryptBatch(2, 47);
+
+    setGlobalThreadCount(1);
+    const Ciphertext ref = CkksEvaluator(ctx).rotate(inputs[0], k, rot_key);
+    ServingEngine engine(ctx);
+    auto stream = engine.openStream();
+
+    // Ciphertext-operand stages are batch-shaped; dynamic batches have
+    // no matching rhs, so the model shape is rejected up front.
+    Pipeline with_rhs;
+    with_rhs.multiply(inputs, rlk);
+    EXPECT_THROW(engine.submit(stream, with_rhs, inputs[0]),
+                 std::invalid_argument);
+
+    Pipeline p;
+    p.rotate(k, rot_key);
+    EXPECT_THROW(engine.submit(stream, p, Ciphertext{}),
+                 std::invalid_argument);
+
+    // A moved-from stream no longer owns its reader registration.
+    auto moved = std::move(stream);
+    EXPECT_THROW(engine.submit(stream, p, inputs[0]),
+                 std::invalid_argument);
+    expectEqual(engine.submit(moved, p, inputs[0]).get(), ref);
+}
+
+// ---------------------------------------------------------------------
+// Stream quiesce reclaims retired precomp storage
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, StreamCloseIsTheQuiescePointForRetiredPrecomps)
+{
+    const u32 k1 = encoder.rotationAutomorphism(1);
+    const u32 k2 = encoder.rotationAutomorphism(2);
+    const auto key1 = keygen.rotationKey(k1);
+    const auto key2 = keygen.rotationKey(k2);
+    const auto inputs = encryptBatch(2, 48);
+    Pipeline p1, p2;
+    p1.rotate(k1, key1);
+    p2.rotate(k2, key2);
+
+    auto &cache = ctx.keySwitchCache();
+    cache.setByteBudget(0);
+    cache.clear();
+    cache.resetStats();
+
+    setGlobalThreadCount(1);
+    // Budget sized to a single precomp: serving the other key evicts
+    // (retires) the resident one.
+    {
+        const BatchEvaluator warm(ctx);
+        (void)warm.run(inputs, p1);
+    }
+    cache.setByteBudget(cache.residentBytes());
+    cache.releaseRetired();
+
+    ServingEngine engine(ctx);
+    std::optional<ServingEngine::Stream> stream{engine.openStream()};
+    for (int round = 0; round < 2; ++round) {
+        (void)engine.submit(*stream, p2, inputs[0]).get();
+        (void)engine.submit(*stream, p1, inputs[1]).get();
+    }
+    // Every eviction retired a precomp the open stream may still
+    // reference; with its ReaderGuard registered, nothing was freed.
+    EXPECT_GT(cache.evictions(), 0u);
+    EXPECT_GT(cache.retiredBytes(), 0u);
+    EXPECT_EQ(cache.activeReaders(), 1u);
+
+    // Closing the last stream is the quiesce point.
+    stream.reset();
+    EXPECT_EQ(cache.activeReaders(), 0u);
+    EXPECT_EQ(cache.retiredBytes(), 0u);
+    cache.setByteBudget(0);
+}
+
+// ---------------------------------------------------------------------
+// Concurrent submitter stress against the LRU-bounded cache (the TSan
+// shard's target: counters consistent, results bit-identical)
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, ConcurrentStreamsStressBoundedCacheBitIdentically)
+{
+    const u32 k1 = encoder.rotationAutomorphism(1);
+    const u32 k2 = encoder.rotationAutomorphism(3);
+    const auto key1 = keygen.rotationKey(k1);
+    const auto key2 = keygen.rotationKey(k2);
+    Pipeline p1, p2;
+    p1.rotate(k1, key1);
+    p2.rotate(k2, key2);
+
+    const size_t submitters = 4;
+    const size_t per_thread = 8;
+    std::vector<CtVec> inputs;
+    std::vector<CtVec> refs(submitters);
+    setGlobalThreadCount(1);
+    const CkksEvaluator ev(ctx);
+    for (size_t w = 0; w < submitters; ++w) {
+        inputs.push_back(encryptBatch(per_thread, 49 + w));
+        for (size_t i = 0; i < per_thread; ++i)
+            refs[w].push_back(ev.rotate(inputs[w][i],
+                                        i % 2 ? k2 : k1,
+                                        i % 2 ? key2 : key1));
+    }
+
+    auto &cache = ctx.keySwitchCache();
+    cache.setByteBudget(0);
+    cache.clear();
+    cache.resetStats();
+    {
+        const BatchEvaluator warm(ctx);
+        (void)warm.run(inputs[0], p1);
+    }
+    // Tight budget: the two keys' precomps keep evicting each other,
+    // exercising retire/reclaim under concurrent readers.
+    cache.setByteBudget(cache.residentBytes());
+    cache.releaseRetired();
+
+    setGlobalThreadCount(testThreads());
+    {
+        ServingConfig cfg;
+        cfg.dispatchers = 2;
+        ServingEngine engine(ctx, cfg);
+        std::vector<std::thread> clients;
+        for (size_t w = 0; w < submitters; ++w) {
+            clients.emplace_back([&, w] {
+                auto stream = engine.openStream();
+                std::vector<std::future<Ciphertext>> futs;
+                for (size_t i = 0; i < per_thread; ++i)
+                    futs.push_back(engine.submit(
+                        stream, i % 2 ? p2 : p1, inputs[w][i]));
+                for (size_t i = 0; i < per_thread; ++i)
+                    expectEqual(futs[i].get(), refs[w][i]);
+            });
+        }
+        for (auto &t : clients)
+            t.join();
+
+        const auto st = engine.stats();
+        EXPECT_EQ(st.submitted, submitters * per_thread);
+        EXPECT_EQ(st.completed, submitters * per_thread);
+        EXPECT_EQ(st.failed, 0u);
+        EXPECT_EQ(st.rejected, 0u);
+        EXPECT_EQ(st.batchedRequests, submitters * per_thread);
+    }
+    // All streams closed and the engine drained: the cache must be
+    // quiesced with every retired precomp reclaimed.
+    EXPECT_EQ(cache.activeReaders(), 0u);
+    cache.releaseRetired();
+    EXPECT_EQ(cache.retiredBytes(), 0u);
+    cache.setByteBudget(0);
+}
+
+} // namespace
+} // namespace cross::serving
