@@ -20,6 +20,9 @@
  *     --requests <n>     requests per stream           (default 4)
  *     --threads <n>      thread-pool size              (default 4)
  *     --dispatchers <n>  batch-forming threads         (default 2)
+ *     --wait-us <n>      batch-growing patience, us    (default 200)
+ *                        (ServingConfig::maxBatchWaitMicros; 0 = pure
+ *                        continuous batching)
  */
 #include <algorithm>
 #include <iostream>
@@ -57,7 +60,7 @@ percentile(std::vector<double> sorted, double p)
 
 bool
 closedLoop(bench::Reporter &rep, u64 streams, u64 requests, u64 threads,
-           u64 dispatchers)
+           u64 dispatchers, u64 wait_us)
 {
     CkksContext ctx(CkksParams::testSet(1u << 10, 5, 2));
     CkksEncoder encoder(ctx);
@@ -114,6 +117,10 @@ closedLoop(bench::Reporter &rep, u64 streams, u64 requests, u64 threads,
     serving::ServingConfig cfg;
     cfg.dispatchers = static_cast<u32>(dispatchers);
     cfg.maxQueueDepth = streams * requests;
+    // Batch-growing patience: closed-loop arrivals are bursty right
+    // after each batch completes, so a small wait lets the next batch
+    // fill before launching (more key-operand amortisation per launch).
+    cfg.maxBatchWaitMicros = wait_us;
     serving::ServingEngine engine(ctx, cfg);
 
     std::vector<std::vector<double>> lat_us(streams);
@@ -198,7 +205,8 @@ closedLoop(bench::Reporter &rep, u64 streams, u64 requests, u64 threads,
         {"streams", std::to_string(streams)},
         {"requests", std::to_string(requests)},
         {"threads", std::to_string(threads)},
-        {"dispatchers", std::to_string(dispatchers)}};
+        {"dispatchers", std::to_string(dispatchers)},
+        {"wait_us", std::to_string(wait_us)}};
     auto with_metric = [&](const std::string &m) {
         auto p = params;
         p.emplace_back("metric", m);
@@ -213,6 +221,8 @@ closedLoop(bench::Reporter &rep, u64 streams, u64 requests, u64 threads,
             mean_batch);
     rep.add("serving/batching", with_metric("max_batch"), 0.0,
             static_cast<double>(st.maxBatch));
+    rep.add("serving/batching", with_metric("batches"), 0.0,
+            static_cast<double>(st.batches));
     return true;
 }
 
@@ -228,6 +238,8 @@ main(int argc, char **argv)
     const u64 threads = bench::consumeUintFlag(argc, argv, "threads", 4);
     const u64 dispatchers =
         bench::consumeUintFlag(argc, argv, "dispatchers", 2);
+    const u64 wait_us =
+        bench::consumeUintFlag(argc, argv, "wait-us", 200);
     bench::Reporter rep(argc, argv, "serving_closed_loop");
     bench::banner(
         "Serving engine (closed loop)",
@@ -239,7 +251,8 @@ main(int argc, char **argv)
     const bool ok = closedLoop(rep, streams == 0 ? 1 : streams,
                                requests == 0 ? 1 : requests,
                                threads == 0 ? 1 : threads,
-                               dispatchers == 0 ? 1 : dispatchers);
+                               dispatchers == 0 ? 1 : dispatchers,
+                               wait_us);
     if (!ok) {
         rep.cancel(); // never ship numbers from a wrong result
         return 1;

@@ -8,11 +8,14 @@
  * Part 2 (functional): the same schedule *executed* -- every op of
  * enumerateBootstrapOps as one fused BatchEvaluator pipeline on the
  * host CPU (plaintext CtS/StC stages, BSGS rotation keys served from
- * the LRU residency cache), verified bit-identical to the sequential
- * evaluator loop and kernel-for-kernel against the PerOp enumeration
- * before any number is reported. The functional-vs-estimated latency
- * ratio is emitted as a JSON record so the trajectory can track
- * estimator fidelity over time. Runtime config:
+ * the LRU residency cache), in both kernel modes: PerOp (every
+ * rotation pays its own ModUp) and Hoisted (each BSGS group shares one
+ * ModUp, Halevi-Shoup style). Both runs are verified bit-identical to
+ * the sequential evaluator loop and kernel-for-kernel against their
+ * enumeration mode before any number is reported. Two trajectory
+ * records are emitted: the functional-vs-estimated latency ratio
+ * (estimator fidelity; the estimator prices the Hoisted schedule) and
+ * the hoisted-vs-per-op wall-clock speedup. Runtime config:
  *
  *     --threads <n>   thread-pool size for the fused run  (default 2)
  *     --batch <n>     ciphertexts bootstrapped per batch  (default 2)
@@ -53,13 +56,23 @@ functionalBootstrap(bench::Reporter &rep, u64 threads, u64 batch)
     cfg.evalModIters = 1;
     cfg.plainMatrices = true;
 
-    KeyGenerator keygen(ctx, 0x7ab1e9);
+    // Two pipelines over identical key material and inputs: fresh
+    // KeyGenerators with the same seed draw the same keys in the same
+    // derivation order, and the same build seed synthesizes the same
+    // operands -- so the PerOp and Hoisted runs can be compared bit
+    // for bit.
     const double scale = static_cast<double>(1ULL << 26);
-    const auto bp =
-        BootstrapPipeline::build(ctx, cfg, keygen, batch, scale, 0xb009);
+    KeyGenerator keygen(ctx, 0x7ab1e9);
+    const auto bp = BootstrapPipeline::build(
+        ctx, cfg, keygen, batch, scale, 0xb009,
+        BootstrapKernelMode::PerOp);
+    KeyGenerator keygen_h(ctx, 0x7ab1e9);
+    const auto bp_h = BootstrapPipeline::build(
+        ctx, cfg, keygen_h, batch, scale, 0xb009,
+        BootstrapKernelMode::Hoisted);
 
     // Sequential reference (one thread, one-shot keys, no log: kernel
-    // conformance is asserted on the fused run below and logging would
+    // conformance is asserted on the fused runs below and logging would
     // inflate the timed baseline).
     setGlobalThreadCount(1);
     WallTimer t_seq;
@@ -76,30 +89,54 @@ functionalBootstrap(bench::Reporter &rep, u64 threads, u64 batch)
     WallTimer t_fused;
     const auto fused = bp->run(batch_ev);
     const double fused_s = t_fused.seconds();
+
+    // The same schedule with Halevi-Shoup hoisting: every BSGS group
+    // shares one ModUp across its rotation fan-out.
+    KernelLog hoisted_log;
+    BatchEvaluator batch_ev_h(ctx, &hoisted_log);
+    WallTimer t_hoisted;
+    const auto hoisted = bp_h->run(batch_ev_h);
+    const double hoisted_s = t_hoisted.seconds();
     setGlobalThreadCount(1);
 
     bool identical = fused.size() == seq.size();
     for (size_t i = 0; identical && i < fused.size(); ++i)
         identical = fused[i].c0 == seq[i].c0 && fused[i].c1 == seq[i].c1;
+    // Hoisting must not change a single bit either.
+    bool hoisted_identical = hoisted.size() == seq.size();
+    for (size_t i = 0; hoisted_identical && i < hoisted.size(); ++i)
+        hoisted_identical = hoisted[i].c0 == seq[i].c0 &&
+                            hoisted[i].c1 == seq[i].c1;
 
-    // Kernel-for-kernel conformance with the schedule the estimator
-    // prices (PerOp mode: the unhoisted functional expansion).
+    // Kernel-for-kernel conformance of each run against its own
+    // enumeration mode.
     const auto predicted = enumerateBootstrapKernels(
         ctx.params(), cfg, BootstrapKernelMode::PerOp);
     bool log_ok = fused_log.calls().size() == batch * predicted.size();
     for (size_t i = 0; log_ok && i < fused_log.calls().size(); ++i)
         log_ok = fused_log.calls()[i].sameShape(
             predicted[i % predicted.size()]);
+    const auto predicted_h = enumerateBootstrapKernels(
+        ctx.params(), cfg, BootstrapKernelMode::Hoisted);
+    bool hlog_ok =
+        hoisted_log.calls().size() == batch * predicted_h.size();
+    for (size_t i = 0; hlog_ok && i < hoisted_log.calls().size(); ++i)
+        hlog_ok = hoisted_log.calls()[i].sameShape(
+            predicted_h[i % predicted_h.size()]);
 
     // Estimated latency of the *same* params + config on the simulated
-    // v6e (worst case, one core): the fidelity denominator.
+    // v6e (worst case, one core): the fidelity denominator. The
+    // estimator prices the Hoisted schedule, so the hoisted functional
+    // run is the fidelity numerator.
     lowering::Config lcfg;
     const auto est =
         estimateBootstrap(tpu::tpuV6e(), lcfg, ctx.params(), cfg);
 
     const double batch_d = static_cast<double>(batch);
     const double fused_us = fused_s * 1e6 / batch_d;
-    const double ratio = fused_us / est.totalUs;
+    const double hoisted_us = hoisted_s * 1e6 / batch_d;
+    const double ratio = hoisted_us / est.totalUs;
+    const double hoist_speedup = fused_s / hoisted_s;
 
     TablePrinter t("Functional bootstrap pipeline (test profile, "
                    "CPU host)");
@@ -107,19 +144,27 @@ functionalBootstrap(bench::Reporter &rep, u64 threads, u64 batch)
     t.row({"sequential", "1", std::to_string(batch),
            fmtF(seq_s * 1e3 / batch_d, 1),
            std::to_string(bp->ops().size())});
-    t.row({"fused pipeline", std::to_string(threads),
+    t.row({"fused per-op", std::to_string(threads),
            std::to_string(batch), fmtF(fused_s * 1e3 / batch_d, 1),
            std::to_string(bp->ops().size())});
+    t.row({"fused hoisted", std::to_string(threads),
+           std::to_string(batch), fmtF(hoisted_s * 1e3 / batch_d, 1),
+           std::to_string(bp_h->ops().size())});
     t.print(std::cout);
-    std::cout << "Bit-identical to sequential: "
-              << (identical ? "yes" : "NO (BUG)")
-              << "; kernel log == PerOp enumerator: "
-              << (log_ok ? "yes" : "NO (BUG)")
+    std::cout << "Bit-identical to sequential: per-op "
+              << (identical ? "yes" : "NO (BUG)") << ", hoisted "
+              << (hoisted_identical ? "yes" : "NO (BUG)")
+              << "\nKernel log == enumerator: per-op "
+              << (log_ok ? "yes" : "NO (BUG)") << ", hoisted "
+              << (hlog_ok ? "yes" : "NO (BUG)")
+              << "\nShared-ModUp saves (hoisted run): "
+              << hoisted_log.hoistedModUpSaves()
+              << "; hoisted vs per-op speedup: " << fmtX(hoist_speedup)
               << "\nKey residency: " << cache.size() << " resident, "
               << cache.misses() << " built, " << cache.hits()
               << " cache-served, " << cache.evictions()
-              << " evicted\nCPU-functional vs simulated-v6e estimate "
-                 "(same params): "
+              << " evicted\nCPU-functional (hoisted) vs simulated-v6e "
+                 "estimate (same params): "
               << fmtX(ratio)
               << " (trajectory metric: estimator fidelity)\n";
 
@@ -134,6 +179,23 @@ functionalBootstrap(bench::Reporter &rep, u64 threads, u64 batch)
                {"he_ops", std::to_string(bp->ops().size())}},
               fused_us, batch_d / fused_s);
     rep.addUs("table9/functional_bootstrap",
+              {{"mode", "hoisted"},
+               {"threads", std::to_string(threads)},
+               {"batch", std::to_string(batch)},
+               {"n", n_str},
+               {"limbs", limbs_str},
+               {"he_ops", std::to_string(bp_h->ops().size())}},
+              hoisted_us, batch_d / hoisted_s);
+    rep.add("table9/hoisted_vs_perop",
+            {{"metric", "perop_wall_over_hoisted_wall"},
+             {"threads", std::to_string(threads)},
+             {"batch", std::to_string(batch)},
+             {"n", n_str},
+             {"limbs", limbs_str},
+             {"modup_saves",
+              std::to_string(hoisted_log.hoistedModUpSaves())}},
+            0.0, hoist_speedup);
+    rep.addUs("table9/functional_bootstrap",
               {{"mode", "sequential"},
                {"threads", "1"},
                {"batch", std::to_string(batch)},
@@ -146,7 +208,7 @@ functionalBootstrap(bench::Reporter &rep, u64 threads, u64 batch)
              {"n", n_str},
              {"limbs", limbs_str}},
             0.0, ratio);
-    return identical && log_ok;
+    return identical && hoisted_identical && log_ok && hlog_ok;
 }
 
 } // namespace

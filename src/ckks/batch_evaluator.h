@@ -75,7 +75,7 @@ struct PipelineStage
     /** AddPlain / MultiplyPlain: per-level operand rows (CtS/StC
      *  matrix rows), indexed by the item's level at this stage. */
     const std::vector<Plaintext> *ptRows = nullptr;
-    /** RotateAccum: the rotate-and-accumulate fan-in branches. */
+    /** RotateAccum / HoistedRotations: the fan-in branches. */
     std::vector<RotateBranch> branches;
 };
 
@@ -130,6 +130,15 @@ class Pipeline
      *     acc = cur; for b: acc = add(acc, rotate(cur, k_b)); cur = acc
      */
     Pipeline &rotateAccum(std::vector<RotateBranch> branches);
+
+    /**
+     * Halevi-Shoup hoisted form of rotateAccum: identical dataflow and
+     * bit-identical results, but the stage computes one ModUp of the
+     * stage input and shares the decomposition across every branch, so
+     * a fan-in of N pays N-1 fewer ModUps (credited to
+     * KernelLog::hoistedModUpSaves).
+     */
+    Pipeline &rotateHoisted(std::vector<RotateBranch> branches);
 
     /** @name Stages hold pointers; temporaries would dangle by run().
      *  Deleted so the misuse is a compile error, not a use-after-free.

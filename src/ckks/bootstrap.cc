@@ -8,61 +8,6 @@ namespace cross::ckks {
 
 namespace {
 
-void
-push(std::vector<KernelCall> &v, KernelKind kind, u32 n, u32 limbs,
-     u32 limbs_out = 0)
-{
-    v.push_back({kind, n, limbs, limbs_out, 0.0});
-}
-
-/**
- * Hoisted BSGS rotations (Halevi-Shoup hoisting, as used by the packed
- * bootstrapping of MAD [3]): ModUp runs once per input ciphertext, then
- * every rotation applies its automorphism to the decomposed digits and
- * pays only the inner product + ModDown. This is why Automorphism
- * dominates the paper's Table IX breakdown.
- */
-void
-appendHoistedRotations(std::vector<KernelCall> &v, const CkksParams &p,
-                       size_t level, size_t nrot)
-{
-    const u32 n = p.n;
-    const size_t alpha = p.alpha();
-    const size_t aux = p.auxCount();
-    const size_t ext = level + 1 + aux;
-    const size_t d = (level + alpha) / alpha;
-
-    // Shared ModUp of c1.
-    push(v, KernelKind::Intt, n, static_cast<u32>(level + 1));
-    for (size_t j = 0; j < d; ++j) {
-        const size_t first = j * alpha;
-        const size_t last = std::min(first + alpha, level + 1);
-        const size_t dsize = last - first;
-        push(v, KernelKind::BConv, n, static_cast<u32>(dsize),
-             static_cast<u32>(ext - dsize));
-        push(v, KernelKind::Ntt, n, static_cast<u32>(ext - dsize));
-    }
-
-    for (size_t r = 0; r < nrot; ++r) {
-        // Automorphism on every decomposed digit plus c0.
-        push(v, KernelKind::Automorphism, n,
-             static_cast<u32>(d * ext + level + 1));
-        push(v, KernelKind::VecModMul, n, static_cast<u32>(2 * d * ext));
-        push(v, KernelKind::VecModAdd, n, static_cast<u32>(2 * d * ext));
-        for (int comp = 0; comp < 2; ++comp) {
-            push(v, KernelKind::Intt, n, static_cast<u32>(aux));
-            push(v, KernelKind::BConv, n, static_cast<u32>(aux),
-                 static_cast<u32>(level + 1));
-            push(v, KernelKind::Ntt, n, static_cast<u32>(level + 1));
-            push(v, KernelKind::VecModSub, n,
-                 static_cast<u32>(level + 1));
-            push(v, KernelKind::VecModMulConst, n,
-                 static_cast<u32>(level + 1));
-        }
-        push(v, KernelKind::VecModAdd, n, static_cast<u32>(level + 1));
-    }
-}
-
 /**
  * The one structural walk of the packed bootstrapping schedule
  * (ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff). Every consumer
@@ -141,17 +86,16 @@ walkBootstrap(const CkksParams &p, const BootstrapConfig &cfg,
 
 } // namespace
 
-std::vector<std::pair<HeOp, size_t>>
+std::vector<BootstrapOp>
 enumerateBootstrapOps(const CkksParams &p, const BootstrapConfig &cfg)
 {
-    std::vector<std::pair<HeOp, size_t>> ops;
+    std::vector<BootstrapOp> ops;
     walkBootstrap(
         p, cfg,
         [&](size_t nrot, size_t level) {
-            for (size_t r = 0; r < nrot; ++r)
-                ops.emplace_back(HeOp::Rotate, level);
+            ops.push_back({HeOp::RotateAccum, level, nrot});
         },
-        [&](HeOp op, size_t level) { ops.emplace_back(op, level); });
+        [&](HeOp op, size_t level) { ops.push_back({op, level, 1}); });
     return ops;
 }
 
@@ -159,27 +103,19 @@ std::vector<KernelCall>
 enumerateBootstrapKernels(const CkksParams &p, const BootstrapConfig &cfg,
                           BootstrapKernelMode mode)
 {
+    // Both modes expand the same op walk through the structural
+    // enumerator; Hoisted only swaps the fan-in form, so the schedules
+    // differ by exactly (fanin - 1) ModUps per rotation group.
     std::vector<KernelCall> v;
-    if (mode == BootstrapKernelMode::PerOp) {
-        // Exactly what the functional evaluator runs: every op its own
-        // unhoisted expansion.
-        for (const auto &[op, level] : enumerateBootstrapOps(p, cfg)) {
-            const auto k = enumerateKernels(op, p, level);
-            v.insert(v.end(), k.begin(), k.end());
-        }
-        return v;
+    for (const auto &bop : enumerateBootstrapOps(p, cfg)) {
+        const HeOp op = mode == BootstrapKernelMode::Hoisted &&
+                bop.op == HeOp::RotateAccum
+            ? HeOp::HoistedRotations
+            : bop.op;
+        const auto k =
+            enumerateKernels({PipelineOp{op, bop.fanin}}, p, bop.level);
+        v.insert(v.end(), k.begin(), k.end());
     }
-
-    // Hoisted: rotations within a BSGS stage share one ModUp.
-    walkBootstrap(
-        p, cfg,
-        [&](size_t nrot, size_t level) {
-            appendHoistedRotations(v, p, level, nrot);
-        },
-        [&](HeOp op, size_t level) {
-            const auto k = enumerateKernels(op, p, level);
-            v.insert(v.end(), k.begin(), k.end());
-        });
     return v;
 }
 

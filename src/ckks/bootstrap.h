@@ -42,13 +42,16 @@ struct BootstrapConfig
 };
 
 /**
- * Which kernel expansion enumerateBootstrapKernels returns.
- *  - Hoisted: BSGS rotations share one ModUp per stage (Halevi-Shoup
- *    hoisting) -- the schedule estimateBootstrap() prices.
- *  - PerOp: every op of enumerateBootstrapOps expanded independently
- *    through enumerateKernels -- exactly the kernels the functional
- *    evaluator executes, so BatchEvaluator::run's merged KernelLog can
- *    be asserted against it kernel-for-kernel.
+ * Which kernel expansion enumerateBootstrapKernels returns. Both modes
+ * are *executable*: BootstrapPipeline::build takes the same mode and
+ * its merged KernelLog matches the enumeration kernel-for-kernel.
+ *  - Hoisted: the rotations of each BSGS group share one ModUp
+ *    (Halevi-Shoup hoisting; the group runs as a HoistedRotations
+ *    stage) -- the schedule estimateBootstrap() prices.
+ *  - PerOp: each BSGS group runs as a RotateAccum stage whose branches
+ *    pay their own ModUp (fanin x (Rotate + Add)).
+ * Results are bit-identical between the modes at any thread count;
+ * Hoisted launches exactly sum(fanin - 1) fewer ModUps.
  */
 enum class BootstrapKernelMode
 {
@@ -73,19 +76,35 @@ struct BootstrapEstimate
 };
 
 /**
- * Enumerate the bootstrap pipeline as (HE op, level) pairs.
- * Levels consume downward from the top of the modulus chain.
+ * One operator of the bootstrap pipeline: the op, the level it runs at
+ * (levels consume downward from the top of the modulus chain) and, for
+ * the BSGS rotation groups (RotateAccum), the branch fan-in.
  */
-std::vector<std::pair<HeOp, size_t>>
+struct BootstrapOp
+{
+    HeOp op;
+    size_t level = 0;
+    size_t fanin = 1;
+
+    bool operator==(const BootstrapOp &) const = default;
+};
+
+/**
+ * Enumerate the bootstrap pipeline as (op, level, fanin) entries. Each
+ * BSGS rotation group appears as a single RotateAccum entry whose
+ * fanin is the group's rotation count.
+ */
+std::vector<BootstrapOp>
 enumerateBootstrapOps(const CkksParams &params, const BootstrapConfig &cfg);
 
 /**
- * Full kernel schedule of the pipeline. Hoisted mode (the default) is
- * what estimateBootstrap() prices; PerOp mode is the exact expansion
- * of enumerateBootstrapOps through enumerateKernels, matching the
- * functional BatchEvaluator::run log kernel-for-kernel. Both modes
- * walk the same structural schedule (one shared walk), so they can
- * never drift apart on op counts or level evolution.
+ * Full kernel schedule of the pipeline: every enumerateBootstrapOps
+ * entry expanded through the structural enumerateKernels(PipelineOp)
+ * overload -- in Hoisted mode the RotateAccum groups expand as
+ * HoistedRotations (one shared ModUp per group). Both modes expand the
+ * same op walk, so they can never drift apart on op counts or level
+ * evolution, and both match the corresponding BootstrapPipeline run's
+ * merged KernelLog kernel-for-kernel.
  */
 std::vector<KernelCall>
 enumerateBootstrapKernels(const CkksParams &params,

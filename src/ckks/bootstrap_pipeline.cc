@@ -39,7 +39,7 @@ uniformBatch(const CkksContext &ctx, size_t batch, size_t limbs,
 std::unique_ptr<BootstrapPipeline>
 BootstrapPipeline::build(const CkksContext &ctx, const BootstrapConfig &cfg,
                          KeyGenerator &keygen, size_t batch, double scale,
-                         u64 seed)
+                         u64 seed, BootstrapKernelMode mode)
 {
     requireThat(batch >= 1, "BootstrapPipeline: need at least one item");
     const CkksParams &p = ctx.params();
@@ -52,12 +52,12 @@ BootstrapPipeline::build(const CkksContext &ctx, const BootstrapConfig &cfg,
     // levels are not the levels the evaluator would run at.
     {
         size_t limbs = ctx.qCount();
-        for (const auto &[op, level] : bp->ops_) {
-            requireThat(level == limbs - 1,
+        for (const auto &bop : bp->ops_) {
+            requireThat(bop.level == limbs - 1,
                         "BootstrapPipeline: config level guards bound; "
                         "schedule is not executable at these params "
                         "(lengthen the modulus chain)");
-            if (op == HeOp::Rescale)
+            if (bop.op == HeOp::Rescale)
                 --limbs;
         }
     }
@@ -100,9 +100,9 @@ BootstrapPipeline::build(const CkksContext &ctx, const BootstrapConfig &cfg,
     size_t limbs = ctx.qCount();
     double cur = scale;
     size_t rot = 0;
-    for (const auto &[op, level] : bp->ops_) {
-        (void)level; // == limbs - 1, asserted above
-        switch (op) {
+    for (const auto &bop : bp->ops_) {
+        // bop.level == limbs - 1, asserted above.
+        switch (bop.op) {
           case HeOp::Add:
             bp->rhs_.push_back(
                 uniformBatch(ctx, batch, limbs, cur, rng));
@@ -142,8 +142,24 @@ BootstrapPipeline::build(const CkksContext &ctx, const BootstrapConfig &cfg,
             break;
           }
 
+          case HeOp::RotateAccum: {
+            // One BSGS group: fanin branches drawn from the rotation
+            // pool in order, executed hoisted or per-op by mode.
+            std::vector<RotateBranch> branches;
+            branches.reserve(bop.fanin);
+            for (size_t b = 0; b < bop.fanin; ++b) {
+                const u32 k = pool[rot++ % pool.size()];
+                branches.push_back({k, &bp->rotKeys_.at(k)});
+            }
+            if (mode == BootstrapKernelMode::Hoisted)
+                bp->pipeline_.rotateHoisted(std::move(branches));
+            else
+                bp->pipeline_.rotateAccum(std::move(branches));
+            break;
+          }
+
           case HeOp::RescaleMulti:
-          case HeOp::RotateAccum:
+          case HeOp::HoistedRotations:
             internalCheck(false,
                           "BootstrapPipeline: op not emitted by the "
                           "bootstrap walk");
@@ -190,8 +206,25 @@ BootstrapPipeline::runSequential(const CkksContext &ctx,
               case HeOp::Rotate:
                 cur = ev.rotate(cur, st.autoIdx, *st.key);
                 break;
+              case HeOp::RotateAccum: {
+                Ciphertext acc = cur;
+                for (const auto &br : st.branches)
+                    acc = ev.add(acc,
+                                 ev.rotate(cur, br.autoIdx, *br.key));
+                cur = acc;
+                break;
+              }
+              case HeOp::HoistedRotations: {
+                const HoistedDecomp dec = ev.hoistedModUp(cur.c1);
+                Ciphertext acc = cur;
+                for (const auto &br : st.branches)
+                    acc = ev.add(acc, ev.applyHoistedRotation(
+                                          cur, dec, br.autoIdx, *br.key));
+                ev.noteHoistedSaves(st.branches.size());
+                cur = acc;
+                break;
+              }
               case HeOp::RescaleMulti:
-              case HeOp::RotateAccum:
                 internalCheck(false, "BootstrapPipeline: unexpected op");
                 break;
             }

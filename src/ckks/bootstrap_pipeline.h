@@ -3,13 +3,16 @@
  * Executable form of the packed bootstrapping schedule.
  *
  * bootstrap.h *prices* the schedule; this builder makes it *run*:
- * every (HE op, level) pair of enumerateBootstrapOps becomes one
- * Pipeline stage with concrete operands -- per-level CtS/StC plaintext
- * matrix rows, Chebyshev plaintext constants, BSGS rotation keys, rhs
+ * every BootstrapOp of enumerateBootstrapOps becomes one Pipeline
+ * stage with concrete operands -- per-level CtS/StC plaintext matrix
+ * rows, Chebyshev plaintext constants, BSGS rotation keys, rhs
  * ciphertext batches -- so the whole bootstrap executes through a
  * single BatchEvaluator::run call and its merged KernelLog can be
- * asserted kernel-for-kernel against
- * enumerateBootstrapKernels(..., BootstrapKernelMode::PerOp).
+ * asserted kernel-for-kernel against enumerateBootstrapKernels in the
+ * same BootstrapKernelMode: the BSGS rotation groups run as
+ * RotateAccum stages (PerOp) or as Halevi-Shoup HoistedRotations
+ * stages sharing one ModUp per group (Hoisted), with bit-identical
+ * results either way.
  *
  * Operand values are synthesized (uniform ring elements at the right
  * level and scale): the object under test is the schedule execution --
@@ -52,6 +55,9 @@ class BootstrapPipeline
      * @param batch  items in the input batch
      * @param scale  starting scale of every input item
      * @param seed   determinism for the synthesized operands
+     * @param mode   how the BSGS rotation groups execute: RotateAccum
+     *               stages (PerOp, the default) or HoistedRotations
+     *               stages sharing one ModUp per group (Hoisted)
      * @throws std::invalid_argument when the chain is too short or the
      *         config's level guards would bind (the enumerated levels
      *         would then diverge from an actual execution, which
@@ -59,16 +65,14 @@ class BootstrapPipeline
      */
     static std::unique_ptr<BootstrapPipeline>
     build(const CkksContext &ctx, const BootstrapConfig &cfg,
-          KeyGenerator &keygen, size_t batch, double scale, u64 seed);
+          KeyGenerator &keygen, size_t batch, double scale, u64 seed,
+          BootstrapKernelMode mode = BootstrapKernelMode::PerOp);
 
     const Pipeline &pipeline() const { return pipeline_; }
     const CtVec &input() const { return input_; }
-    /** The (op, level) schedule the pipeline executes -- identical to
-     *  enumerateBootstrapOps(params, cfg). */
-    const std::vector<std::pair<HeOp, size_t>> &ops() const
-    {
-        return ops_;
-    }
+    /** The (op, level, fanin) schedule the pipeline executes --
+     *  identical to enumerateBootstrapOps(params, cfg). */
+    const std::vector<BootstrapOp> &ops() const { return ops_; }
     /** Distinct Galois elements keyed (the BSGS rotation pool). */
     size_t rotationKeyCount() const { return rotKeys_.size(); }
 
@@ -90,7 +94,7 @@ class BootstrapPipeline
 
     Pipeline pipeline_;
     CtVec input_;
-    std::vector<std::pair<HeOp, size_t>> ops_;
+    std::vector<BootstrapOp> ops_;
     /** Stage operand storage (deques/maps: stable addresses under
      *  growth, which the PipelineStage pointers rely on). */
     std::deque<CtVec> rhs_;

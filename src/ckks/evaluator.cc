@@ -217,25 +217,123 @@ Ciphertext
 CkksEvaluator::rotate(const Ciphertext &ct, u32 auto_idx,
                       const KeySwitchPrecomp &pre) const
 {
-    checkAutomorphismIndex(ctx_, auto_idx);
-    requireThat(pre.level == ct.limbs() - 1,
-                "rotate: precomp level does not match ciphertext");
-    WallTimer t;
-    RnsPoly r0 = ct.c0.automorphism(auto_idx);
-    RnsPoly r1 = ct.c1.automorphism(auto_idx);
-    logCall(KernelKind::Automorphism,
-            static_cast<u32>(2 * ct.limbs()), 0, t.seconds());
+    // A fan-out of one: the hoisted path IS the rotate path, so
+    // rotateHoisted over N keys is bit-identical to N rotate calls by
+    // construction (same decomposition, same arithmetic order).
+    return applyHoistedRotation(ct, hoistedModUp(ct.c1), auto_idx, pre);
+}
 
-    auto [k0, k1] = keySwitch(r1, pre);
+HoistedDecomp
+CkksEvaluator::hoistedModUp(const RnsPoly &c1) const
+{
+    requireThat(c1.limbCount() >= 1, "hoistedModUp: empty input");
+    HoistedDecomp dec;
+    dec.level = c1.limbCount() - 1;
+    dec.extSlots = ctx_.extendedSlots(dec.level);
+    dec.digits = modUpPhase(c1, dec.extSlots);
+    return dec;
+}
+
+Ciphertext
+CkksEvaluator::applyHoistedRotation(const Ciphertext &ct,
+                                    const HoistedDecomp &dec,
+                                    u32 auto_idx,
+                                    const KeySwitchPrecomp &pre) const
+{
+    checkAutomorphismIndex(ctx_, auto_idx);
+    requireThat(dec.level == ct.limbs() - 1,
+                "applyHoistedRotation: decomposition level does not "
+                "match ciphertext");
+    requireThat(pre.level == dec.level,
+                "applyHoistedRotation: precomp level does not match "
+                "decomposition");
+    const size_t level = dec.level;
+    const size_t d = ctx_.activeDigits(level);
+    const size_t ext = dec.extSlots.size();
+    internalCheck(dec.digits.size() == d && pre.keys.size() == d,
+                  "applyHoistedRotation: digit count mismatch");
+
+    // Permute the shared decomposition (and c0) into rotated position:
+    // the eval-domain automorphism is a pure slot permutation, so it
+    // commutes with the basis extension and one launch covers all
+    // digits plus c0.
+    WallTimer t;
+    std::vector<RnsPoly> rotated;
+    rotated.reserve(d);
+    for (const auto &digit : dec.digits)
+        rotated.push_back(digit.automorphism(auto_idx));
+    RnsPoly r0 = ct.c0.automorphism(auto_idx);
+    logCall(KernelKind::Automorphism,
+            static_cast<u32>(d * ext + ct.limbs()), 0, t.seconds());
+
+    // Inner product with the rotation key, all digits in one fused
+    // multiply + one fused accumulate.
+    WallTimer tm;
+    std::vector<std::pair<RnsPoly, RnsPoly>> prods;
+    prods.reserve(d);
+    for (size_t j = 0; j < d; ++j) {
+        auto [kb, ka] = pre.keys[j];
+        kb.mulPointwiseInPlace(rotated[j]);
+        ka.mulPointwiseInPlace(rotated[j]);
+        prods.emplace_back(std::move(kb), std::move(ka));
+    }
+    logCall(KernelKind::VecModMul, static_cast<u32>(2 * d * ext), 0,
+            tm.seconds());
+    WallTimer ta;
+    RnsPoly acc0(ctx_.ring(), dec.extSlots, true);
+    RnsPoly acc1(ctx_.ring(), dec.extSlots, true);
+    for (auto &[pb, pa] : prods) {
+        acc0.addInPlace(pb);
+        acc1.addInPlace(pa);
+    }
+    logCall(KernelKind::VecModAdd, static_cast<u32>(2 * d * ext), 0,
+            ta.seconds());
+
     Ciphertext out;
-    out.c0 = std::move(r0);
+    out.c0 = modDownPhase(acc0, level);
+    out.c1 = modDownPhase(acc1, level);
     WallTimer t2;
-    out.c0.addInPlace(k0);
+    out.c0.addInPlace(r0);
     logCall(KernelKind::VecModAdd, static_cast<u32>(ct.limbs()), 0,
             t2.seconds());
-    out.c1 = std::move(k1);
     out.scale = ct.scale;
     return out;
+}
+
+Ciphertext
+CkksEvaluator::applyHoistedRotation(const Ciphertext &ct,
+                                    const HoistedDecomp &dec,
+                                    u32 auto_idx,
+                                    const SwitchKey &rot_key) const
+{
+    return applyHoistedRotation(ct, dec, auto_idx,
+                                precomputeKeySwitch(rot_key, dec.level));
+}
+
+std::vector<Ciphertext>
+CkksEvaluator::rotateHoisted(
+    const Ciphertext &ct,
+    const std::vector<std::pair<u32, const SwitchKey *>> &branches) const
+{
+    requireThat(!branches.empty(), "rotateHoisted: no branches");
+    for (const auto &[k, key] : branches) {
+        checkAutomorphismIndex(ctx_, k);
+        requireThat(key != nullptr, "rotateHoisted: null rotation key");
+    }
+    const HoistedDecomp dec = hoistedModUp(ct.c1);
+    std::vector<Ciphertext> out;
+    out.reserve(branches.size());
+    for (const auto &[k, key] : branches)
+        out.push_back(applyHoistedRotation(ct, dec, k, *key));
+    noteHoistedSaves(branches.size());
+    return out;
+}
+
+void
+CkksEvaluator::noteHoistedSaves(size_t fanout) const
+{
+    if (log_ && fanout > 1)
+        log_->noteHoistedModUpSaves(fanout - 1);
 }
 
 Ciphertext
@@ -376,11 +474,9 @@ CkksEvaluator::keySwitch(const RnsPoly &c,
     });
 }
 
-std::pair<RnsPoly, RnsPoly>
-CkksEvaluator::keySwitchImpl(
-    const RnsPoly &c, const std::vector<u32> &ext_slots,
-    const std::function<std::pair<RnsPoly, RnsPoly>(size_t)> &key_at)
-    const
+std::vector<RnsPoly>
+CkksEvaluator::modUpPhase(const RnsPoly &c,
+                          const std::vector<u32> &ext_slots) const
 {
     requireThat(c.isEval(), "keySwitch: input must be in eval domain");
     const size_t level = c.limbCount() - 1;
@@ -393,9 +489,8 @@ CkksEvaluator::keySwitchImpl(
     c_coeff.toCoeff();
     logCall(KernelKind::Intt, static_cast<u32>(level + 1), 0, ti.seconds());
 
-    RnsPoly acc0(ctx_.ring(), ext_slots, true);
-    RnsPoly acc1(ctx_.ring(), ext_slots, true);
-
+    std::vector<RnsPoly> digits;
+    digits.reserve(d);
     for (size_t j = 0; j < d; ++j) {
         const auto [first, last] = ctx_.digitRange(j, level);
         const auto &conv = ctx_.modUpConv(j, level);
@@ -438,12 +533,81 @@ CkksEvaluator::keySwitchImpl(
         });
         logCall(KernelKind::Ntt, static_cast<u32>(conv_limbs.size()), 0,
                 tn.seconds());
+        digits.push_back(std::move(up));
+    }
+    return digits;
+}
 
-        // Inner product with the digit's switching key.
+RnsPoly
+CkksEvaluator::modDownPhase(const RnsPoly &acc, size_t level) const
+{
+    // ModDown: (acc - Conv_P->Q(acc_P)) * P^-1.
+    const auto &conv = ctx_.modDownConv(level);
+
+    WallTimer ti2;
+    rns::LimbMatrix p_part(ctx_.pCount());
+    parallelFor(0, ctx_.pCount(), [&](size_t jj) {
+        p_part[jj] = acc.limb(level + 1 + jj);
+        poly::inverseInPlace(p_part[jj].data(),
+                             ctx_.ring().tables(ctx_.pSlot(jj)));
+    });
+    logCall(KernelKind::Intt, static_cast<u32>(ctx_.pCount()), 0,
+            ti2.seconds());
+
+    WallTimer tb2;
+    rns::LimbMatrix conv_out;
+    conv.apply(p_part, conv_out);
+    logCall(KernelKind::BConv, static_cast<u32>(ctx_.pCount()),
+            static_cast<u32>(level + 1), tb2.seconds());
+
+    WallTimer tn2;
+    RnsPoly conv_q(ctx_.ring(), level + 1, true);
+    parallelFor(0, level + 1, [&](size_t i) {
+        conv_q.limb(i) = std::move(conv_out[i]);
+        poly::forwardInPlace(conv_q.limb(i).data(),
+                             ctx_.ring().tables(i));
+    });
+    logCall(KernelKind::Ntt, static_cast<u32>(level + 1), 0,
+            tn2.seconds());
+
+    WallTimer tv;
+    RnsPoly res(ctx_.ring(), level + 1, true);
+    parallelFor(0, level + 1, [&](size_t i) {
+        res.limb(i) = acc.limb(i);
+    });
+    res.subInPlace(conv_q);
+    std::vector<u64> pinv(level + 1);
+    for (size_t i = 0; i <= level; ++i)
+        pinv[i] = ctx_.pInvModQ(i);
+    res.mulScalarPerLimbInPlace(pinv);
+    logCall(KernelKind::VecModSub, static_cast<u32>(level + 1), 0, 0.0);
+    logCall(KernelKind::VecModMulConst, static_cast<u32>(level + 1), 0,
+            tv.seconds());
+    return res;
+}
+
+std::pair<RnsPoly, RnsPoly>
+CkksEvaluator::keySwitchImpl(
+    const RnsPoly &c, const std::vector<u32> &ext_slots,
+    const std::function<std::pair<RnsPoly, RnsPoly>(size_t)> &key_at)
+    const
+{
+    const size_t level = c.limbCount() - 1;
+    const size_t d = ctx_.activeDigits(level);
+    const size_t ext = ext_slots.size();
+
+    // Phase 1 (ModUp), then phase 2 (per-digit inner product), then
+    // phase 3 (ModDown) -- the same three-phase structure the hoisted
+    // rotation path reuses, with identical accumulation order.
+    const std::vector<RnsPoly> digits = modUpPhase(c, ext_slots);
+
+    RnsPoly acc0(ctx_.ring(), ext_slots, true);
+    RnsPoly acc1(ctx_.ring(), ext_slots, true);
+    for (size_t j = 0; j < d; ++j) {
         WallTimer tm;
         auto [kb, ka] = key_at(j);
-        kb.mulPointwiseInPlace(up);
-        ka.mulPointwiseInPlace(up);
+        kb.mulPointwiseInPlace(digits[j]);
+        ka.mulPointwiseInPlace(digits[j]);
         logCall(KernelKind::VecModMul, static_cast<u32>(2 * ext), 0,
                 tm.seconds());
         WallTimer ta;
@@ -453,53 +617,7 @@ CkksEvaluator::keySwitchImpl(
                 ta.seconds());
     }
 
-    // ModDown both accumulators: (acc - Conv_P->Q(acc_P)) * P^-1.
-    auto mod_down = [&](RnsPoly &acc) {
-        const auto &conv = ctx_.modDownConv(level);
-
-        WallTimer ti2;
-        rns::LimbMatrix p_part(ctx_.pCount());
-        parallelFor(0, ctx_.pCount(), [&](size_t jj) {
-            p_part[jj] = acc.limb(level + 1 + jj);
-            poly::inverseInPlace(p_part[jj].data(),
-                                 ctx_.ring().tables(ctx_.pSlot(jj)));
-        });
-        logCall(KernelKind::Intt, static_cast<u32>(ctx_.pCount()), 0,
-                ti2.seconds());
-
-        WallTimer tb2;
-        rns::LimbMatrix conv_out;
-        conv.apply(p_part, conv_out);
-        logCall(KernelKind::BConv, static_cast<u32>(ctx_.pCount()),
-                static_cast<u32>(level + 1), tb2.seconds());
-
-        WallTimer tn2;
-        RnsPoly conv_q(ctx_.ring(), level + 1, true);
-        parallelFor(0, level + 1, [&](size_t i) {
-            conv_q.limb(i) = std::move(conv_out[i]);
-            poly::forwardInPlace(conv_q.limb(i).data(),
-                                 ctx_.ring().tables(i));
-        });
-        logCall(KernelKind::Ntt, static_cast<u32>(level + 1), 0,
-                tn2.seconds());
-
-        WallTimer tv;
-        RnsPoly res(ctx_.ring(), level + 1, true);
-        parallelFor(0, level + 1, [&](size_t i) {
-            res.limb(i) = acc.limb(i);
-        });
-        res.subInPlace(conv_q);
-        std::vector<u64> pinv(level + 1);
-        for (size_t i = 0; i <= level; ++i)
-            pinv[i] = ctx_.pInvModQ(i);
-        res.mulScalarPerLimbInPlace(pinv);
-        logCall(KernelKind::VecModSub, static_cast<u32>(level + 1), 0, 0.0);
-        logCall(KernelKind::VecModMulConst, static_cast<u32>(level + 1), 0,
-                tv.seconds());
-        return res;
-    };
-
-    return {mod_down(acc0), mod_down(acc1)};
+    return {modDownPhase(acc0, level), modDownPhase(acc1, level)};
 }
 
 } // namespace cross::ckks

@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "ckks/ciphertext.h"
 #include "ckks/context.h"
@@ -52,6 +54,24 @@ ckksScalesMatch(double a, double b)
     return std::abs(a - b) <= 1e-6 * std::max(a, b);
 }
 
+/**
+ * The shared ModUp of one ciphertext polynomial: its digit
+ * decomposition lifted to the extended basis (Q + complement + P), in
+ * eval domain. Halevi-Shoup hoisting computes this once per input and
+ * amortises it across a whole rotation fan-out -- the eval-domain
+ * automorphism is a pure slot permutation, so each rotation permutes
+ * the decomposed digits instead of re-running ModUp.
+ */
+struct HoistedDecomp
+{
+    /** Level the decomposition was taken at (input limbs - 1). */
+    size_t level = 0;
+    /** Ring indices of the extended basis, as extendedSlots(level). */
+    std::vector<u32> extSlots;
+    /** One extended-basis polynomial per active digit, eval domain. */
+    std::vector<poly::RnsPoly> digits;
+};
+
 /** Homomorphic operator implementations. */
 class CkksEvaluator
 {
@@ -85,11 +105,56 @@ class CkksEvaluator
      * baselines whose moduli exceed the 32-bit register width.
      */
     Ciphertext rescaleMulti(const Ciphertext &ct) const;
-    /** Slot rotation: automorphism + key switch. */
+    /** Slot rotation: automorphism + key switch. Implemented as a
+     *  fan-out-of-one hoisted rotation (hoistedModUp +
+     *  applyHoistedRotation), so rotateHoisted over N keys is
+     *  bit-identical to N independent rotate calls by construction. */
     Ciphertext rotate(const Ciphertext &ct, u32 auto_idx,
                       const SwitchKey &rot_key) const;
     Ciphertext rotate(const Ciphertext &ct, u32 auto_idx,
                       const KeySwitchPrecomp &pre) const;
+    /** @} */
+
+    /** @name Halevi-Shoup hoisted rotations. @{ */
+    /**
+     * Phase 1 of the key switch, standalone: decompose @p c1 into
+     * digits and lift each to the extended basis (one INTT + per-digit
+     * BConv/NTT). The result is rotation-independent and can be shared
+     * across every rotation of the same ciphertext at this level.
+     */
+    HoistedDecomp hoistedModUp(const poly::RnsPoly &c1) const;
+
+    /**
+     * Phases 2+3 against a shared decomposition: permute the
+     * decomposed digits (and c0) by @p auto_idx, inner-product with
+     * the rotation key's digits, ModDown, and fold c0 -- one rotation
+     * of the fan-out. Bit-identical to rotate(ct, auto_idx, pre) and
+     * only valid when @p dec came from hoistedModUp(ct.c1).
+     */
+    Ciphertext applyHoistedRotation(const Ciphertext &ct,
+                                    const HoistedDecomp &dec, u32 auto_idx,
+                                    const KeySwitchPrecomp &pre) const;
+    Ciphertext applyHoistedRotation(const Ciphertext &ct,
+                                    const HoistedDecomp &dec, u32 auto_idx,
+                                    const SwitchKey &rot_key) const;
+
+    /**
+     * The fan-out API: one shared ModUp of @p ct, then one
+     * applyHoistedRotation per (automorphism index, key) branch.
+     * Bit-identical to |branches| independent rotate calls at any
+     * thread count, paying |branches|-1 fewer ModUps (counted into the
+     * KernelLog's hoistedModUpSaves).
+     */
+    std::vector<Ciphertext> rotateHoisted(
+        const Ciphertext &ct,
+        const std::vector<std::pair<u32, const SwitchKey *>> &branches)
+        const;
+
+    /** Credit a fan-out of @p fanout rotations sharing one ModUp to
+     *  the log's shared-ModUp save counter (fanout-1 saves; no-op
+     *  without a log or for fanout <= 1). The batch engine calls this
+     *  directly because it drives applyHoistedRotation itself. */
+    void noteHoistedSaves(size_t fanout) const;
     /** @} */
 
     /** @name Plaintext operands. @{ */
@@ -143,6 +208,15 @@ class CkksEvaluator
         const std::function<
             std::pair<poly::RnsPoly, poly::RnsPoly>(size_t)> &key_at)
         const;
+
+    /** ModUp phase body shared by hoistedModUp and keySwitchImpl. */
+    std::vector<poly::RnsPoly>
+    modUpPhase(const poly::RnsPoly &c,
+               const std::vector<u32> &ext_slots) const;
+
+    /** ModDown phase: (acc - Conv_P->Q(acc_P)) * P^-1 at @p level. */
+    poly::RnsPoly modDownPhase(const poly::RnsPoly &acc,
+                               size_t level) const;
 
     void logCall(KernelKind kind, u32 limbs, u32 limbs_out,
                  double seconds) const;

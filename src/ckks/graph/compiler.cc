@@ -438,6 +438,15 @@ compileGraph(const CkksContext &ctx, const Graph &g,
                 pops.push_back({op.op, op.fanin});
         return pops;
     };
+    // The Hoisted plan is the fused segmentation with every fan-out
+    // sharing its ModUp; it is priced (and run) with the RotateAccum
+    // stages swapped for HoistedRotations.
+    const auto hoist = [](std::vector<PipelineOp> pops) {
+        for (PipelineOp &p : pops)
+            if (p.op == HeOp::RotateAccum)
+                p.op = HeOp::HoistedRotations;
+        return pops;
+    };
     const auto start_level_of = [&](NodeId first) {
         return wr.after[nodes[first].args[0]].limbs - 1;
     };
@@ -453,6 +462,13 @@ compileGraph(const CkksContext &ctx, const Graph &g,
                 tpu::runBatched(*opts.device,
                                 model.pipelineCost(
                                     pops_of(sp.group),
+                                    start_level_of(sp.group.front())),
+                                opts.plannedBatch)
+                    .totalUs;
+            cg->hoistedUs_ +=
+                tpu::runBatched(*opts.device,
+                                model.pipelineCost(
+                                    hoist(pops_of(sp.group)),
                                     start_level_of(sp.group.front())),
                                 opts.plannedBatch)
                     .totalUs;
@@ -474,10 +490,23 @@ compileGraph(const CkksContext &ctx, const Graph &g,
       case ScheduleKind::PerOp:
         cg->schedule_ = ScheduleKind::PerOp;
         break;
+      case ScheduleKind::Hoisted:
+        cg->schedule_ = ScheduleKind::Hoisted;
+        break;
       case ScheduleKind::Auto:
-        cg->schedule_ = (opts.device && cg->perOpUs_ < cg->fusedUs_)
-                            ? ScheduleKind::PerOp
-                            : ScheduleKind::Fused;
+        // Cheapest wins; ties keep Fused, and Hoisted must be
+        // *strictly* cheaper, so a fan-out-free graph (where hoisting
+        // changes nothing) resolves to the plain Fused plan.
+        cg->schedule_ = ScheduleKind::Fused;
+        if (opts.device) {
+            double best = cg->fusedUs_;
+            if (cg->perOpUs_ < best) {
+                best = cg->perOpUs_;
+                cg->schedule_ = ScheduleKind::PerOp;
+            }
+            if (cg->hoistedUs_ < best)
+                cg->schedule_ = ScheduleKind::Hoisted;
+        }
         break;
     }
     if (cg->schedule_ == ScheduleKind::PerOp)
@@ -502,7 +531,9 @@ compileGraph(const CkksContext &ctx, const Graph &g,
         step.in = nodes[sp.group.front()].args[0];
         step.out = sp.group.back();
         step.startLevel = start_level_of(sp.group.front());
-        step.pops = pops_of(sp.group);
+        step.pops = cg->schedule_ == ScheduleKind::Hoisted
+                        ? hoist(pops_of(sp.group))
+                        : pops_of(sp.group);
         for (NodeId id : sp.group) {
             const Node &n = nodes[id];
             for (const GraphOp &op : wr.nodeOps[id]) {
@@ -538,9 +569,17 @@ compileGraph(const CkksContext &ctx, const Graph &g,
                     std::vector<RotateBranch> branches;
                     for (u32 a : sum_idx.at(id))
                         branches.push_back({a, rot_keys.at(a)});
-                    step.pipe.rotateAccum(std::move(branches));
+                    if (cg->schedule_ == ScheduleKind::Hoisted)
+                        step.pipe.rotateHoisted(std::move(branches));
+                    else
+                        step.pipe.rotateAccum(std::move(branches));
                     break;
                   }
+                  case HeOp::HoistedRotations:
+                    internalCheck(false,
+                                  "graph: the ledger walk never emits "
+                                  "HoistedRotations");
+                    break;
                 }
             }
         }
@@ -665,6 +704,17 @@ CompiledGraph::runSequential(KernelLog *log,
                             ev.rotate(cur, br.autoIdx, *br.key);
                         acc = ev.add(acc, rotated);
                     }
+                    cur = acc;
+                    break;
+                  }
+                  case HeOp::HoistedRotations: {
+                    const HoistedDecomp dec = ev.hoistedModUp(cur.c1);
+                    Ciphertext acc = cur;
+                    for (const RotateBranch &br : stage.branches)
+                        acc = ev.add(
+                            acc, ev.applyHoistedRotation(
+                                     cur, dec, br.autoIdx, *br.key));
+                    ev.noteHoistedSaves(stage.branches.size());
                     cur = acc;
                     break;
                   }

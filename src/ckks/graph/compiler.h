@@ -95,14 +95,21 @@ std::vector<GraphOp> enumerateGraphOps(const Graph &g,
 /** Launch granularity of the compiled program. */
 enum class ScheduleKind
 {
-    /** Price both with HeOpCostModel::pipelineCost and pick the
-     *  cheaper (requires CompileOptions::device; Fused otherwise). */
+    /** Price Fused, PerOp and Hoisted with HeOpCostModel::pipelineCost
+     *  and pick the cheapest -- Hoisted only when strictly cheaper
+     *  than Fused, so fan-out-free graphs keep the Fused plan
+     *  (requires CompileOptions::device; Fused otherwise). */
     Auto,
     /** Maximal fused segments, one BatchEvaluator::run each. */
     Fused,
     /** One pipeline per graph operator (a batch barrier between ops;
      *  an auto-inserted rescale stays with its producer). */
     PerOp,
+    /** Fused segmentation with every RotateAccum fan-out executed as
+     *  a HoistedRotations stage: the branches share one ModUp
+     *  (Halevi-Shoup hoisting). Bit-identical to Fused/PerOp; a
+     *  matVec diagonal fan-out pays fanin-1 fewer ModUps. */
+    Hoisted,
 };
 
 /** Key material and scheduling knobs for compileGraph. */
@@ -192,12 +199,13 @@ class CompiledGraph
     /** The planned key working set vs the cache budget. */
     const KeyWorkingSet &keyPlan() const { return keyPlan_; }
 
-    /** Resolved schedule (Fused or PerOp, never Auto). */
+    /** Resolved schedule (Fused, PerOp or Hoisted, never Auto). */
     ScheduleKind schedule() const { return schedule_; }
 
     /** @name Schedule prices (0 when no device was given). @{ */
     double fusedCostUs() const { return fusedUs_; }
     double perOpCostUs() const { return perOpUs_; }
+    double hoistedCostUs() const { return hoistedUs_; }
     /** @} */
 
     /** Fused pipeline segments the program executes. */
@@ -248,6 +256,7 @@ class CompiledGraph
     ScheduleKind schedule_ = ScheduleKind::Fused;
     double fusedUs_ = 0;
     double perOpUs_ = 0;
+    double hoistedUs_ = 0;
     size_t segments_ = 0;
 
     std::vector<NodeId> inputIds_;

@@ -35,6 +35,14 @@ enum class HeOp
      * bare HeOp it means one branch.
      */
     RotateAccum,
+    /**
+     * The Halevi-Shoup hoisted form of RotateAccum: same dataflow
+     * (out = in + sum_j rotate(in, k_j)), but all branches share one
+     * ModUp of the input -- each rotation permutes the decomposed
+     * digits and pays only its inner product + ModDown. Bit-identical
+     * to RotateAccum at any thread count; fanin-1 fewer ModUps.
+     */
+    HoistedRotations,
 };
 
 inline const char *
@@ -49,6 +57,7 @@ heOpName(HeOp op)
       case HeOp::AddPlain: return "HE-Add-Plain";
       case HeOp::MultiplyPlain: return "HE-Mult-Plain";
       case HeOp::RotateAccum: return "RotateAccum";
+      case HeOp::HoistedRotations: return "HoistedRotations";
     }
     return "?";
 }
@@ -56,7 +65,8 @@ heOpName(HeOp op)
 /**
  * One operator of a fused pipeline as the schedule enumerator / cost
  * model sees it: the op plus its structural arity. fanin is the number
- * of rotate branches of a RotateAccum stage (1 for every other op).
+ * of rotate branches of a RotateAccum / HoistedRotations stage (1 for
+ * every other op).
  */
 struct PipelineOp
 {

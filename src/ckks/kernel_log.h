@@ -62,7 +62,13 @@ class KernelLog
     }
 
     const std::vector<KernelCall> &calls() const { return calls_; }
-    void clear() { calls_.clear(); }
+
+    void
+    clear()
+    {
+        calls_.clear();
+        hoistedModUpSaves_ = 0;
+    }
 
     /**
      * Append every call of @p o after this log's calls. The batch
@@ -74,7 +80,17 @@ class KernelLog
     append(const KernelLog &o)
     {
         calls_.insert(calls_.end(), o.calls_.begin(), o.calls_.end());
+        hoistedModUpSaves_ += o.hoistedModUpSaves_;
     }
+
+    /** Credit @p saves ModUps elided by Halevi-Shoup hoisting (a
+     *  fan-out of N rotations sharing one ModUp credits N-1). */
+    void noteHoistedModUpSaves(u64 saves) { hoistedModUpSaves_ += saves; }
+
+    /** Total ModUps elided by hoisted rotation fan-outs: exactly the
+     *  number of Intt launches (and per-digit BConv/NTT blocks) a
+     *  PerOp execution of the same schedule would add. */
+    u64 hoistedModUpSaves() const { return hoistedModUpSaves_; }
 
     /** Total wall seconds attributed to @p kind. */
     double secondsFor(KernelKind kind) const;
@@ -84,6 +100,7 @@ class KernelLog
 
   private:
     std::vector<KernelCall> calls_;
+    u64 hoistedModUpSaves_ = 0;
 };
 
 } // namespace cross::ckks

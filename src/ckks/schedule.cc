@@ -16,12 +16,14 @@ push(std::vector<KernelCall> &v, KernelKind kind, u32 n, u32 limbs,
     v.push_back({kind, n, limbs, limbs_out, 0.0});
 }
 
-} // namespace
-
-std::vector<KernelCall>
-enumerateKeySwitch(const CkksParams &p, size_t level)
+/**
+ * Phase 1, the shared ModUp: one INTT of the input, then per digit a
+ * BConv into the complement+P basis and the NTT back. This block is
+ * what a hoisted rotation fan-out pays exactly once.
+ */
+void
+appendModUp(std::vector<KernelCall> &v, const CkksParams &p, size_t level)
 {
-    std::vector<KernelCall> v;
     const u32 n = p.n;
     const size_t alpha = p.alpha();
     const size_t aux = p.auxCount();
@@ -36,18 +38,70 @@ enumerateKeySwitch(const CkksParams &p, size_t level)
         push(v, KernelKind::BConv, n, static_cast<u32>(dsize),
              static_cast<u32>(ext - dsize));
         push(v, KernelKind::Ntt, n, static_cast<u32>(ext - dsize));
+    }
+}
+
+/** Phase 3, one ModDown: back-convert the P part and fold it out. */
+void
+appendModDown(std::vector<KernelCall> &v, const CkksParams &p,
+              size_t level)
+{
+    const u32 n = p.n;
+    const size_t aux = p.auxCount();
+    push(v, KernelKind::Intt, n, static_cast<u32>(aux));
+    push(v, KernelKind::BConv, n, static_cast<u32>(aux),
+         static_cast<u32>(level + 1));
+    push(v, KernelKind::Ntt, n, static_cast<u32>(level + 1));
+    push(v, KernelKind::VecModSub, n, static_cast<u32>(level + 1));
+    push(v, KernelKind::VecModMulConst, n, static_cast<u32>(level + 1));
+}
+
+/**
+ * One rotation against an already-hoisted decomposition: permute the
+ * digits + c0 (one launch), the fused per-key inner product, ModDown
+ * of both accumulators, and the c0 fold. Rotate = ModUp + this block;
+ * every extra rotation of a hoisted fan-out is this block alone.
+ */
+void
+appendHoistedRotBlock(std::vector<KernelCall> &v, const CkksParams &p,
+                      size_t level)
+{
+    const u32 n = p.n;
+    const size_t alpha = p.alpha();
+    const size_t aux = p.auxCount();
+    const size_t ext = level + 1 + aux;
+    const size_t digits = (level + alpha) / alpha;
+
+    push(v, KernelKind::Automorphism, n,
+         static_cast<u32>(digits * ext + level + 1));
+    push(v, KernelKind::VecModMul, n,
+         static_cast<u32>(2 * digits * ext));
+    push(v, KernelKind::VecModAdd, n,
+         static_cast<u32>(2 * digits * ext));
+    appendModDown(v, p, level);
+    appendModDown(v, p, level);
+    push(v, KernelKind::VecModAdd, n, static_cast<u32>(level + 1));
+}
+
+} // namespace
+
+std::vector<KernelCall>
+enumerateKeySwitch(const CkksParams &p, size_t level)
+{
+    std::vector<KernelCall> v;
+    const u32 n = p.n;
+    const size_t alpha = p.alpha();
+    const size_t aux = p.auxCount();
+    const size_t ext = level + 1 + aux;
+    const size_t digits = (level + alpha) / alpha;
+
+    appendModUp(v, p, level);
+    for (size_t j = 0; j < digits; ++j) {
         push(v, KernelKind::VecModMul, n, static_cast<u32>(2 * ext));
         push(v, KernelKind::VecModAdd, n, static_cast<u32>(2 * ext));
     }
-    for (int comp = 0; comp < 2; ++comp) {
-        push(v, KernelKind::Intt, n, static_cast<u32>(aux));
-        push(v, KernelKind::BConv, n, static_cast<u32>(aux),
-             static_cast<u32>(level + 1));
-        push(v, KernelKind::Ntt, n, static_cast<u32>(level + 1));
-        push(v, KernelKind::VecModSub, n, static_cast<u32>(level + 1));
-        push(v, KernelKind::VecModMulConst, n,
-             static_cast<u32>(level + 1));
-    }
+    appendModDown(v, p, level);
+    appendModDown(v, p, level);
     return v;
 }
 
@@ -87,10 +141,11 @@ enumerateKernels(HeOp op, const CkksParams &p, size_t level)
       }
 
       case HeOp::Rotate: {
-        push(v, KernelKind::Automorphism, n, 2 * limbs);
-        auto ks = enumerateKeySwitch(p, level);
-        v.insert(v.end(), ks.begin(), ks.end());
-        push(v, KernelKind::VecModAdd, n, limbs);
+        // The hoisted-order rotate: ModUp of c1, then one rotation
+        // block (digit permutation, fused inner product, ModDown, c0
+        // fold). A hoisted fan-out shares the first part.
+        appendModUp(v, p, level);
+        appendHoistedRotBlock(v, p, level);
         break;
       }
 
@@ -123,6 +178,16 @@ enumerateKernels(HeOp op, const CkksParams &p, size_t level)
         v.insert(v.end(), add.begin(), add.end());
         break;
       }
+
+      case HeOp::HoistedRotations: {
+        // One branch of the hoisted form; the shared ModUp appears
+        // once however many branches the PipelineOp overload adds.
+        appendModUp(v, p, level);
+        appendHoistedRotBlock(v, p, level);
+        auto add = enumerateKernels(HeOp::Add, p, level);
+        v.insert(v.end(), add.begin(), add.end());
+        break;
+      }
     }
     return v;
 }
@@ -137,6 +202,7 @@ heOpNextLevel(HeOp op, const CkksParams &p, size_t level)
       case HeOp::AddPlain:
       case HeOp::MultiplyPlain:
       case HeOp::RotateAccum:
+      case HeOp::HoistedRotations:
         return level;
       case HeOp::Rescale:
         requireThat(level >= 1, "heOpNextLevel: rescale needs >= 2 limbs");
@@ -170,10 +236,23 @@ enumerateKernels(const std::vector<PipelineOp> &pipeline,
 {
     std::vector<KernelCall> v;
     for (const auto &st : pipeline) {
-        const size_t reps = st.op == HeOp::RotateAccum ? st.fanin : 1;
-        for (size_t b = 0; b < reps; ++b) {
-            const auto one = enumerateKernels(st.op, p, level);
-            v.insert(v.end(), one.begin(), one.end());
+        if (st.op == HeOp::HoistedRotations) {
+            // One shared ModUp for the whole fan-out, then one
+            // rotation block + accumulate per branch: the hoisting
+            // contract (fanin-1 ModUps cheaper than RotateAccum).
+            appendModUp(v, p, level);
+            const auto add = enumerateKernels(HeOp::Add, p, level);
+            for (size_t b = 0; b < st.fanin; ++b) {
+                appendHoistedRotBlock(v, p, level);
+                v.insert(v.end(), add.begin(), add.end());
+            }
+        } else {
+            const size_t reps =
+                st.op == HeOp::RotateAccum ? st.fanin : 1;
+            for (size_t b = 0; b < reps; ++b) {
+                const auto one = enumerateKernels(st.op, p, level);
+                v.insert(v.end(), one.begin(), one.end());
+            }
         }
         level = heOpNextLevel(st.op, p, level);
     }
@@ -248,7 +327,8 @@ HeOpCostModel::pipelineCost(const std::vector<PipelineOp> &pipeline,
         if (i)
             name += " > ";
         name += heOpName(pipeline[i].op);
-        if (pipeline[i].op == HeOp::RotateAccum) {
+        if (pipeline[i].op == HeOp::RotateAccum ||
+            pipeline[i].op == HeOp::HoistedRotations) {
             name += "x";
             name += std::to_string(pipeline[i].fanin);
         }

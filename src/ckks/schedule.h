@@ -40,7 +40,10 @@ std::vector<KernelCall> enumerateKernels(const std::vector<HeOp> &pipeline,
 /**
  * Structural-arity form: like the HeOp overload but a RotateAccum
  * entry expands to fanin x (Rotate schedule + Add schedule) -- the
- * rotate-and-accumulate fan-in the DAG stage executes per branch.
+ * rotate-and-accumulate fan-in the DAG stage executes per branch --
+ * and a HoistedRotations entry expands to one shared ModUp plus
+ * fanin x (rotation block + Add schedule), the Halevi-Shoup hoisted
+ * execution that pays the decomposition once per stage.
  */
 std::vector<KernelCall>
 enumerateKernels(const std::vector<PipelineOp> &pipeline,

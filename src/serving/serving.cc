@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -158,6 +159,30 @@ ServingEngine::dispatchLoop()
                     return; // drained
                 continue;
             }
+            if (cfg_.maxBatchWaitMicros > 0 && !stopping_ &&
+                queue_.size() < cfg_.maxBatch) {
+                // Batch-growing patience: hold the batch open up to
+                // the knob so late arrivals join it. A full batch,
+                // pause(), or shutdown() ends the wait early; the
+                // queue can only grow while we hold the leader slot,
+                // never drain (other dispatchers wait on cv_ too, but
+                // a spurious-wake race is resolved by the re-check
+                // below).
+                const auto deadline =
+                    std::chrono::steady_clock::now() +
+                    std::chrono::microseconds(cfg_.maxBatchWaitMicros);
+                cv_.wait_until(lock, deadline, [&] {
+                    return stopping_ || paused_ ||
+                           queue_.size() >= cfg_.maxBatch;
+                });
+                if (queue_.empty()) {
+                    if (stopping_)
+                        return; // drained
+                    continue;
+                }
+                if (paused_ && !stopping_)
+                    continue; // back to the outer gate
+            }
             formed = formBatchLocked();
         }
         execute(formed);
@@ -221,8 +246,13 @@ ServingEngine::modelLock(const void *model)
 void
 ServingEngine::pause()
 {
-    std::lock_guard<std::mutex> lock(m_);
-    paused_ = true;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        paused_ = true;
+    }
+    // Wake dispatchers sitting in the batch-growing timed wait: its
+    // predicate treats pause as "stop waiting, re-check the gate".
+    cv_.notify_all();
 }
 
 void

@@ -97,6 +97,16 @@ struct ServingConfig
     size_t maxQueueDepth = 1024;
     /** Most requests coalesced into one formed batch. */
     size_t maxBatch = 64;
+    /**
+     * Batch-growing patience: after waking on a non-empty queue, a
+     * dispatcher waits up to this long for the queue to reach maxBatch
+     * before forming a batch from whatever is pending. 0 (the default)
+     * keeps pure continuous batching -- no artificial delay. Under low
+     * open-loop load a small wait trades that latency for larger
+     * batches, i.e. more key-operand amortisation per launch. pause(),
+     * resume() and shutdown() all cut the wait short.
+     */
+    u64 maxBatchWaitMicros = 0;
     /** Batch-forming/executing threads. Each executes one batch at a
      *  time through the shared global thread pool, so 1 (the default)
      *  already saturates the pool; more overlap batch forming with

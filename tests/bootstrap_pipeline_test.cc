@@ -139,6 +139,74 @@ TEST_F(BootstrapPipelineFixture,
     setGlobalThreadCount(1);
 }
 
+// ---------------------------------------------------------------------
+// Hoisted execution: same results, enumerated-schedule log, fewer ModUps
+// ---------------------------------------------------------------------
+TEST_F(BootstrapPipelineFixture,
+       HoistedScheduleMatchesEnumerationAndPerOpBitIdentically)
+{
+    const auto cfg = smallBootstrapConfig();
+    // Two generators with the same seed draw identical key material in
+    // build's fixed derivation order, so the two pipelines differ only
+    // in how their rotation groups execute.
+    KeyGenerator kg_per(ctx, 0xb007);
+    KeyGenerator kg_hoist(ctx, 0xb007);
+    const auto per_bp = BootstrapPipeline::build(
+        ctx, cfg, kg_per, 2, kScale, 0xb7, BootstrapKernelMode::PerOp);
+    const auto hoist_bp = BootstrapPipeline::build(
+        ctx, cfg, kg_hoist, 2, kScale, 0xb7,
+        BootstrapKernelMode::Hoisted);
+
+    // One op schedule, two kernel expansions.
+    EXPECT_EQ(per_bp->ops(), hoist_bp->ops());
+    u64 expected_saves = 0;
+    for (const auto &bop : per_bp->ops())
+        if (bop.op == HeOp::RotateAccum)
+            expected_saves += bop.fanin - 1;
+    ASSERT_GT(expected_saves, 0u);
+
+    const auto hoist_pred = enumerateBootstrapKernels(
+        ctx.params(), cfg, BootstrapKernelMode::Hoisted);
+    std::vector<KernelCall> expected;
+    for (int copy = 0; copy < 2; ++copy)
+        expected.insert(expected.end(), hoist_pred.begin(),
+                        hoist_pred.end());
+
+    setGlobalThreadCount(1);
+    KernelLog per_log;
+    BatchEvaluator per_batch(ctx, &per_log);
+    const auto per_out = per_bp->run(per_batch);
+    EXPECT_EQ(per_log.hoistedModUpSaves(), 0u);
+    u64 per_intt = 0;
+    for (const auto &k : per_log.calls())
+        per_intt += k.kind == KernelKind::Intt;
+
+    // The sequential reference executes the hoisted stages too.
+    KernelLog seq_log;
+    const auto seq = hoist_bp->runSequential(ctx, &seq_log);
+    expectEqual(seq, per_out);
+    expectSameCalls(seq_log.calls(), expected, "hoisted sequential");
+
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        BatchEvaluator batch(ctx, &log);
+        const auto out = hoist_bp->run(batch);
+        // Bit-identical to the PerOp pipeline's results, log equal to
+        // the Hoisted enumeration, at every thread count.
+        expectEqual(out, per_out);
+        expectSameCalls(log.calls(), expected, "hoisted fused");
+        // Exactly fanin-1 fewer ModUps per group per item, and the
+        // log's save counter accounts for every one of them.
+        EXPECT_EQ(log.hoistedModUpSaves(), 2 * expected_saves);
+        u64 hoist_intt = 0;
+        for (const auto &k : log.calls())
+            hoist_intt += k.kind == KernelKind::Intt;
+        EXPECT_EQ(per_intt - hoist_intt, log.hoistedModUpSaves());
+    }
+    setGlobalThreadCount(1);
+}
+
 TEST_F(BootstrapPipelineFixture, ResidencyStaysWithinByteBudget)
 {
     const auto cfg = smallBootstrapConfig();
@@ -416,7 +484,7 @@ TEST_F(BootstrapPipelineFixture, PlainMatricesShrinkKeySwitchWork)
     // Same op count and level trajectory, different operand kinds.
     ASSERT_EQ(ct_ops.size(), pt_ops.size());
     for (size_t i = 0; i < ct_ops.size(); ++i)
-        EXPECT_EQ(ct_ops[i].second, pt_ops[i].second) << "op " << i;
+        EXPECT_EQ(ct_ops[i].level, pt_ops[i].level) << "op " << i;
 
     // Plaintext matrices skip the relinearisation key switch, so the
     // BConv count must drop strictly.

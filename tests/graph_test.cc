@@ -586,5 +586,124 @@ TEST_F(GraphFixture, RetiredPrecompsReclaimedWhenRunQuiesces)
     EXPECT_EQ(cache.activeReaders(), 0u);
 }
 
+// ---------------------------------------------------------------------
+// Hoisted schedule (Halevi-Shoup rotation fan-outs)
+// ---------------------------------------------------------------------
+
+class HoistedGraphFixture : public GraphFixture
+{
+  protected:
+    /** One matVec-style diagonal dot product: weight the input, then a
+     *  slot-sum fan-out over three rotations, then a rescale. The
+     *  SlotSum lowers to one RotateAccum with fanin 3, exactly the
+     *  shape Halevi-Shoup hoisting amortises. */
+    static Graph
+    dotProductGraph()
+    {
+        Graph g;
+        const auto x = g.input();
+        const auto m = g.multiplyPlain(
+            x,
+            PlainOperand::base({0.5, -0.1, 0.2, 0.3, 0.5, -0.1, 0.2,
+                                0.3}),
+            "weights");
+        const auto s = g.slotSum(m, {1, 2, 3}, "dot");
+        g.rescale(s);
+        return g;
+    }
+};
+
+TEST_F(HoistedGraphFixture, AutoSchedulePicksHoistedForSlotSumFanOut)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const auto g = dotProductGraph();
+
+    const auto dev = tpu::tpuV6e();
+    auto opts = layerOptions(rlk, rot_keys);
+    opts.device = &dev;
+    opts.plannedBatch = 8;
+    const auto hoisted = compileGraph(ctx, g, opts);
+
+    // A fan-out of 3 shares one ModUp instead of paying three: the
+    // hoisted schedule is strictly cheaper and Auto resolves to it.
+    EXPECT_GT(hoisted->hoistedCostUs(), 0.0);
+    EXPECT_LT(hoisted->hoistedCostUs(), hoisted->fusedCostUs());
+    EXPECT_EQ(hoisted->schedule(), ScheduleKind::Hoisted);
+
+    // The lowered operator schedule itself is schedule-independent:
+    // the ledger walk still records the RotateAccum fan-out; only the
+    // kernel expansion is hoisted.
+    bool saw_fan_out = false;
+    for (const auto &op : hoisted->ops())
+        if (op.op == HeOp::RotateAccum) {
+            EXPECT_EQ(op.fanin, 3u);
+            saw_fan_out = true;
+        }
+    EXPECT_TRUE(saw_fan_out);
+
+    auto fused_opts = layerOptions(rlk, rot_keys);
+    fused_opts.schedule = ScheduleKind::Fused;
+    const auto fused = compileGraph(ctx, g, fused_opts);
+    auto per_op_opts = layerOptions(rlk, rot_keys);
+    per_op_opts.schedule = ScheduleKind::PerOp;
+    const auto per_op = compileGraph(ctx, g, per_op_opts);
+
+    // Hoisting must not change a single bit, at any thread count.
+    const auto input = encryptBatch(3, 13);
+    setGlobalThreadCount(1);
+    const BatchEvaluator ref_batch(ctx);
+    const auto want_fused = fused->run(ref_batch, {input});
+    const auto want_per_op = per_op->run(ref_batch, {input});
+    expectEqual(want_fused.at(0), want_per_op.at(0));
+
+    // One RotateAccum stage of fanin 3 -> 2 shared-ModUp saves per
+    // batch item.
+    const u64 expected_saves = 2 * input.size();
+    for (u32 threads : {1u, testThreads()}) {
+        setGlobalThreadCount(threads);
+        KernelLog log;
+        const BatchEvaluator batch(ctx, &log);
+        const auto outs = hoisted->run(batch, {input});
+        expectEqual(outs.at(0), want_fused.at(0));
+        EXPECT_EQ(log.hoistedModUpSaves(), expected_saves);
+    }
+}
+
+TEST_F(HoistedGraphFixture, HoistedCompiledRunMatchesStructuralEnumeration)
+{
+    const auto rlk = keygen.relinKey();
+    const auto rot_keys = layerRotationKeys(4);
+    const auto g = dotProductGraph();
+
+    auto opts = layerOptions(rlk, rot_keys);
+    opts.schedule = ScheduleKind::Hoisted;
+    const auto compiled = compileGraph(ctx, g, opts);
+    EXPECT_EQ(compiled->schedule(), ScheduleKind::Hoisted);
+
+    // Structural prediction of the hoisted run: enumerate the lowered
+    // ops with every RotateAccum mapped to HoistedRotations -- the
+    // same mapping the schedule applies at step-building time.
+    std::vector<KernelCall> want;
+    for (const auto &op : compiled->ops()) {
+        const HeOp mapped = op.op == HeOp::RotateAccum
+                                ? HeOp::HoistedRotations
+                                : op.op;
+        const auto calls = enumerateKernels(
+            std::vector<PipelineOp>{{mapped, op.fanin}}, ctx.params(),
+            op.level);
+        want.insert(want.end(), calls.begin(), calls.end());
+    }
+
+    setGlobalThreadCount(1);
+    KernelLog log;
+    const BatchEvaluator batch(ctx, &log);
+    (void)compiled->run(batch, {encryptBatch(1, 17)});
+    ASSERT_EQ(log.calls().size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i)
+        EXPECT_TRUE(log.calls()[i].sameShape(want[i])) << "call " << i;
+    EXPECT_EQ(log.hoistedModUpSaves(), 2u);
+}
+
 } // namespace
 } // namespace cross::ckks::graph

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Randomized property tests for Halevi-Shoup hoisted rotations
+ * (CkksEvaluator::rotateHoisted and the three-phase key-switch split):
+ * over a sweep of random rotation-index fan-outs, mixed ciphertext
+ * levels and thread counts, the hoisted fan-out must be bit-identical
+ * to the same rotations executed independently, while performing
+ * exactly fanout-1 fewer ModUps (observed as the INTT-launch delta and
+ * as KernelLog::hoistedModUpSaves).
+ *
+ * Thread count comes from CROSS_TEST_THREADS (default 4) so the
+ * TSan/ASan CI shards (ctest -L hoisting) exercise the shared
+ * decomposition under real concurrency.
+ */
+#include <gtest/gtest.h>
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ckks/context.h"
+#include "ckks/encoder.h"
+#include "ckks/encryptor.h"
+#include "ckks/evaluator.h"
+#include "ckks/kernel_log.h"
+#include "ckks/keys.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+
+#include "test_util.h"
+
+namespace cross::ckks {
+namespace {
+
+using testutil::testThreads;
+
+class HoistingFixture : public ::testing::Test
+{
+  protected:
+    static constexpr double kScale = 1 << 26;
+
+    HoistingFixture()
+        : ctx(CkksParams::testSet(1 << 9, 6, 2)), encoder(ctx),
+          keygen(ctx, 0x715), encryptor(ctx, keygen.publicKey(), 0x716)
+    {
+    }
+
+    ~HoistingFixture() override { setGlobalThreadCount(1); }
+
+    Ciphertext
+    encryptRandom(Rng &rng)
+    {
+        std::vector<double> v(encoder.slotCount());
+        for (auto &x : v)
+            x = rng.real() * 2 - 1;
+        return encryptor.encrypt(
+            encoder.encodeReal(v, kScale, ctx.qCount()));
+    }
+
+    /** Rotation key for a left-rotation step, built once per step. */
+    const SwitchKey &
+    keyForStep(i64 step)
+    {
+        const u32 g = encoder.rotationAutomorphism(step);
+        auto it = keys.find(g);
+        if (it == keys.end())
+            it = keys.emplace(g, keygen.rotationKey(g)).first;
+        return it->second;
+    }
+
+    static size_t
+    inttCount(const KernelLog &log)
+    {
+        size_t n = 0;
+        for (const auto &c : log.calls())
+            if (c.kind == KernelKind::Intt)
+                ++n;
+        return n;
+    }
+
+    static void
+    expectBitIdentical(const Ciphertext &a, const Ciphertext &b,
+                       const char *what)
+    {
+        EXPECT_TRUE(a.c0 == b.c0) << what;
+        EXPECT_TRUE(a.c1 == b.c1) << what;
+        EXPECT_DOUBLE_EQ(a.scale, b.scale) << what;
+    }
+
+    CkksContext ctx;
+    CkksEncoder encoder;
+    KeyGenerator keygen;
+    CkksEncryptor encryptor;
+    std::map<u32, SwitchKey> keys;
+};
+
+TEST_F(HoistingFixture, RotateHoistedMatchesPerOpRotateBitIdentically)
+{
+    // Random sweep: fan-out size, rotation steps and ciphertext level
+    // all vary per trial; every trial runs at 1 thread and at the CI
+    // shard's thread count. The per-op reference is computed once at
+    // 1 thread -- the hoisted outputs must match it bit for bit
+    // whatever the concurrency.
+    Rng rng(0x715ed);
+    for (int trial = 0; trial < 6; ++trial) {
+        const size_t fanout = rng.range(2, 5);
+        std::vector<i64> steps;
+        while (steps.size() < fanout) {
+            const i64 s = static_cast<i64>(
+                rng.range(1, encoder.slotCount() - 1));
+            bool dup = false;
+            for (i64 t : steps)
+                dup |= t == s;
+            if (!dup)
+                steps.push_back(s);
+        }
+
+        // Mixed levels: truncate the fresh ciphertext to a random limb
+        // count >= 2 (rotation needs at least one rescalable level).
+        const size_t limbs = rng.range(2, ctx.qCount());
+        setGlobalThreadCount(1);
+        const CkksEvaluator plain_ev(ctx);
+        const Ciphertext ct =
+            plain_ev.reduceToLimbs(encryptRandom(rng), limbs);
+
+        std::vector<std::pair<u32, const SwitchKey *>> branches;
+        for (i64 s : steps) {
+            const SwitchKey &key = keyForStep(s);
+            branches.emplace_back(encoder.rotationAutomorphism(s), &key);
+        }
+
+        // Per-op reference: N independent rotations, no sharing.
+        KernelLog per_log;
+        std::vector<Ciphertext> want;
+        {
+            const CkksEvaluator ev(ctx, &per_log);
+            for (const auto &[g, key] : branches)
+                want.push_back(ev.rotate(ct, g, *key));
+        }
+        EXPECT_EQ(per_log.hoistedModUpSaves(), 0u)
+            << "independent rotations share nothing";
+
+        for (u32 threads : {1u, testThreads()}) {
+            setGlobalThreadCount(threads);
+            KernelLog hoist_log;
+            const CkksEvaluator ev(ctx, &hoist_log);
+            const auto got = ev.rotateHoisted(ct, branches);
+            ASSERT_EQ(got.size(), want.size());
+            for (size_t i = 0; i < got.size(); ++i)
+                expectBitIdentical(got[i], want[i], "branch output");
+
+            // Exactly fanout-1 ModUps elided: the INTT-launch delta
+            // against the per-op run equals the credited saves.
+            EXPECT_EQ(hoist_log.hoistedModUpSaves(), fanout - 1);
+            EXPECT_EQ(inttCount(per_log) - inttCount(hoist_log),
+                      fanout - 1)
+                << "trial " << trial << " threads " << threads;
+        }
+    }
+}
+
+TEST_F(HoistingFixture, SharedDecompReusableAcrossTheWholeFanOut)
+{
+    // The decomposition is rotation-independent: applying it manually
+    // per branch (the batch engine's execution pattern) equals both
+    // rotateHoisted and the scalar rotate.
+    Rng rng(0x7157);
+    const Ciphertext ct = encryptRandom(rng);
+    const std::vector<i64> steps = {1, 3, 5};
+
+    setGlobalThreadCount(1);
+    const CkksEvaluator ev(ctx);
+    const HoistedDecomp dec = ev.hoistedModUp(ct.c1);
+    for (i64 s : steps) {
+        const u32 g = encoder.rotationAutomorphism(s);
+        const SwitchKey &key = keyForStep(s);
+        const auto via_decomp = ev.applyHoistedRotation(ct, dec, g, key);
+        const auto via_rotate = ev.rotate(ct, g, key);
+        expectBitIdentical(via_decomp, via_rotate, "manual decomp");
+    }
+}
+
+TEST_F(HoistingFixture, RotateHoistedRejectsMisuse)
+{
+    Rng rng(0x7158);
+    const Ciphertext ct = encryptRandom(rng);
+    setGlobalThreadCount(1);
+    const CkksEvaluator ev(ctx);
+    EXPECT_THROW((void)ev.rotateHoisted(ct, {}), std::invalid_argument);
+    EXPECT_THROW((void)ev.rotateHoisted(
+                     ct, {{encoder.rotationAutomorphism(1), nullptr}}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace cross::ckks

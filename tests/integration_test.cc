@@ -260,26 +260,48 @@ TEST(CostModelIntegration, BootstrapKernelsMatchOpEnumeration)
     const auto p = CkksParams::paperSet('D');
     const BootstrapConfig cfg;
     const auto ops = enumerateBootstrapOps(p, cfg);
-    const auto kernels = enumerateBootstrapKernels(p, cfg);
+    const auto hoisted = enumerateBootstrapKernels(
+        p, cfg, BootstrapKernelMode::Hoisted);
+    const auto per_op = enumerateBootstrapKernels(
+        p, cfg, BootstrapKernelMode::PerOp);
 
+    // Every rotation branch performs exactly one Automorphism launch,
+    // hoisted or not.
     u64 op_rotations = 0;
-    for (const auto &[op, lvl] : ops)
-        op_rotations += op == HeOp::Rotate;
-    u64 kernel_autos = 0;
-    for (const auto &k : kernels)
-        kernel_autos += k.kind == KernelKind::Automorphism;
-    EXPECT_EQ(op_rotations, kernel_autos);
+    for (const auto &bop : ops)
+        op_rotations +=
+            bop.op == HeOp::RotateAccum ? bop.fanin
+            : bop.op == HeOp::Rotate    ? u64{1}
+                                        : u64{0};
+    u64 hoisted_autos = 0, per_op_autos = 0;
+    for (const auto &k : hoisted)
+        hoisted_autos += k.kind == KernelKind::Automorphism;
+    for (const auto &k : per_op)
+        per_op_autos += k.kind == KernelKind::Automorphism;
+    EXPECT_EQ(op_rotations, hoisted_autos);
+    EXPECT_EQ(op_rotations, per_op_autos);
 
-    // Hoisting must reduce NTT limb-work vs the unhoisted expansion.
-    u64 unhoisted_ntt = 0, hoisted_ntt = 0;
-    for (const auto &[op, lvl] : ops)
-        for (const auto &k : enumerateKernels(op, p, lvl))
-            if (k.kind == KernelKind::Ntt)
-                unhoisted_ntt += k.limbs;
-    for (const auto &k : kernels)
+    // Hoisting shares the ModUp per group: exactly sum(fanin - 1)
+    // fewer INTT launches, and strictly less NTT limb-work.
+    u64 expected_saves = 0;
+    for (const auto &bop : ops)
+        if (bop.op == HeOp::RotateAccum)
+            expected_saves += bop.fanin - 1;
+    u64 hoisted_intt = 0, per_op_intt = 0;
+    u64 hoisted_ntt = 0, per_op_ntt = 0;
+    for (const auto &k : hoisted) {
+        hoisted_intt += k.kind == KernelKind::Intt;
         if (k.kind == KernelKind::Ntt)
             hoisted_ntt += k.limbs;
-    EXPECT_LT(hoisted_ntt, unhoisted_ntt);
+    }
+    for (const auto &k : per_op) {
+        per_op_intt += k.kind == KernelKind::Intt;
+        if (k.kind == KernelKind::Ntt)
+            per_op_ntt += k.limbs;
+    }
+    EXPECT_GT(expected_saves, 0u);
+    EXPECT_EQ(per_op_intt - hoisted_intt, expected_saves);
+    EXPECT_LT(hoisted_ntt, per_op_ntt);
 }
 
 } // namespace

@@ -262,6 +262,82 @@ TEST_F(ServingFixture, BatchFormingGroupsByRequestLevel)
     EXPECT_EQ(st.maxBatch, 2u);
 }
 
+TEST_F(ServingFixture, WaitKnobHoldsBatchOpenUntilFull)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(4, 50);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingConfig cfg;
+    cfg.startPaused = true;
+    cfg.maxBatch = 4;
+    // Generous patience: the dispatcher must hold the batch open until
+    // it reaches maxBatch, whatever the thread interleaving -- the
+    // deadline only matters if the batch never fills.
+    cfg.maxBatchWaitMicros = 60u * 1000 * 1000;
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    std::vector<std::future<Ciphertext>> futs;
+    futs.push_back(engine.submit(stream, p, inputs[0]));
+    engine.resume();
+    // The dispatcher now either waits on the knob (queue below
+    // maxBatch) or has not yet claimed the leader slot; either way the
+    // late arrivals must join the same batch, and the fourth fills it.
+    for (size_t i = 1; i < inputs.size(); ++i)
+        futs.push_back(engine.submit(stream, p, inputs[i]));
+    for (auto &f : futs)
+        (void)f.get();
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.batches, 1u);
+    EXPECT_EQ(st.batchedRequests, inputs.size());
+    EXPECT_EQ(st.maxBatch, inputs.size());
+}
+
+TEST_F(ServingFixture, PauseAndShutdownCutTheBatchWaitShort)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(4, 51);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingConfig cfg;
+    cfg.startPaused = true;
+    cfg.maxBatch = 8; // never fills: only pause/shutdown end the wait
+    cfg.maxBatchWaitMicros = 60u * 1000 * 1000;
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    std::vector<std::future<Ciphertext>> futs;
+    futs.push_back(engine.submit(stream, p, inputs[0]));
+    futs.push_back(engine.submit(stream, p, inputs[1]));
+    engine.resume();
+    // pause() must wake a dispatcher sitting in the timed wait and
+    // send it back to the gate without forming a short batch.
+    engine.pause();
+    futs.push_back(engine.submit(stream, p, inputs[2]));
+    futs.push_back(engine.submit(stream, p, inputs[3]));
+    engine.resume();
+    // The queue (4) stays below maxBatch (8), so only the shutdown
+    // drain ends the wait -- it must form one batch of everything
+    // queued rather than sitting out the 60 s deadline.
+    engine.shutdown();
+    for (auto &f : futs)
+        (void)f.get();
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.completed, inputs.size());
+    EXPECT_EQ(st.batches, 1u);
+    EXPECT_EQ(st.batchedRequests, inputs.size());
+    EXPECT_EQ(st.maxBatch, inputs.size());
+}
+
 // ---------------------------------------------------------------------
 // Backpressure + shutdown
 // ---------------------------------------------------------------------
