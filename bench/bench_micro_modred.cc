@@ -5,17 +5,22 @@
  * ablation. These measure this library's real code on the build machine,
  * complementing the simulated TPU numbers.
  */
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/timer.h"
 #include "gbench_main.h"
 #include "cross/bat.h"
 #include "cross/lazy_reduce.h"
 #include "cross/sparse_baseline.h"
 #include "nt/barrett.h"
 #include "nt/modops.h"
+#include "nt/modvec.h"
 #include "nt/montgomery.h"
 #include "nt/shoup.h"
+#include "nt/simd_dispatch.h"
 
 namespace {
 
@@ -180,6 +185,99 @@ BM_FallbackChunkConv(benchmark::State &state)
 }
 BENCHMARK(BM_FallbackChunkConv);
 
+/**
+ * Post-run dispatch sweep over the element-wise vector kernels that the
+ * evaluator actually dispatches at runtime (Shoup, Montgomery, Barrett
+ * lanes), timed under every available SIMD path on identical inputs.
+ * Emits micro_modred/vec_dispatch records keyed {op, isa} plus
+ * micro_modred/vec_speedup records keyed {op, isa} whose items_per_sec
+ * is the scalar-time / simd-time ratio for that op. Per-op ratios vary
+ * with the kernel's arithmetic density, so these names stay unbanded in
+ * fidelity_tolerance.json; the banded headline ratio lives in
+ * bench_micro_ntt's micro_ntt/avx2_vs_scalar_speedup.
+ */
+void
+dispatchSweep(bench::Reporter &rep)
+{
+    const nt::Barrett bar(kQ);
+    const nt::Montgomery mont(kQ);
+    const auto a = inputs(21), b = inputs(22);
+    const auto c = nt::shoupPrecompute(b[0], kQ);
+    std::vector<u32> bm(kN), dst(kN);
+    for (size_t i = 0; i < kN; ++i)
+        bm[i] = mont.toMont(b[i]);
+
+    struct Ctx
+    {
+        const std::vector<u32> &a, &b, &bm;
+        std::vector<u32> &dst;
+        const nt::ShoupConst &c;
+        const nt::Barrett &bar;
+        const nt::Montgomery &mont;
+    } ctx{a, b, bm, dst, c, bar, mont};
+    using OpFn = void (*)(const Ctx &);
+    const std::pair<const char *, OpFn> ops[] = {
+        {"mul_shoup",
+         [](const Ctx &x) {
+             nt::mulShoupVec(x.dst.data(), x.a.data(), x.c, kN, kQ);
+         }},
+        {"mul_mont",
+         [](const Ctx &x) {
+             nt::mulMontVec(x.dst.data(), x.a.data(), x.bm.data(), kN,
+                            x.mont);
+         }},
+        {"mul_barrett",
+         [](const Ctx &x) {
+             nt::mulModVec(x.dst.data(), x.a.data(), x.b.data(), kN,
+                           x.bar);
+         }},
+    };
+
+    const nt::SimdIsa prev = nt::activeSimdIsa();
+    TablePrinter t("SIMD dispatch sweep: vector modmul kernels, N = 4096");
+    t.header({"op", "ISA", "ns/vec", "vs scalar"});
+    for (const auto &[op_name, fn] : ops) {
+        double scalar_ns = 0.0;
+        for (auto isa : {nt::SimdIsa::Scalar, nt::SimdIsa::Avx2,
+                         nt::SimdIsa::Avx512}) {
+            if (!nt::simdIsaAvailable(isa))
+                continue;
+            nt::setSimdIsa(isa);
+            constexpr int kIters = 2000;
+            for (int i = 0; i < kIters / 4; ++i)
+                fn(ctx);
+            double best_ns = 1e30;
+            for (int round = 0; round < 5; ++round) {
+                WallTimer w;
+                for (int i = 0; i < kIters; ++i) {
+                    fn(ctx);
+                    benchmark::DoNotOptimize(dst.data());
+                }
+                best_ns = std::min(best_ns, w.seconds() * 1e9 / kIters);
+            }
+            const char *isa_name = nt::simdIsaName(isa);
+            rep.add("micro_modred/vec_dispatch",
+                    {{"op", op_name},
+                     {"isa", isa_name},
+                     {"n", std::to_string(kN)}},
+                    best_ns, kN * 1e9 / best_ns);
+            if (isa == nt::SimdIsa::Scalar) {
+                scalar_ns = best_ns;
+                t.row({op_name, isa_name, fmtF(best_ns, 1), "1.00"});
+            } else {
+                const double speedup = scalar_ns / best_ns;
+                rep.add("micro_modred/vec_speedup",
+                        {{"op", op_name}, {"isa", isa_name}}, 0.0,
+                        speedup);
+                t.row({op_name, isa_name, fmtF(best_ns, 1),
+                       fmtX(speedup, 2)});
+            }
+        }
+    }
+    nt::setSimdIsa(prev);
+    t.print(std::cout);
+}
+
 } // namespace
 
-CROSS_BENCHMARK_MAIN("micro_modred");
+CROSS_BENCHMARK_MAIN_EXTRA("micro_modred", dispatchSweep);

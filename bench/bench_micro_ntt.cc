@@ -7,11 +7,15 @@
  * the 3-step trade only pays where a matrix engine exists (Section V-C b
  * reports the CPU behaviour differs from the TPU's).
  */
+#include <algorithm>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/timer.h"
 #include "gbench_main.h"
 #include "nt/primes.h"
+#include "nt/simd_dispatch.h"
 #include "poly/ntt_3step.h"
 #include "poly/ntt_4step.h"
 #include "poly/ntt_ct.h"
@@ -107,6 +111,68 @@ BM_BConv(benchmark::State &state)
 }
 BENCHMARK(BM_BConv)->Arg(4)->Arg(8)->Arg(12);
 
+/**
+ * Post-run dispatch sweep: the radix-2 forward NTT timed under every
+ * available SIMD path (scalar first, then AVX2/AVX-512 where compiled
+ * in and CPU-supported), emitting one per-path record plus the
+ * trajectory metrics micro_ntt/avx2_vs_scalar_speedup and
+ * micro_ntt/avx512_vs_scalar_speedup (items_per_sec = speedup ratio;
+ * bench/fidelity_tolerance.json range-checks the AVX2 one). Unlike the
+ * --isa flag, which pins one path for the whole binary, this sweep
+ * measures every path in a single run so the ratios come from the same
+ * host, the same tables and the same inputs.
+ */
+void
+dispatchSweep(bench::Reporter &rep)
+{
+    const u32 n = 1u << 12;
+    const u32 q =
+        static_cast<u32>(nt::generateNttPrimes(28, 1, 2ULL * n)[0]);
+    poly::NttTables tab(n, q);
+    auto a = randomPoly(n, q, 0x15a);
+
+    const nt::SimdIsa prev = nt::activeSimdIsa();
+    TablePrinter t("SIMD dispatch sweep: radix-2 forward NTT, N = 2^12");
+    t.header({"ISA", "ns/NTT", "vs scalar"});
+    double scalar_ns = 0.0;
+    for (auto isa : {nt::SimdIsa::Scalar, nt::SimdIsa::Avx2,
+                     nt::SimdIsa::Avx512}) {
+        if (!nt::simdIsaAvailable(isa))
+            continue;
+        nt::setSimdIsa(isa);
+        constexpr int kIters = 400;
+        // Warmup pass, then best-of-5: the ratio wants the undisturbed
+        // per-path speed, not scheduler noise.
+        for (int i = 0; i < kIters; ++i)
+            poly::forwardInPlace(a.data(), tab);
+        double best_ns = 1e30;
+        for (int round = 0; round < 5; ++round) {
+            WallTimer w;
+            for (int i = 0; i < kIters; ++i) {
+                poly::forwardInPlace(a.data(), tab);
+                benchmark::DoNotOptimize(a.data());
+            }
+            best_ns = std::min(best_ns, w.seconds() * 1e9 / kIters);
+        }
+        const char *name = nt::simdIsaName(isa);
+        rep.add("micro_ntt/ntt_dispatch",
+                {{"isa", name}, {"n", std::to_string(n)}}, best_ns,
+                1e9 / best_ns);
+        if (isa == nt::SimdIsa::Scalar) {
+            scalar_ns = best_ns;
+            t.row({name, fmtF(best_ns, 1), "1.00"});
+        } else {
+            const double speedup = scalar_ns / best_ns;
+            rep.add(std::string("micro_ntt/") + name +
+                        "_vs_scalar_speedup",
+                    {{"n", std::to_string(n)}}, 0.0, speedup);
+            t.row({name, fmtF(best_ns, 1), fmtX(speedup, 2)});
+        }
+    }
+    nt::setSimdIsa(prev);
+    t.print(std::cout);
+}
+
 } // namespace
 
-CROSS_BENCHMARK_MAIN("micro_ntt");
+CROSS_BENCHMARK_MAIN_EXTRA("micro_ntt", dispatchSweep);

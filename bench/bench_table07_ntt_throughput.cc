@@ -7,12 +7,18 @@
  * 3-step NTT with (R, C) = (128, N/128), best batch size per device,
  * all tensor cores of the Table IV VM setup running independent batches.
  */
+#include <algorithm>
 #include <array>
 #include <iostream>
 
 #include "baselines/published.h"
 #include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
 #include "cross/lowering.h"
+#include "nt/primes.h"
+#include "nt/simd_dispatch.h"
+#include "poly/ntt_ct.h"
 #include "tpu/sim.h"
 
 namespace {
@@ -36,12 +42,42 @@ peakKnttPerSec(const tpu::DeviceConfig &dev, u32 n)
     return best / 1e3;
 }
 
+/**
+ * Host-CPU counterpart: kNTT/s of the dispatched radix-2 NTT at degree
+ * @p n, single thread, under the currently active SIMD path. Gives the
+ * throughput table a measured host column whose dispatch path is
+ * selectable with --isa and recorded per-record.
+ */
+double
+hostKnttPerSec(u32 n)
+{
+    const u32 q =
+        static_cast<u32>(nt::generateNttPrimes(28, 1, 2ULL * n)[0]);
+    poly::NttTables tab(n, q);
+    Rng rng(n);
+    std::vector<u32> a(n);
+    for (auto &x : a)
+        x = static_cast<u32>(rng.uniform(q));
+    const int iters = static_cast<int>(std::max<u32>(64, (1u << 22) / n));
+    for (int i = 0; i < iters / 4 + 1; ++i)
+        poly::forwardInPlace(a.data(), tab);
+    double best_s = 1e30;
+    for (int round = 0; round < 3; ++round) {
+        WallTimer w;
+        for (int i = 0; i < iters; ++i)
+            poly::forwardInPlace(a.data(), tab);
+        best_s = std::min(best_s, w.seconds() / iters);
+    }
+    return 1.0 / best_s / 1e3;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     bench::Reporter rep(argc, argv, "table07_ntt_throughput");
+    const std::string isa = bench::applySimdIsaFlag(argc, argv);
     bench::banner("Table VII + Fig. 11a",
                   "NTT throughput (kNTT/s) vs GPU baselines",
                   bench::kSimNote);
@@ -73,6 +109,21 @@ main(int argc, char **argv)
         t.row({"paper " + row.system, fmtF(row.kNttPerSecN12, 0),
                fmtF(row.kNttPerSecN13, 0), fmtF(row.kNttPerSecN14, 0),
                "published"});
+    }
+    // Host row: the library's own dispatched radix-2 NTT, one thread,
+    // on this machine. Not comparable to the accelerator rows in
+    // absolute terms; it anchors the simulated numbers to something
+    // measured and makes --isa visible in this table.
+    {
+        std::array<double, 3> k{};
+        for (int i = 0; i < 3; ++i) {
+            k[i] = hostKnttPerSec(degrees[i]);
+            rep.add("table7/host_ntt_throughput",
+                    {{"isa", isa}, {"n", std::to_string(degrees[i])}},
+                    1e6 / k[i], k[i] * 1e3);
+        }
+        t.row({"host CPU radix-2 (" + isa + ", 1 thread)", fmtF(k[0], 0),
+               fmtF(k[1], 0), fmtF(k[2], 0), "measured"});
     }
     t.print(std::cout);
 

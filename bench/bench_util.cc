@@ -11,6 +11,9 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+
+#include "nt/simd_dispatch.h"
 
 namespace cross::bench {
 
@@ -110,6 +113,62 @@ consumeUintFlag(int &argc, char **argv, const std::string &name, u64 def)
         std::exit(2);
     }
     return static_cast<u64>(v);
+}
+
+std::string
+consumeStringFlag(int &argc, char **argv, const std::string &name,
+                  std::string def)
+{
+    const std::string flag = "--" + name;
+    const std::string flag_eq = flag + "=";
+    std::string value = std::move(def);
+
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (flag == arg) {
+            if (i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0) {
+                std::cerr << argv[0] << ": error: " << flag
+                          << " requires a value\n";
+                std::exit(2);
+            }
+            value = argv[++i];
+        } else if (std::strncmp(arg, flag_eq.c_str(), flag_eq.size()) ==
+                   0) {
+            value = arg + flag_eq.size();
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    argv[argc] = nullptr;
+    return value;
+}
+
+std::string
+applySimdIsaFlag(int &argc, char **argv)
+{
+    const std::string want = consumeStringFlag(argc, argv, "isa", "");
+    if (!want.empty()) {
+        nt::SimdIsa isa;
+        try {
+            isa = nt::parseSimdIsa(want);
+        } catch (const std::invalid_argument &) {
+            std::cerr << argv[0] << ": error: --isa expects scalar, "
+                      << "avx2 or avx512, got '" << want << "'\n";
+            std::exit(2);
+        }
+        if (nt::simdIsaAvailable(isa)) {
+            nt::setSimdIsa(isa);
+        } else {
+            std::cerr << argv[0] << ": notice: --isa " << want
+                      << " is not available on this host/binary; "
+                      << "keeping the default dispatch path ("
+                      << nt::simdIsaName(nt::activeSimdIsa())
+                      << ")\n";
+        }
+    }
+    return nt::simdIsaName(nt::activeSimdIsa());
 }
 
 Reporter::Reporter(int &argc, char **argv, std::string bench_name)

@@ -124,6 +124,24 @@ std::string jsonEscape(const std::string &s);
 u64 consumeUintFlag(int &argc, char **argv, const std::string &name,
                     u64 def);
 
+/**
+ * String-valued variant of consumeUintFlag: scan argv for
+ * `--<name> <value>` / `--<name>=<value>`, consume the flag and return
+ * the value, or @p def when absent.
+ */
+std::string consumeStringFlag(int &argc, char **argv,
+                              const std::string &name, std::string def);
+
+/**
+ * Consume the shared `--isa <scalar|avx2|avx512>` flag and force the
+ * SIMD dispatch path accordingly. An unknown name exits with an error;
+ * a known-but-unavailable path (not compiled in, or the host CPU lacks
+ * it) prints a skip notice to stderr and leaves the CPUID default
+ * active, so CI can pass every --isa value on any host. Returns the
+ * name of the dispatch path that is actually active afterwards.
+ */
+std::string applySimdIsaFlag(int &argc, char **argv);
+
 /** Print the experiment banner. */
 inline void
 banner(const std::string &artifact, const std::string &what,

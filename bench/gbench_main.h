@@ -28,6 +28,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "nt/simd_dispatch.h"
 
 namespace cross::bench {
 
@@ -89,6 +90,11 @@ class JsonCaptureReporter : public benchmark::BenchmarkReporter
             if (run.repetitions > 1)
                 r.params.emplace_back(
                     "rep", std::to_string(run.repetition_index));
+            // Which SIMD path the kernels dispatched to (set by CPUID,
+            // CROSS_SIMD_ISA, or the --isa flag) -- makes JSON records
+            // from different dispatch paths distinguishable artifacts.
+            r.params.emplace_back(
+                "isa", nt::simdIsaName(nt::activeSimdIsa()));
             if (run.iterations > 0)
                 r.nsPerOp = run.real_accumulated_time /
                     static_cast<double>(run.iterations) * 1e9;
@@ -138,11 +144,19 @@ matchesFlag(const char *arg, const char *name)
         (arg[n] == '\0' || arg[n] == '=');
 }
 
-/** Shared main body: --json capture around RunSpecifiedBenchmarks. */
+/**
+ * Shared main body: --json capture around RunSpecifiedBenchmarks, plus
+ * the shared --isa dispatch-path override. @p extra, when non-null,
+ * runs after the google-benchmark suites and may add further Records
+ * (e.g. the per-dispatch-path speedup measurements) -- it runs with
+ * the benchmark loop finished, so it is free to setSimdIsa().
+ */
 inline int
-gbenchMain(int argc, char **argv, const char *bench_name)
+gbenchMain(int argc, char **argv, const char *bench_name,
+           void (*extra)(Reporter &) = nullptr)
 {
     Reporter rep(argc, argv, bench_name);
+    applySimdIsaFlag(argc, argv);
     // Note display-affecting flags before Initialize eats them. Google
     // Benchmark reads flag defaults from env vars; argv overrides each
     // flag independently, so track the two aggregate flags separately.
@@ -182,6 +196,8 @@ gbenchMain(int argc, char **argv, const char *bench_name)
     if (!rep.jsonRequested()) {
         // No capture needed: fully native behaviour, any format.
         benchmark::RunSpecifiedBenchmarks();
+        if (extra != nullptr)
+            extra(rep);
         benchmark::Shutdown();
         return 0;
     }
@@ -200,6 +216,8 @@ gbenchMain(int argc, char **argv, const char *bench_name)
         inner = std::make_unique<benchmark::ConsoleReporter>();
     JsonCaptureReporter capture(rep, std::move(inner));
     benchmark::RunSpecifiedBenchmarks(&capture);
+    if (extra != nullptr)
+        extra(rep);
     const bool ok = rep.flush();
     benchmark::Shutdown();
     return ok ? 0 : 1;
@@ -211,4 +229,11 @@ gbenchMain(int argc, char **argv, const char *bench_name)
     int main(int argc, char **argv)                                         \
     {                                                                       \
         return cross::bench::gbenchMain(argc, argv, name);                  \
+    }
+
+/** Variant with a post-run hook adding extra Records (dispatch sweeps). */
+#define CROSS_BENCHMARK_MAIN_EXTRA(name, extra)                             \
+    int main(int argc, char **argv)                                         \
+    {                                                                       \
+        return cross::bench::gbenchMain(argc, argv, name, extra);           \
     }

@@ -78,6 +78,14 @@ void setGlobalThreadCount(u32 n);
 bool inParallelRegion();
 
 /**
+ * Top-level pool jobs currently in flight across all threads. Used by
+ * runtime-configuration setters (setGlobalThreadCount, the SIMD
+ * dispatch override in nt/simd_dispatch.h) to refuse a reconfiguration
+ * that would race an active parallel kernel.
+ */
+u32 activeParallelJobs();
+
+/**
  * Run body(lo, hi) over disjoint contiguous chunks covering
  * [begin, end), at most globalThreadCount() chunks. The chunk
  * boundaries depend only on (begin, end, thread count), never on
@@ -89,5 +97,30 @@ void parallelForRange(size_t begin, size_t end,
 /** Run body(i) for every i in [begin, end) (chunked as above). */
 void parallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)> &body);
+
+/**
+ * 2-D (outer x inner) work split: run body(outer, lo, hi) over tiles
+ * covering every (outer row, inner index) pair exactly once. The outer
+ * dimension is typically RNS limbs and the inner dimension
+ * coefficients, so a kernel with fewer limbs than threads still keeps
+ * every thread busy by splitting rows along the coefficient range.
+ *
+ * Guarantees, matching parallelForRange:
+ *  - every (row, index) pair is covered by exactly one tile; tiles are
+ *    contiguous inner ranges within one row;
+ *  - the tiling depends only on (outerCount, innerCount, thread count,
+ *    minInnerChunk), never on scheduling -- deterministic assignment;
+ *  - with 1 thread (or inside a parallel region) the body runs inline
+ *    as body(row, 0, innerCount) for row = 0..outerCount-1, i.e. the
+ *    exact sequential loop -- bit-identical to the pre-parallel code.
+ *
+ * Rows are only split when the flattened work is large enough that
+ * each part still gets at least @p minInnerChunk elements (the
+ * work-size heuristic: tiny polynomials stay on one thread where the
+ * fork/join overhead would dominate).
+ */
+void parallelFor2D(size_t outerCount, size_t innerCount,
+                   const std::function<void(size_t, size_t, size_t)> &body,
+                   size_t minInnerChunk = 1024);
 
 } // namespace cross

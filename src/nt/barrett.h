@@ -25,6 +25,9 @@ class Barrett
 
     u32 modulus() const { return q_; }
 
+    /** floor(2^64 / q) -- the reduceWide() precomputation. */
+    u64 m64() const { return m64_; }
+
     /**
      * Algorithm 4: reduce z = a*b for a, b < q.
      * @return z mod q in [0, q)

@@ -31,6 +31,9 @@ class Montgomery
     /** q^-1 mod 2^32 (the positive inverse used by Algorithm 1). */
     u32 qInv() const { return qInv_; }
 
+    /** 2^64 mod q (< q, so it fits a u32); used to enter the domain. */
+    u64 rSquared() const { return rSquared_; }
+
     /**
      * Wide-form Montgomery reduction.
      * @param z input in [0, 2^32 * q)

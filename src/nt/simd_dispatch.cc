@@ -1,0 +1,190 @@
+#include "nt/simd_dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace cross::nt {
+
+namespace {
+
+/**
+ * Compile-time availability of each vector TU. The CMake build defines
+ * CROSS_HAVE_AVX2 / CROSS_HAVE_AVX512 when the matching kernel sources
+ * are compiled in (x86-64 with a compiler accepting the -m flags).
+ */
+constexpr bool kAvx2Compiled =
+#ifdef CROSS_HAVE_AVX2
+    true;
+#else
+    false;
+#endif
+
+constexpr bool kAvx512Compiled =
+#ifdef CROSS_HAVE_AVX512
+    true;
+#else
+    false;
+#endif
+
+bool
+cpuSupports(SimdIsa isa)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    switch (isa) {
+    case SimdIsa::Scalar:
+        return true;
+    case SimdIsa::Avx2:
+        return __builtin_cpu_supports("avx2");
+    case SimdIsa::Avx512:
+        // The 64-bit-multiply butterflies need DQ (vpmullq) on top of
+        // the F foundation; VL keeps the 256-bit tails usable.
+        return __builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("avx512dq") &&
+            __builtin_cpu_supports("avx512vl");
+    }
+    return false;
+#else
+    return isa == SimdIsa::Scalar;
+#endif
+}
+
+/** -1 = unresolved; otherwise a SimdIsa value. Atomic so the hot-path
+ *  activeSimdIsa() read is lock-free. */
+std::atomic<int> g_active{-1};
+std::mutex g_resolve_mutex;
+
+SimdIsa
+resolveStartupIsa()
+{
+    SimdIsa best = SimdIsa::Scalar;
+    if (simdIsaAvailable(SimdIsa::Avx2))
+        best = SimdIsa::Avx2;
+    if (simdIsaAvailable(SimdIsa::Avx512))
+        best = SimdIsa::Avx512;
+    if (const char *env = std::getenv("CROSS_SIMD_ISA")) {
+        SimdIsa forced;
+        try {
+            forced = parseSimdIsa(env);
+        } catch (const std::invalid_argument &) {
+            std::cerr << "CROSS_SIMD_ISA=" << env
+                      << ": unknown ISA, using " << simdIsaName(best)
+                      << " (valid: scalar, avx2, avx512)\n";
+            return best;
+        }
+        if (simdIsaAvailable(forced))
+            return forced;
+        // Skip-with-notice: CI forces every path on every host; a
+        // host without the ISA runs the widest one it has instead.
+        std::cerr << "CROSS_SIMD_ISA=" << env << ": "
+                  << simdIsaName(forced)
+                  << " not available on this host/binary, using "
+                  << simdIsaName(best) << "\n";
+    }
+    return best;
+}
+
+} // namespace
+
+const char *
+simdIsaName(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Scalar:
+        return "scalar";
+    case SimdIsa::Avx2:
+        return "avx2";
+    case SimdIsa::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+SimdIsa
+parseSimdIsa(const std::string &name)
+{
+    std::string s = name;
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (s == "scalar")
+        return SimdIsa::Scalar;
+    if (s == "avx2")
+        return SimdIsa::Avx2;
+    if (s == "avx512" || s == "avx-512")
+        return SimdIsa::Avx512;
+    throw std::invalid_argument("parseSimdIsa: unknown ISA '" + name +
+                                "' (valid: scalar, avx2, avx512)");
+}
+
+bool
+simdIsaCompiled(SimdIsa isa)
+{
+    switch (isa) {
+    case SimdIsa::Scalar:
+        return true;
+    case SimdIsa::Avx2:
+        return kAvx2Compiled;
+    case SimdIsa::Avx512:
+        return kAvx512Compiled;
+    }
+    return false;
+}
+
+bool
+simdIsaAvailable(SimdIsa isa)
+{
+    return simdIsaCompiled(isa) && cpuSupports(isa);
+}
+
+SimdIsa
+bestSimdIsa()
+{
+    if (simdIsaAvailable(SimdIsa::Avx512))
+        return SimdIsa::Avx512;
+    if (simdIsaAvailable(SimdIsa::Avx2))
+        return SimdIsa::Avx2;
+    return SimdIsa::Scalar;
+}
+
+SimdIsa
+activeSimdIsa()
+{
+    const int v = g_active.load(std::memory_order_acquire);
+    if (v >= 0)
+        return static_cast<SimdIsa>(v);
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    int cur = g_active.load(std::memory_order_acquire);
+    if (cur < 0) {
+        cur = static_cast<int>(resolveStartupIsa());
+        g_active.store(cur, std::memory_order_release);
+    }
+    return static_cast<SimdIsa>(cur);
+}
+
+void
+setSimdIsa(SimdIsa isa)
+{
+    // Same guard discipline as setGlobalThreadCount: swapping the
+    // dispatch target under a kernel that already loaded the old
+    // function pointer is a silent conformance hazard (half a batch on
+    // one path, half on another, timings attributed to the wrong ISA),
+    // so refuse loudly instead.
+    internalCheck(!inParallelRegion(),
+                  "setSimdIsa: called from inside a parallel region");
+    internalCheck(activeParallelJobs() == 0,
+                  "setSimdIsa: a parallelFor is active on another "
+                  "thread");
+    requireThat(simdIsaAvailable(isa),
+                "setSimdIsa: ISA not available on this host/binary");
+    std::lock_guard<std::mutex> lock(g_resolve_mutex);
+    g_active.store(static_cast<int>(isa), std::memory_order_release);
+}
+
+} // namespace cross::nt

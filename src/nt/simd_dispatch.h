@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the SIMD modular-arithmetic kernels.
+ *
+ * The hot loops (NTT butterflies in poly/, the vector modmul lanes in
+ * nt/modvec.h, the BConv inner products in rns/) each have a scalar
+ * implementation -- the always-available ground truth -- plus optional
+ * AVX2 / AVX-512 variants compiled into separate translation units
+ * with per-source -m flags (see src/nt/CMakeLists.txt). Which variant
+ * runs is decided ONCE:
+ *
+ *  1. at first use, by CPUID (the widest ISA both compiled in and
+ *     supported by the host wins), unless
+ *  2. the CROSS_SIMD_ISA environment variable ("scalar", "avx2",
+ *     "avx512") forces a path. Forcing an unavailable path prints a
+ *     notice to stderr and falls back to the widest supported one, so
+ *     CI can force every path on any host without hard-failing.
+ *
+ * Tests may also override programmatically via setSimdIsa(). Like
+ * setGlobalThreadCount, changing the forced ISA while a parallelFor is
+ * active (or from inside a parallel region) throws std::logic_error
+ * instead of racing the kernel-pointer tables.
+ *
+ * Bit-exactness contract: every vector kernel produces bit-identical
+ * output to the scalar fallback for all valid inputs -- the dispatch
+ * path is a pure speed choice, never a numerics choice. The
+ * randomized conformance suite (tests/simd_test.cc) enforces this
+ * across random moduli, sizes and thread counts.
+ */
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace cross::nt {
+
+/** Instruction-set families a kernel table can be compiled for. */
+enum class SimdIsa
+{
+    Scalar,
+    Avx2,
+    Avx512,
+};
+
+/** Human-readable name ("scalar", "avx2", "avx512"). */
+const char *simdIsaName(SimdIsa isa);
+
+/**
+ * Parse an ISA name (case-insensitive).
+ * @throws std::invalid_argument on an unknown name
+ */
+SimdIsa parseSimdIsa(const std::string &name);
+
+/** True when @p isa was compiled in AND the host CPU supports it. */
+bool simdIsaAvailable(SimdIsa isa);
+
+/** True when @p isa was compiled into this binary at all. */
+bool simdIsaCompiled(SimdIsa isa);
+
+/**
+ * The ISA the kernel tables currently dispatch to. Resolved on first
+ * call (CPUID + CROSS_SIMD_ISA override) and stable afterwards unless
+ * setSimdIsa() changes it.
+ */
+SimdIsa activeSimdIsa();
+
+/**
+ * Force the dispatch path (tests, benches). Unlike the env override
+ * this throws std::invalid_argument when @p isa is not available on
+ * this host/binary -- a test that silently measured the wrong path
+ * would be worse than one that fails loudly.
+ * @throws std::logic_error when called from inside a parallel region
+ *         or while a parallelFor is active on another thread: the
+ *         kernel-pointer table must never change under a running
+ *         kernel.
+ */
+void setSimdIsa(SimdIsa isa);
+
+/** Widest ISA available on this host/binary (the CPUID default). */
+SimdIsa bestSimdIsa();
+
+} // namespace cross::nt

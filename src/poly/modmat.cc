@@ -5,6 +5,7 @@
 #include "common/bitops.h"
 #include "common/check.h"
 #include "nt/modops.h"
+#include "nt/modvec.h"
 
 namespace cross::poly {
 
@@ -102,25 +103,28 @@ matMulRaw(const u32 *a, const u32 *b, u32 *z, size_t h, size_t v, size_t w,
           const nt::Barrett &bar)
 {
     const u32 q = bar.modulus();
-    // Products are < 2^62 for q < 2^31; reduce the u64 accumulator before
-    // it can overflow.
+    // Products are < 2^62 for q < 2^31; reduce the u64 accumulators
+    // before they can overflow. The reduction points depend only on k,
+    // so the row-of-accumulators form below (vectorised across the
+    // output column via nt/modvec.h) reduces every output at exactly
+    // the same k-prefix as a per-element loop would -- bit-identical
+    // results, which the BAT INT8 lowering depends on.
     const u32 qbits = ilog2(q) + 1;
     const size_t window =
         std::max<size_t>(1, size_t{1} << std::min(63 - 2 * qbits, 20u));
 
+    std::vector<u64> acc(w);
     for (size_t r = 0; r < h; ++r) {
-        for (size_t c = 0; c < w; ++c) {
-            u64 acc = 0;
-            size_t used = 0;
-            for (size_t k = 0; k < v; ++k) {
-                acc += static_cast<u64>(a[r * v + k]) * b[k * w + c];
-                if (++used == window) {
-                    acc = bar.reduceWide(acc);
-                    used = 0;
-                }
+        std::fill(acc.begin(), acc.end(), 0);
+        size_t used = 0;
+        for (size_t k = 0; k < v; ++k) {
+            nt::accumMulVec(acc.data(), b + k * w, a[r * v + k], w);
+            if (++used == window) {
+                nt::reduceWideInPlaceVec(acc.data(), w, bar);
+                used = 0;
             }
-            z[r * w + c] = bar.reduceWide(acc);
         }
+        nt::reduceWideVec(z + r * w, acc.data(), w, bar);
     }
 }
 

@@ -3,6 +3,7 @@
 #include "common/bitops.h"
 #include "common/check.h"
 #include "nt/modops.h"
+#include "nt/modvec.h"
 
 namespace cross::poly {
 
@@ -86,9 +87,8 @@ ThreeStepPlan::forward(const std::vector<u32> &a) const
     // Step 1: column-wise R-point transforms == M1 @ A (A is R x C).
     std::vector<u32> b(n_);
     matMulRaw(m1_.data().data(), a.data(), b.data(), r_, r_, c_, bar);
-    // Step 2: element-wise twiddle multiply.
-    for (u32 i = 0; i < n_; ++i)
-        b[i] = static_cast<u32>(nt::mulMod(b[i], t_.data()[i], q_));
+    // Step 2: element-wise twiddle multiply (dispatched vector lane).
+    nt::mulModVec(b.data(), b.data(), t_.data().data(), n_, bar);
     // Step 3: row-wise C-point transforms == B @ M3.
     std::vector<u32> out(n_);
     matMulRaw(b.data(), m3_.data().data(), out.data(), r_, c_, c_, bar);
@@ -104,8 +104,7 @@ ThreeStepPlan::inverse(const std::vector<u32> &a) const
     std::vector<u32> y(n_);
     matMulRaw(a.data(), m3Inv_.data().data(), y.data(), r_, c_, c_, bar);
     // Undo step 2.
-    for (u32 i = 0; i < n_; ++i)
-        y[i] = static_cast<u32>(nt::mulMod(y[i], tInv_.data()[i], q_));
+    nt::mulModVec(y.data(), y.data(), tInv_.data().data(), n_, bar);
     // Undo step 1: Out = M1inv @ Y.
     std::vector<u32> out(n_);
     matMulRaw(m1Inv_.data().data(), y.data(), out.data(), r_, r_, c_, bar);

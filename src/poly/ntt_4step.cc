@@ -3,6 +3,7 @@
 #include "common/bitops.h"
 #include "common/check.h"
 #include "nt/modops.h"
+#include "nt/modvec.h"
 
 namespace cross::poly {
 
@@ -58,8 +59,7 @@ FourStepPlan::forward(const std::vector<u32> &a) const
     // Steps 1-3 (same arithmetic as the 3-step plan, unpermuted params).
     std::vector<u32> b(n_);
     matMulRaw(m1_.data().data(), a.data(), b.data(), r_, r_, c_, bar);
-    for (u32 i = 0; i < n_; ++i)
-        b[i] = static_cast<u32>(nt::mulMod(b[i], t_.data()[i], q_));
+    nt::mulModVec(b.data(), b.data(), t_.data().data(), n_, bar);
     std::vector<u32> out_grid(n_);
     matMulRaw(b.data(), m3_.data().data(), out_grid.data(), r_, c_, c_, bar);
 
@@ -93,8 +93,7 @@ FourStepPlan::inverse(const std::vector<u32> &a) const
     nt::Barrett bar(q_);
     std::vector<u32> y(n_);
     matMulRaw(grid.data(), m3Inv_.data().data(), y.data(), r_, c_, c_, bar);
-    for (u32 i = 0; i < n_; ++i)
-        y[i] = static_cast<u32>(nt::mulMod(y[i], tInv_.data()[i], q_));
+    nt::mulModVec(y.data(), y.data(), tInv_.data().data(), n_, bar);
     std::vector<u32> out(n_);
     matMulRaw(m1Inv_.data().data(), y.data(), out.data(), r_, r_, c_, bar);
     return out;

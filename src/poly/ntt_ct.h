@@ -28,4 +28,21 @@ void forwardInPlace(u32 *a, const NttTables &t);
 /** Inverse negacyclic NTT (including N^-1); a has length N, values < q. */
 void inverseInPlace(u32 *a, const NttTables &t);
 
+/**
+ * Forward NTT over `count` polynomials (tabs[i] transforms polys[i];
+ * all tables must share one degree). Parallelises across BOTH the
+ * polynomial (limb) dimension and coefficient ranges: when there are
+ * fewer limbs than threads, each transform is split into 2^k
+ * contiguous chunks -- the first k Cooley-Tukey stages run
+ * stage-parallel (their blocks span chunks), the remaining stages run
+ * chunk-local with no barriers. Bit-identical to calling
+ * forwardInPlace per polynomial for every thread count.
+ */
+void forwardInPlaceMany(u32 *const *polys, const NttTables *const *tabs,
+                        size_t count);
+
+/** Inverse counterpart of forwardInPlaceMany (includes N^-1). */
+void inverseInPlaceMany(u32 *const *polys, const NttTables *const *tabs,
+                        size_t count);
+
 } // namespace cross::poly

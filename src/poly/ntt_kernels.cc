@@ -1,0 +1,65 @@
+#include "poly/ntt_kernels.h"
+
+#include "nt/simd_dispatch.h"
+
+namespace cross::poly::detail {
+
+namespace {
+
+void
+fwdButterflyLazyScalar(u32 *x, u32 *y, size_t len, nt::ShoupConst c,
+                       u32 q)
+{
+    const u32 two_q = 2 * q;
+    for (size_t j = 0; j < len; ++j)
+        fwdButterflyLazyOne(x + j, y + j, c, q, two_q);
+}
+
+void
+invButterflyLazyScalar(u32 *x, u32 *y, size_t len, nt::ShoupConst c,
+                       u32 q)
+{
+    const u32 two_q = 2 * q;
+    for (size_t j = 0; j < len; ++j)
+        invButterflyLazyOne(x + j, y + j, c, q, two_q);
+}
+
+void
+fold4qScalar(u32 *a, size_t len, u32 q)
+{
+    const u32 two_q = 2 * q;
+    for (size_t j = 0; j < len; ++j)
+        a[j] = fold4qOne(a[j], q, two_q);
+}
+
+} // namespace
+
+const NttKernels &
+nttKernelsScalar()
+{
+    static const NttKernels k = {
+        fwdButterflyLazyScalar,
+        invButterflyLazyScalar,
+        fold4qScalar,
+    };
+    return k;
+}
+
+const NttKernels &
+activeNttKernels()
+{
+    switch (nt::activeSimdIsa()) {
+#ifdef CROSS_HAVE_AVX2
+    case nt::SimdIsa::Avx2:
+        return nttKernelsAvx2();
+#endif
+#ifdef CROSS_HAVE_AVX512
+    case nt::SimdIsa::Avx512:
+        return nttKernelsAvx512();
+#endif
+    default:
+        return nttKernelsScalar();
+    }
+}
+
+} // namespace cross::poly::detail

@@ -1,0 +1,107 @@
+/**
+ * AVX2 butterfly-block kernels for the lazy-reduction NTT. Compiled
+ * with -mavx2; reached only behind the runtime dispatch. Vector lanes
+ * mirror the scalar helpers in ntt_kernels.h bit-for-bit: the
+ * conditional folds become unsigned-min selects, the Shoup multiply is
+ * the shared shoupMulLazy8 lane (nt/simd_lanes_avx2.h), and every tail
+ * shorter than a vector runs the scalar helper itself.
+ */
+#include "nt/simd_lanes_avx2.h"
+#include "poly/ntt_kernels.h"
+
+namespace cross::poly::detail {
+
+namespace {
+
+using namespace cross::nt::avx2;
+
+void
+fwdButterflyLazyAvx2(u32 *x, u32 *y, size_t len, nt::ShoupConst c, u32 q)
+{
+    const u32 two_q = 2 * q;
+    const __m256i qV = _mm256_set1_epi32(static_cast<int>(q));
+    const __m256i twoQV = _mm256_set1_epi32(static_cast<int>(two_q));
+    const __m256i wV = _mm256_set1_epi64x(c.w);
+    const __m256i wsLoV =
+        _mm256_set1_epi64x(static_cast<i64>(c.wShoup & 0xffffffffULL));
+    const __m256i wsHiV =
+        _mm256_set1_epi64x(static_cast<i64>(c.wShoup >> 32));
+    size_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+        __m256i u = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + j));
+        u = _mm256_min_epu32(u, _mm256_sub_epi32(u, twoQV));
+        const __m256i yv = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(y + j));
+        const __m256i v = shoupMulLazy8(yv, wV, wsLoV, wsHiV, qV);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j),
+                            _mm256_add_epi32(u, v));
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(y + j),
+            _mm256_sub_epi32(_mm256_add_epi32(u, twoQV), v));
+    }
+    for (; j < len; ++j)
+        fwdButterflyLazyOne(x + j, y + j, c, q, two_q);
+}
+
+void
+invButterflyLazyAvx2(u32 *x, u32 *y, size_t len, nt::ShoupConst c, u32 q)
+{
+    const u32 two_q = 2 * q;
+    const __m256i qV = _mm256_set1_epi32(static_cast<int>(q));
+    const __m256i twoQV = _mm256_set1_epi32(static_cast<int>(two_q));
+    const __m256i wV = _mm256_set1_epi64x(c.w);
+    const __m256i wsLoV =
+        _mm256_set1_epi64x(static_cast<i64>(c.wShoup & 0xffffffffULL));
+    const __m256i wsHiV =
+        _mm256_set1_epi64x(static_cast<i64>(c.wShoup >> 32));
+    size_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+        const __m256i u = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(x + j));
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(y + j));
+        __m256i s = _mm256_add_epi32(u, v);
+        s = _mm256_min_epu32(s, _mm256_sub_epi32(s, twoQV));
+        const __m256i d =
+            _mm256_sub_epi32(_mm256_add_epi32(u, twoQV), v);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(x + j), s);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(y + j),
+                            shoupMulLazy8(d, wV, wsLoV, wsHiV, qV));
+    }
+    for (; j < len; ++j)
+        invButterflyLazyOne(x + j, y + j, c, q, two_q);
+}
+
+void
+fold4qAvx2(u32 *a, size_t len, u32 q)
+{
+    const u32 two_q = 2 * q;
+    const __m256i qV = _mm256_set1_epi32(static_cast<int>(q));
+    const __m256i twoQV = _mm256_set1_epi32(static_cast<int>(two_q));
+    size_t j = 0;
+    for (; j + 8 <= len; j += 8) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + j));
+        v = _mm256_min_epu32(v, _mm256_sub_epi32(v, twoQV));
+        v = _mm256_min_epu32(v, _mm256_sub_epi32(v, qV));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(a + j), v);
+    }
+    for (; j < len; ++j)
+        a[j] = fold4qOne(a[j], q, two_q);
+}
+
+} // namespace
+
+const NttKernels &
+nttKernelsAvx2()
+{
+    static const NttKernels k = {
+        fwdButterflyLazyAvx2,
+        invButterflyLazyAvx2,
+        fold4qAvx2,
+    };
+    return k;
+}
+
+} // namespace cross::poly::detail

@@ -1,0 +1,99 @@
+/**
+ * AVX-512 butterfly-block kernels for the lazy-reduction NTT.
+ * Compiled with -mavx512f/dq/vl; reached only behind the runtime
+ * dispatch. Same structure as the AVX2 TU at twice the width.
+ */
+#include "nt/simd_lanes_avx512.h"
+#include "poly/ntt_kernels.h"
+
+namespace cross::poly::detail {
+
+namespace {
+
+using namespace cross::nt::avx512;
+
+void
+fwdButterflyLazyAvx512(u32 *x, u32 *y, size_t len, nt::ShoupConst c,
+                       u32 q)
+{
+    const u32 two_q = 2 * q;
+    const __m512i q64V = _mm512_set1_epi64(q);
+    const __m512i twoQV = _mm512_set1_epi32(static_cast<int>(two_q));
+    const __m512i wV = _mm512_set1_epi64(c.w);
+    const __m512i wsLoV =
+        _mm512_set1_epi64(static_cast<i64>(c.wShoup & 0xffffffffULL));
+    const __m512i wsHiV =
+        _mm512_set1_epi64(static_cast<i64>(c.wShoup >> 32));
+    size_t j = 0;
+    for (; j + 16 <= len; j += 16) {
+        __m512i u = _mm512_loadu_si512(x + j);
+        u = _mm512_min_epu32(u, _mm512_sub_epi32(u, twoQV));
+        const __m512i yv = _mm512_loadu_si512(y + j);
+        const __m512i v = shoupMulLazy16(yv, wV, wsLoV, wsHiV, q64V);
+        _mm512_storeu_si512(x + j, _mm512_add_epi32(u, v));
+        _mm512_storeu_si512(
+            y + j, _mm512_sub_epi32(_mm512_add_epi32(u, twoQV), v));
+    }
+    for (; j < len; ++j)
+        fwdButterflyLazyOne(x + j, y + j, c, q, two_q);
+}
+
+void
+invButterflyLazyAvx512(u32 *x, u32 *y, size_t len, nt::ShoupConst c,
+                       u32 q)
+{
+    const u32 two_q = 2 * q;
+    const __m512i q64V = _mm512_set1_epi64(q);
+    const __m512i twoQV = _mm512_set1_epi32(static_cast<int>(two_q));
+    const __m512i wV = _mm512_set1_epi64(c.w);
+    const __m512i wsLoV =
+        _mm512_set1_epi64(static_cast<i64>(c.wShoup & 0xffffffffULL));
+    const __m512i wsHiV =
+        _mm512_set1_epi64(static_cast<i64>(c.wShoup >> 32));
+    size_t j = 0;
+    for (; j + 16 <= len; j += 16) {
+        const __m512i u = _mm512_loadu_si512(x + j);
+        const __m512i v = _mm512_loadu_si512(y + j);
+        __m512i s = _mm512_add_epi32(u, v);
+        s = _mm512_min_epu32(s, _mm512_sub_epi32(s, twoQV));
+        const __m512i d =
+            _mm512_sub_epi32(_mm512_add_epi32(u, twoQV), v);
+        _mm512_storeu_si512(x + j, s);
+        _mm512_storeu_si512(
+            y + j, shoupMulLazy16(d, wV, wsLoV, wsHiV, q64V));
+    }
+    for (; j < len; ++j)
+        invButterflyLazyOne(x + j, y + j, c, q, two_q);
+}
+
+void
+fold4qAvx512(u32 *a, size_t len, u32 q)
+{
+    const u32 two_q = 2 * q;
+    const __m512i qV = _mm512_set1_epi32(static_cast<int>(q));
+    const __m512i twoQV = _mm512_set1_epi32(static_cast<int>(two_q));
+    size_t j = 0;
+    for (; j + 16 <= len; j += 16) {
+        __m512i v = _mm512_loadu_si512(a + j);
+        v = _mm512_min_epu32(v, _mm512_sub_epi32(v, twoQV));
+        v = _mm512_min_epu32(v, _mm512_sub_epi32(v, qV));
+        _mm512_storeu_si512(a + j, v);
+    }
+    for (; j < len; ++j)
+        a[j] = fold4qOne(a[j], q, two_q);
+}
+
+} // namespace
+
+const NttKernels &
+nttKernelsAvx512()
+{
+    static const NttKernels k = {
+        fwdButterflyLazyAvx512,
+        invButterflyLazyAvx512,
+        fold4qAvx512,
+    };
+    return k;
+}
+
+} // namespace cross::poly::detail

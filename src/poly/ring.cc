@@ -6,6 +6,8 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "nt/modops.h"
+#include "nt/modvec.h"
+#include "poly/ntt_ct.h"
 
 namespace cross::poly {
 
@@ -161,12 +163,11 @@ RnsPoly::addInPlace(const RnsPoly &o)
                   "RnsPoly::add: domain/limb mismatch");
     for (size_t i = 0; i < limbs_.size(); ++i)
         internalCheck(slots_[i] == o.slots_[i], "RnsPoly::add: slots");
-    parallelFor(0, limbs_.size(), [&](size_t i) {
-        const u64 q = limbModulus(i);
-        for (u32 j = 0; j < ring_->degree(); ++j) {
-            limbs_[i][j] = static_cast<u32>(
-                nt::addMod(limbs_[i][j], o.limbs_[i][j], q));
-        }
+    parallelFor2D(limbs_.size(), ring_->degree(),
+                  [&](size_t i, size_t lo, size_t hi) {
+        const u32 q = static_cast<u32>(limbModulus(i));
+        nt::addModVec(limbs_[i].data() + lo, limbs_[i].data() + lo,
+                      o.limbs_[i].data() + lo, hi - lo, q);
     });
 }
 
@@ -177,22 +178,22 @@ RnsPoly::subInPlace(const RnsPoly &o)
                   "RnsPoly::sub: domain/limb mismatch");
     for (size_t i = 0; i < limbs_.size(); ++i)
         internalCheck(slots_[i] == o.slots_[i], "RnsPoly::sub: slots");
-    parallelFor(0, limbs_.size(), [&](size_t i) {
-        const u64 q = limbModulus(i);
-        for (u32 j = 0; j < ring_->degree(); ++j) {
-            limbs_[i][j] = static_cast<u32>(
-                nt::subMod(limbs_[i][j], o.limbs_[i][j], q));
-        }
+    parallelFor2D(limbs_.size(), ring_->degree(),
+                  [&](size_t i, size_t lo, size_t hi) {
+        const u32 q = static_cast<u32>(limbModulus(i));
+        nt::subModVec(limbs_[i].data() + lo, limbs_[i].data() + lo,
+                      o.limbs_[i].data() + lo, hi - lo, q);
     });
 }
 
 void
 RnsPoly::negateInPlace()
 {
-    parallelFor(0, limbs_.size(), [&](size_t i) {
-        const u64 q = limbModulus(i);
-        for (auto &x : limbs_[i])
-            x = static_cast<u32>(nt::negMod(x, q));
+    parallelFor2D(limbs_.size(), ring_->degree(),
+                  [&](size_t i, size_t lo, size_t hi) {
+        const u32 q = static_cast<u32>(limbModulus(i));
+        nt::negModVec(limbs_[i].data() + lo, limbs_[i].data() + lo,
+                      hi - lo, q);
     });
 }
 
@@ -204,10 +205,11 @@ RnsPoly::mulPointwiseInPlace(const RnsPoly &o)
                   "mulPointwise: limb mismatch");
     for (size_t i = 0; i < limbs_.size(); ++i)
         internalCheck(slots_[i] == o.slots_[i], "mulPointwise: slots");
-    parallelFor(0, limbs_.size(), [&](size_t i) {
+    parallelFor2D(limbs_.size(), ring_->degree(),
+                  [&](size_t i, size_t lo, size_t hi) {
         const auto &mont = ring_->basis().mont(slots_[i]);
-        for (u32 j = 0; j < ring_->degree(); ++j)
-            limbs_[i][j] = mont.mulPlain(limbs_[i][j], o.limbs_[i][j]);
+        nt::mulMontVec(limbs_[i].data() + lo, limbs_[i].data() + lo,
+                       o.limbs_[i].data() + lo, hi - lo, mont);
     });
 }
 
@@ -216,12 +218,18 @@ RnsPoly::mulScalarPerLimbInPlace(const std::vector<u64> &scalars)
 {
     internalCheck(scalars.size() >= limbs_.size(),
                   "mulScalarPerLimb: scalar count");
-    parallelFor(0, limbs_.size(), [&](size_t i) {
+    // Precompute the Shoup constants once per limb, outside the 2-D
+    // split -- chunks of the same limb share them.
+    std::vector<nt::ShoupConst> cs(limbs_.size());
+    for (size_t i = 0; i < limbs_.size(); ++i) {
         const u32 q = static_cast<u32>(limbModulus(i));
-        const auto c =
-            nt::shoupPrecompute(static_cast<u32>(scalars[i] % q), q);
-        for (auto &x : limbs_[i])
-            x = nt::shoupMul(x, c, q);
+        cs[i] = nt::shoupPrecompute(static_cast<u32>(scalars[i] % q), q);
+    }
+    parallelFor2D(limbs_.size(), ring_->degree(),
+                  [&](size_t i, size_t lo, size_t hi) {
+        const u32 q = static_cast<u32>(limbModulus(i));
+        nt::mulShoupVec(limbs_[i].data() + lo, limbs_[i].data() + lo,
+                        cs[i], hi - lo, q);
     });
 }
 
@@ -238,9 +246,13 @@ void
 RnsPoly::toEval()
 {
     internalCheck(!eval_, "toEval: already in eval domain");
-    parallelFor(0, limbs_.size(), [&](size_t i) {
-        forwardInPlace(limbs_[i].data(), ring_->tables(slots_[i]));
-    });
+    std::vector<u32 *> polys(limbs_.size());
+    std::vector<const NttTables *> tabs(limbs_.size());
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polys[i] = limbs_[i].data();
+        tabs[i] = &ring_->tables(slots_[i]);
+    }
+    forwardInPlaceMany(polys.data(), tabs.data(), limbs_.size());
     eval_ = true;
 }
 
@@ -248,9 +260,13 @@ void
 RnsPoly::toCoeff()
 {
     internalCheck(eval_, "toCoeff: already in coeff domain");
-    parallelFor(0, limbs_.size(), [&](size_t i) {
-        inverseInPlace(limbs_[i].data(), ring_->tables(slots_[i]));
-    });
+    std::vector<u32 *> polys(limbs_.size());
+    std::vector<const NttTables *> tabs(limbs_.size());
+    for (size_t i = 0; i < limbs_.size(); ++i) {
+        polys[i] = limbs_[i].data();
+        tabs[i] = &ring_->tables(slots_[i]);
+    }
+    inverseInPlaceMany(polys.data(), tabs.data(), limbs_.size());
     eval_ = false;
 }
 
@@ -261,15 +277,19 @@ RnsPoly::automorphism(u32 k) const
     const u32 n = ring_->degree();
     if (eval_) {
         const auto &map = ring_->evalAutoMap(k);
-        parallelFor(0, limbs_.size(), [&](size_t i) {
-            for (u32 m = 0; m < n; ++m)
+        parallelFor2D(limbs_.size(), n,
+                      [&](size_t i, size_t lo, size_t hi) {
+            for (size_t m = lo; m < hi; ++m)
                 out.limbs_[i][m] = limbs_[i][map[m]];
         });
     } else {
         const auto &map = ring_->coeffAutoMap(k);
-        parallelFor(0, limbs_.size(), [&](size_t i) {
+        // Source-index split: writes stay disjoint because map.target
+        // is a permutation of [0, n).
+        parallelFor2D(limbs_.size(), n,
+                      [&](size_t i, size_t lo, size_t hi) {
             const u64 q = limbModulus(i);
-            for (u32 j = 0; j < n; ++j) {
+            for (size_t j = lo; j < hi; ++j) {
                 const u32 v = limbs_[i][j];
                 out.limbs_[i][map.target[j]] = map.negate[j]
                     ? static_cast<u32>(nt::negMod(v, q))

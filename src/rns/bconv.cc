@@ -5,6 +5,7 @@
 #include "common/bitops.h"
 #include "common/check.h"
 #include "common/parallel.h"
+#include "nt/modvec.h"
 
 namespace cross::rns {
 
@@ -41,12 +42,16 @@ BasisConversion::step1(const LimbMatrix &in, LimbMatrix &out) const
 {
     requireThat(in.size() == from_.size(), "BConv step1: limb count");
     out.resize(in.size());
-    parallelFor(0, in.size(), [&](size_t i) {
+    const size_t n_coef = in.empty() ? 0 : in[0].size();
+    for (size_t i = 0; i < in.size(); ++i) {
+        requireThat(in[i].size() == n_coef, "BConv step1: ragged limbs");
+        out[i].resize(n_coef);
+    }
+    parallelFor2D(in.size(), n_coef,
+                  [&](size_t i, size_t lo, size_t hi) {
         const u32 q = static_cast<u32>(from_.modulus(i));
-        out[i].resize(in[i].size());
-        const auto &c = qHatInvShoup_[i];
-        for (size_t n = 0; n < in[i].size(); ++n)
-            out[i][n] = nt::shoupMul(in[i][n], c, q);
+        nt::mulShoupVec(out[i].data() + lo, in[i].data() + lo,
+                        qHatInvShoup_[i], hi - lo, q);
     });
 }
 
@@ -57,21 +62,26 @@ BasisConversion::step2(const LimbMatrix &b, LimbMatrix &out) const
     const size_t n_coef = b.empty() ? 0 : b[0].size();
     out.assign(to_.size(), std::vector<u32>(n_coef, 0));
 
-    // The (N, L, L') MatModMul: independent per target limb j.
-    parallelFor(0, to_.size(), [&](size_t j) {
+    // The (N, L, L') MatModMul: independent per (target limb j,
+    // coefficient range). Accumulate a whole coefficient strip at once
+    // through the dispatched vector lanes; the mid-chain reductions hit
+    // every coefficient at the same source-limb prefix as the original
+    // per-coefficient loop, so results are bit-identical.
+    parallelFor2D(to_.size(), n_coef,
+                  [&](size_t j, size_t lo, size_t hi) {
         const auto &bar = to_.barrett(j);
-        for (size_t n = 0; n < n_coef; ++n) {
-            u64 acc = 0;
-            size_t window = 0;
-            for (size_t i = 0; i < from_.size(); ++i) {
-                acc += static_cast<u64>(b[i][n]) * table_[i][j];
-                if (++window == reduceEvery_) {
-                    acc = bar.reduceWide(acc);
-                    window = 0;
-                }
+        const size_t len = hi - lo;
+        std::vector<u64> acc(len, 0);
+        size_t window = 0;
+        for (size_t i = 0; i < from_.size(); ++i) {
+            nt::accumMulVec(acc.data(), b[i].data() + lo, table_[i][j],
+                            len);
+            if (++window == reduceEvery_) {
+                nt::reduceWideInPlaceVec(acc.data(), len, bar);
+                window = 0;
             }
-            out[j][n] = bar.reduceWide(acc);
         }
+        nt::reduceWideVec(out[j].data() + lo, acc.data(), len, bar);
     });
 }
 

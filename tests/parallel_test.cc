@@ -129,6 +129,89 @@ TEST(ParallelFor, EmptyAndSingleRanges)
     EXPECT_EQ(hits, 1);
 }
 
+// ---------------------------------------------------------------------
+// parallelFor2D
+// ---------------------------------------------------------------------
+
+/** Mark every (row, inner) cell visited by the tiles; expect each once. */
+void
+expectFullTiling(size_t rows, size_t inner)
+{
+    std::vector<std::atomic<int>> hits(rows * inner);
+    for (auto &h : hits)
+        h = 0;
+    parallelFor2D(rows, inner, [&](size_t r, size_t lo, size_t hi) {
+        ASSERT_LT(r, rows);
+        ASSERT_LE(lo, hi);
+        ASSERT_LE(hi, inner);
+        for (size_t j = lo; j < hi; ++j)
+            ++hits[r * inner + j];
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2D, TilesCoverEveryCellExactlyOnce)
+{
+    ThreadGuard guard(testThreads());
+    // Fewer rows than threads (the case the 2-D split exists for),
+    // more rows than threads, and a degenerate single row.
+    expectFullTiling(2, 4096);
+    expectFullTiling(testThreads() * 2 + 1, 100);
+    expectFullTiling(1, 5000);
+}
+
+TEST(ParallelFor2D, EmptyDimensionsRunNothing)
+{
+    ThreadGuard guard(testThreads());
+    int hits = 0;
+    parallelFor2D(0, 128, [&](size_t, size_t, size_t) { ++hits; });
+    parallelFor2D(3, 0, [&](size_t, size_t lo, size_t hi) {
+        EXPECT_EQ(lo, hi);
+        ++hits;
+    });
+    EXPECT_EQ(hits, 0);
+}
+
+TEST(ParallelFor2D, RespectsMinInnerChunk)
+{
+    ThreadGuard guard(testThreads());
+    // With inner below minInnerChunk the split must stay row-wise:
+    // every row arrives as one whole [0, inner) range.
+    std::vector<int> whole(4, 0);
+    parallelFor2D(
+        4, 64,
+        [&](size_t r, size_t lo, size_t hi) {
+            EXPECT_EQ(lo, 0u);
+            EXPECT_EQ(hi, 64u);
+            ++whole[r];
+        },
+        1024);
+    for (int c : whole)
+        EXPECT_EQ(c, 1);
+}
+
+TEST(ParallelFor2D, MatchesSerialResult)
+{
+    const size_t rows = 3, inner = 2048;
+    std::vector<u32> serial(rows * inner), par(rows * inner);
+    for (size_t i = 0; i < serial.size(); ++i)
+        serial[i] = static_cast<u32>(i * 2654435761u);
+    par = serial;
+    auto bump = [](std::vector<u32> &v, size_t r, size_t lo, size_t hi,
+                   size_t inner_n) {
+        for (size_t j = lo; j < hi; ++j)
+            v[r * inner_n + j] += static_cast<u32>(r + 1);
+    };
+    for (size_t r = 0; r < rows; ++r)
+        bump(serial, r, 0, inner, inner);
+    ThreadGuard guard(testThreads());
+    parallelFor2D(rows, inner, [&](size_t r, size_t lo, size_t hi) {
+        bump(par, r, lo, hi, inner);
+    });
+    EXPECT_EQ(par, serial);
+}
+
 TEST(GlobalThreadCount, RoundTrips)
 {
     setGlobalThreadCount(3);

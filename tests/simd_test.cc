@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Randomized dispatch-conformance suite for the runtime-selected SIMD
+ * kernels (nt/modvec.h, the lazy NTT butterflies in poly/ntt_ct.cc).
+ *
+ * The contract under test: every dispatch path (scalar / AVX2 /
+ * AVX-512) produces BIT-IDENTICAL output for all valid inputs -- the
+ * ISA choice is a pure speed choice, never a numerics choice. Each
+ * conformance test draws random moduli across the supported bit range
+ * (20..31 bits; below 2^30 exercises the lazy Harvey path, 30/31-bit
+ * moduli the strict fallback), random lengths that cover both the
+ * vector body and the scalar tails, and runs at thread counts 1 and
+ * CROSS_TEST_THREADS (default 4) so the suite doubles as a data-race
+ * probe under the TSan CI shard.
+ *
+ * Paths not compiled in or not supported by the host are skipped with
+ * a notice (GTEST_SKIP), never silently passed.
+ */
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "nt/barrett.h"
+#include "nt/montgomery.h"
+#include "nt/modvec.h"
+#include "nt/primes.h"
+#include "nt/shoup.h"
+#include "nt/simd_dispatch.h"
+#include "poly/ntt_ct.h"
+#include "poly/ntt_tables.h"
+
+#include "test_util.h"
+
+namespace cross {
+namespace {
+
+using testutil::testThreads;
+
+/** Scoped dispatch override; restores the CPUID default on exit. */
+struct IsaGuard
+{
+    explicit IsaGuard(nt::SimdIsa isa) { nt::setSimdIsa(isa); }
+    ~IsaGuard() { nt::setSimdIsa(nt::bestSimdIsa()); }
+};
+
+/** Scoped thread-count override; restores 1 thread on exit. */
+struct ThreadGuard
+{
+    explicit ThreadGuard(u32 n) { setGlobalThreadCount(n); }
+    ~ThreadGuard() { setGlobalThreadCount(1); }
+};
+
+/** The vector ISAs; each conformance test compares them to Scalar. */
+const nt::SimdIsa kVectorIsas[] = {nt::SimdIsa::Avx2,
+                                   nt::SimdIsa::Avx512};
+
+/** One random odd prime with exactly @p bits bits (modStep 2). */
+u32
+randomModulus(u32 bits)
+{
+    return static_cast<u32>(nt::generateNttPrimes(bits, 1, 2)[0]);
+}
+
+std::vector<u32>
+randomVec(Rng &rng, size_t n, u64 bound)
+{
+    std::vector<u32> v(n);
+    for (auto &x : v)
+        x = static_cast<u32>(rng.uniform(bound));
+    return v;
+}
+
+// ---------------------------------------------------------------------
+// Dispatch plumbing
+// ---------------------------------------------------------------------
+TEST(SimdDispatch, ScalarAlwaysAvailable)
+{
+    EXPECT_TRUE(nt::simdIsaCompiled(nt::SimdIsa::Scalar));
+    EXPECT_TRUE(nt::simdIsaAvailable(nt::SimdIsa::Scalar));
+}
+
+TEST(SimdDispatch, NamesRoundTrip)
+{
+    for (auto isa : {nt::SimdIsa::Scalar, nt::SimdIsa::Avx2,
+                     nt::SimdIsa::Avx512})
+        EXPECT_EQ(nt::parseSimdIsa(nt::simdIsaName(isa)), isa);
+    EXPECT_THROW(nt::parseSimdIsa("neon"), std::invalid_argument);
+}
+
+TEST(SimdDispatch, SetRejectsUnavailableIsa)
+{
+    for (auto isa : kVectorIsas) {
+        if (!nt::simdIsaAvailable(isa)) {
+            EXPECT_THROW(nt::setSimdIsa(isa), std::invalid_argument);
+        }
+    }
+    // Always-valid transitions keep working afterwards.
+    nt::setSimdIsa(nt::SimdIsa::Scalar);
+    EXPECT_EQ(nt::activeSimdIsa(), nt::SimdIsa::Scalar);
+    nt::setSimdIsa(nt::bestSimdIsa());
+}
+
+TEST(SimdDispatch, SetThrowsUnderActiveParallelFor)
+{
+    ThreadGuard guard(testThreads());
+    const auto before = nt::activeSimdIsa();
+    // Switching the kernel tables while a parallel kernel may be
+    // mid-flight must fail loudly instead of racing.
+    EXPECT_THROW(parallelFor(0, 64,
+                             [&](size_t) {
+                                 nt::setSimdIsa(nt::SimdIsa::Scalar);
+                             }),
+                 std::logic_error);
+    // The dispatch state must survive the failed attempt.
+    EXPECT_EQ(nt::activeSimdIsa(), before);
+}
+
+// ---------------------------------------------------------------------
+// modvec conformance: every op, every available ISA, random shapes
+// ---------------------------------------------------------------------
+
+/** Sizes covering the vector body, the scalar tail, and both empty. */
+const size_t kSizes[] = {0, 1, 7, 8, 16, 33, 100, 1024, 1031};
+
+struct ModVecCase
+{
+    u32 q;
+    std::vector<u32> a, b, a2q; // a2q: lazy-range inputs < 2q
+    std::vector<u64> wide;      // accumulators < 2^63
+    nt::ShoupConst c;
+    u32 w;
+};
+
+ModVecCase
+makeCase(Rng &rng, u32 bits, size_t n)
+{
+    ModVecCase t;
+    t.q = randomModulus(bits);
+    t.a = randomVec(rng, n, t.q);
+    t.b = randomVec(rng, n, t.q);
+    t.a2q = randomVec(rng, n, 2ull * t.q);
+    t.wide.resize(n);
+    for (auto &x : t.wide)
+        x = rng.uniform(u64{1} << 62);
+    t.c = nt::shoupPrecompute(static_cast<u32>(rng.uniform(t.q)), t.q);
+    t.w = static_cast<u32>(rng.uniform(t.q));
+    return t;
+}
+
+/** All nine modvec results for one case under the active dispatch. */
+struct ModVecResults
+{
+    std::vector<u32> add, sub, neg, shoup, shoup2q, mont, mul, red;
+    std::vector<u64> accum, redip;
+};
+
+ModVecResults
+runModVec(const ModVecCase &t)
+{
+    const size_t n = t.a.size();
+    const nt::Barrett bar(t.q);
+    const nt::Montgomery mont(t.q);
+    ModVecResults r;
+    r.add.resize(n);
+    nt::addModVec(r.add.data(), t.a.data(), t.b.data(), n, t.q);
+    r.sub.resize(n);
+    nt::subModVec(r.sub.data(), t.a.data(), t.b.data(), n, t.q);
+    r.neg.resize(n);
+    nt::negModVec(r.neg.data(), t.a.data(), n, t.q);
+    r.shoup.resize(n);
+    nt::mulShoupVec(r.shoup.data(), t.a.data(), t.c, n, t.q);
+    r.shoup2q.resize(n);
+    nt::mulShoupVec(r.shoup2q.data(), t.a2q.data(), t.c, n, t.q);
+    r.mont.resize(n);
+    nt::mulMontVec(r.mont.data(), t.a.data(), t.b.data(), n, mont);
+    r.mul.resize(n);
+    nt::mulModVec(r.mul.data(), t.a.data(), t.b.data(), n, bar);
+    r.accum = t.wide;
+    nt::accumMulVec(r.accum.data(), t.a.data(), t.w, n);
+    r.red.resize(n);
+    nt::reduceWideVec(r.red.data(), t.wide.data(), n, bar);
+    r.redip = t.wide;
+    nt::reduceWideInPlaceVec(r.redip.data(), n, bar);
+    return r;
+}
+
+void
+expectSameResults(const ModVecResults &x, const ModVecResults &y,
+                  u32 bits, size_t n, const char *isa)
+{
+    const std::string where = std::string(" [isa=") + isa +
+        " bits=" + std::to_string(bits) + " n=" + std::to_string(n) +
+        "]";
+    EXPECT_EQ(x.add, y.add) << "addModVec" << where;
+    EXPECT_EQ(x.sub, y.sub) << "subModVec" << where;
+    EXPECT_EQ(x.neg, y.neg) << "negModVec" << where;
+    EXPECT_EQ(x.shoup, y.shoup) << "mulShoupVec" << where;
+    EXPECT_EQ(x.shoup2q, y.shoup2q) << "mulShoupVec(2q)" << where;
+    EXPECT_EQ(x.mont, y.mont) << "mulMontVec" << where;
+    EXPECT_EQ(x.mul, y.mul) << "mulModVec" << where;
+    EXPECT_EQ(x.accum, y.accum) << "accumMulVec" << where;
+    EXPECT_EQ(x.red, y.red) << "reduceWideVec" << where;
+    EXPECT_EQ(x.redip, y.redip) << "reduceWideInPlaceVec" << where;
+}
+
+TEST(SimdConformance, ModVecBitIdenticalAcrossIsas)
+{
+    Rng rng(20260808);
+    for (u32 bits : {20u, 24u, 28u, 30u, 31u}) {
+        for (size_t n : kSizes) {
+            const ModVecCase t = makeCase(rng, bits, n);
+            ModVecResults ref;
+            {
+                IsaGuard g(nt::SimdIsa::Scalar);
+                ref = runModVec(t);
+            }
+            for (auto isa : kVectorIsas) {
+                if (!nt::simdIsaAvailable(isa))
+                    continue; // skip notice emitted once below
+                IsaGuard g(isa);
+                expectSameResults(ref, runModVec(t), bits, n,
+                                  nt::simdIsaName(isa));
+            }
+        }
+    }
+    for (auto isa : kVectorIsas) {
+        if (!nt::simdIsaAvailable(isa))
+            std::fprintf(stderr,
+                         "[simd_test] notice: %s not available on this "
+                         "host/binary; conformance limited to scalar\n",
+                         nt::simdIsaName(isa));
+    }
+}
+
+// ---------------------------------------------------------------------
+// NTT conformance: lazy + strict paths, single and batched, threaded
+// ---------------------------------------------------------------------
+
+/**
+ * Forward+inverse under the active dispatch for `count` random polys;
+ * returns the forward images followed by the roundtripped inputs.
+ */
+std::vector<std::vector<u32>>
+runNtt(const std::vector<std::vector<u32>> &in, const poly::NttTables &tab,
+       bool batched)
+{
+    const size_t count = in.size();
+    std::vector<std::vector<u32>> fwd = in, rt;
+    std::vector<u32 *> ptrs(count);
+    std::vector<const poly::NttTables *> tabs(count, &tab);
+    for (size_t i = 0; i < count; ++i)
+        ptrs[i] = fwd[i].data();
+    if (batched)
+        poly::forwardInPlaceMany(ptrs.data(), tabs.data(), count);
+    else
+        for (size_t i = 0; i < count; ++i)
+            poly::forwardInPlace(fwd[i].data(), tab);
+    rt = fwd;
+    for (size_t i = 0; i < count; ++i)
+        ptrs[i] = rt[i].data();
+    if (batched)
+        poly::inverseInPlaceMany(ptrs.data(), tabs.data(), count);
+    else
+        for (size_t i = 0; i < count; ++i)
+            poly::inverseInPlace(rt[i].data(), tab);
+    std::vector<std::vector<u32>> out = std::move(fwd);
+    for (auto &v : rt)
+        out.push_back(std::move(v));
+    return out;
+}
+
+TEST(SimdConformance, NttBitIdenticalAcrossIsasAndThreads)
+{
+    Rng rng(97);
+    // 20..29-bit moduli take the lazy Harvey path (q < 2^30); 30/31-bit
+    // ones exercise the strict fallback.
+    for (u32 bits : {20u, 28u, 31u}) {
+        for (u32 n : {64u, 256u, 2048u}) {
+            const u32 q = static_cast<u32>(
+                nt::generateNttPrimes(bits, 1, 2ull * n)[0]);
+            const poly::NttTables tab(n, q);
+            std::vector<std::vector<u32>> in(3);
+            for (auto &v : in)
+                v = randomVec(rng, n, q);
+
+            std::vector<std::vector<u32>> ref;
+            {
+                IsaGuard g(nt::SimdIsa::Scalar);
+                ref = runNtt(in, tab, false);
+            }
+            // Roundtrip sanity on the scalar reference itself.
+            for (size_t i = 0; i < in.size(); ++i)
+                ASSERT_EQ(ref[in.size() + i], in[i])
+                    << "scalar roundtrip bits=" << bits << " n=" << n;
+
+            for (auto isa : {nt::SimdIsa::Scalar, nt::SimdIsa::Avx2,
+                             nt::SimdIsa::Avx512}) {
+                if (!nt::simdIsaAvailable(isa))
+                    continue;
+                IsaGuard g(isa);
+                EXPECT_EQ(runNtt(in, tab, false), ref)
+                    << "per-poly isa=" << nt::simdIsaName(isa)
+                    << " bits=" << bits << " n=" << n;
+                for (u32 threads : {1u, testThreads()}) {
+                    ThreadGuard tg(threads);
+                    EXPECT_EQ(runNtt(in, tab, true), ref)
+                        << "batched isa=" << nt::simdIsaName(isa)
+                        << " bits=" << bits << " n=" << n
+                        << " threads=" << threads;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace cross
