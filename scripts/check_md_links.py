@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's docs (stdlib only, no network).
+
+Scans the given markdown files for inline links and images
+(``[text](target)`` / ``![alt](target)``) and reference definitions
+(``[label]: target``), and fails when a *local* target does not exist
+on disk. External links (http/https/mailto) are not fetched -- CI must
+stay hermetic -- and pure in-page anchors (``#section``) are skipped;
+a local target's ``#fragment`` suffix is stripped before the existence
+check, so ``docs/SERVING.md#deadlines`` checks only the file.
+
+Targets are resolved relative to the markdown file that links them,
+which is how GitHub renders them -- a link that works in the rendered
+repo passes here and vice versa.
+
+Usage: check_md_links.py FILE.md [FILE.md ...]
+
+Exits 0 when every local link resolves; prints one line per broken
+link and exits 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) and ![alt](target); target ends at the first
+# unescaped ')' (no nested-paren support -- the repo's links are plain
+# paths). Reference definitions: [label]: target
+INLINE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def strip_code(text):
+    """Drop fenced and inline code spans -- `...` examples are not links."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def check_file(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = strip_code(f.read())
+    except OSError as e:
+        print(f"{path}: unreadable: {e}", file=sys.stderr)
+        return False
+    base = os.path.dirname(os.path.abspath(path))
+    ok = True
+    targets = INLINE.findall(text) + REFDEF.findall(text)
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        local = target.split("#", 1)[0]
+        if not local:
+            continue
+        resolved = os.path.normpath(os.path.join(base, local))
+        if not os.path.exists(resolved):
+            print(f"{path}: broken link -> {target}", file=sys.stderr)
+            ok = False
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    results = [check_file(p) for p in argv[1:]]
+    if all(results):
+        print(f"checked {len(results)} file(s): all local links resolve")
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

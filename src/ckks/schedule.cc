@@ -354,6 +354,14 @@ HeOpCostModel::pipelineLatencyUs(const std::vector<HeOp> &pipeline,
     return tpu::runBatched(dev_, cost, batch).perItemUs;
 }
 
+double
+HeOpCostModel::pipelineLatencyUs(const std::vector<PipelineOp> &pipeline,
+                                 size_t level, u64 batch) const
+{
+    const auto cost = pipelineCost(pipeline, level);
+    return tpu::runBatched(dev_, cost, batch).perItemUs;
+}
+
 std::map<tpu::OpCat, double>
 HeOpCostModel::opBreakdown(HeOp op, size_t level) const
 {

@@ -94,6 +94,12 @@ class HeOpCostModel
     double pipelineLatencyUs(const std::vector<HeOp> &pipeline,
                              size_t level, u64 batch = 1) const;
 
+    /** Structural-arity form of pipelineLatencyUs -- prices the exact
+     *  shape Pipeline::pipelineOps() reports, which is what the
+     *  serving engine's deadline admission control queries. */
+    double pipelineLatencyUs(const std::vector<PipelineOp> &pipeline,
+                             size_t level, u64 batch = 1) const;
+
     /** Per-category latency breakdown of @p op (Fig. 12). */
     std::map<tpu::OpCat, double> opBreakdown(HeOp op, size_t level) const;
 

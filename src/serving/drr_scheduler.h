@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Multi-tenant request scheduler: per-tenant queues drained by
+ * weighted deficit-round-robin (DRR), earliest-deadline-first inside a
+ * tenant.
+ *
+ * This is the policy half of the deadline-aware serving engine
+ * (serving.h), factored out as a plain data structure so the fairness
+ * and starvation properties can be tested deterministically -- no
+ * threads, no clocks except the caller-supplied deadline stamps:
+ *
+ *  - Each tenant owns one queue ordered earliest-deadline-first
+ *    (entries without a deadline sort after every deadline-bearing
+ *    entry, FIFO among themselves), so the most urgent request of the
+ *    tenant that is next "up" is always at its queue front.
+ *  - popNext() picks the tenant to serve by classic DRR: tenants with
+ *    pending work rotate in round-robin order; on a tenant's turn its
+ *    deficit grows by its weight, each served request costs one unit,
+ *    and the turn ends when the deficit runs out. Long-run service is
+ *    therefore proportional to weight -- a weight-1 tenant still gets
+ *    1/(sum of weights) of the service no matter how hard a weight-8
+ *    tenant pushes (the no-starvation property serving_test asserts).
+ *  - popMatching() lets the engine fill the rest of a batch with
+ *    requests that share the leader's (model, level, scale) batch key
+ *    from *any* tenant, charging each donor tenant's deficit. Deficits
+ *    may go negative; later rounds repay the debt, so opportunistic
+ *    batch-fill keeps the rotation-key working-set amortisation
+ *    without breaking long-run weighted fairness.
+ *  - popExpired() sheds every entry whose deadline has already passed
+ *    -- EDF order makes that a queue-front scan per tenant.
+ *
+ * Not thread-safe: the engine calls it under its own mutex.
+ */
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cross::serving {
+
+/**
+ * Per-tenant weighted-DRR + per-request EDF scheduler over opaque
+ * payloads. @tparam Payload is move-only-friendly (the engine stores
+ * whole requests, promises included).
+ */
+template <typename Payload>
+class DrrScheduler
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    using TimePoint = Clock::time_point;
+
+    /** One queued item plus its scheduling envelope. */
+    struct Entry
+    {
+        u64 tenant = 0;
+        u64 seq = 0;             ///< admission order (tie-break)
+        bool hasDeadline = false;
+        TimePoint deadline{};    ///< valid when hasDeadline
+        Payload payload;
+    };
+
+    /**
+     * Set @p tenant's DRR weight (service share per round). Creating
+     * or re-opening a stream updates this; the last setting wins.
+     * @throws std::invalid_argument on weight 0.
+     */
+    void
+    setWeight(u64 tenant, u32 weight)
+    {
+        requireThat(weight > 0,
+                    "DrrScheduler: tenant weight must be positive");
+        tenantFor(tenant).weight = weight;
+    }
+
+    /** Current weight of @p tenant (default 1). */
+    u32
+    weight(u64 tenant) const
+    {
+        const auto it = tenants_.find(tenant);
+        return it == tenants_.end() ? 1u : it->second.weight;
+    }
+
+    /**
+     * Enqueue @p payload for @p tenant at the EDF position of its
+     * queue: ascending deadline, no-deadline entries last, admission
+     * order among equals.
+     */
+    void
+    push(u64 tenant, std::optional<TimePoint> deadline, Payload payload)
+    {
+        Entry e;
+        e.tenant = tenant;
+        e.seq = nextSeq_++;
+        e.hasDeadline = deadline.has_value();
+        if (e.hasDeadline)
+            e.deadline = *deadline;
+        e.payload = std::move(payload);
+
+        Tenant &t = tenantFor(tenant);
+        const auto pos = std::upper_bound(
+            t.q.begin(), t.q.end(), e,
+            [](const Entry &a, const Entry &b) { return edfBefore(a, b); });
+        t.q.insert(pos, std::move(e));
+        ++size_;
+        activate(tenant, t);
+    }
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Serve the next request: weighted DRR across tenants, EDF within
+     * the chosen tenant. Empty scheduler returns nullopt.
+     */
+    std::optional<Entry>
+    popNext()
+    {
+        while (size_ > 0) {
+            internalCheck(!rr_.empty(),
+                          "DrrScheduler: pending work but no active "
+                          "tenant");
+            Tenant &t = tenants_.at(rr_.front());
+            if (t.q.empty()) {
+                deactivateFront(t);
+                continue;
+            }
+            if (!t.charged) {
+                // Round entry: one quantum per turn, sized by weight.
+                t.deficit += static_cast<double>(t.weight);
+                t.charged = true;
+            }
+            if (t.deficit >= 1.0) {
+                Entry e = std::move(t.q.front());
+                t.q.pop_front();
+                --size_;
+                t.deficit -= 1.0;
+                if (t.q.empty())
+                    deactivateFront(t);
+                return e;
+            }
+            // Turn over: move to the back of the rotation.
+            t.charged = false;
+            rr_.push_back(rr_.front());
+            rr_.pop_front();
+        }
+        return std::nullopt;
+    }
+
+    /**
+     * Batch fill: pop up to @p max entries satisfying @p pred (the
+     * leader's batch key), scanning tenants in rotation order and each
+     * tenant's queue in EDF order. Every entry taken charges its
+     * tenant's deficit (which may go negative -- the debt is repaid in
+     * later DRR rounds), so opportunistic coalescing cannot inflate a
+     * tenant's long-run share.
+     */
+    template <typename Pred>
+    std::vector<Entry>
+    popMatching(const Pred &pred, size_t max)
+    {
+        std::vector<Entry> taken;
+        if (max == 0 || size_ == 0)
+            return taken;
+        const std::vector<u64> order(rr_.begin(), rr_.end());
+        for (const u64 id : order) {
+            Tenant &t = tenants_.at(id);
+            for (auto it = t.q.begin();
+                 it != t.q.end() && taken.size() < max;) {
+                if (pred(static_cast<const Entry &>(*it))) {
+                    taken.push_back(std::move(*it));
+                    it = t.q.erase(it);
+                    --size_;
+                    t.deficit -= 1.0;
+                } else {
+                    ++it;
+                }
+            }
+            if (t.q.empty())
+                deactivate(id, t);
+            if (taken.size() >= max)
+                break;
+        }
+        return taken;
+    }
+
+    /**
+     * Shed every entry whose deadline has passed @p now. EDF ordering
+     * puts each tenant's earliest deadline at its queue front, so this
+     * is a front scan per tenant (no-deadline entries are never shed).
+     */
+    std::vector<Entry>
+    popExpired(TimePoint now)
+    {
+        std::vector<Entry> expired;
+        if (size_ == 0)
+            return expired;
+        const std::vector<u64> order(rr_.begin(), rr_.end());
+        for (const u64 id : order) {
+            Tenant &t = tenants_.at(id);
+            while (!t.q.empty() && t.q.front().hasDeadline &&
+                   t.q.front().deadline < now) {
+                expired.push_back(std::move(t.q.front()));
+                t.q.pop_front();
+                --size_;
+            }
+            if (t.q.empty())
+                deactivate(id, t);
+        }
+        return expired;
+    }
+
+  private:
+    struct Tenant
+    {
+        std::deque<Entry> q; ///< EDF-ordered
+        u32 weight = 1;
+        double deficit = 0.0;
+        bool charged = false; ///< quantum granted for the current turn
+        bool active = false;  ///< present in rr_
+    };
+
+    static bool
+    edfBefore(const Entry &a, const Entry &b)
+    {
+        if (a.hasDeadline != b.hasDeadline)
+            return a.hasDeadline; // deadlines before best-effort
+        if (a.hasDeadline && a.deadline != b.deadline)
+            return a.deadline < b.deadline;
+        return a.seq < b.seq;
+    }
+
+    Tenant &
+    tenantFor(u64 id)
+    {
+        return tenants_[id]; // value-initialised on first use
+    }
+
+    void
+    activate(u64 id, Tenant &t)
+    {
+        if (!t.active) {
+            t.active = true;
+            rr_.push_back(id);
+        }
+    }
+
+    /** Remove the rotation-front tenant (must be @p t) from rr_. */
+    void
+    deactivateFront(Tenant &t)
+    {
+        t.active = false;
+        t.charged = false;
+        t.deficit = 0.0; // an idle tenant accrues no credit or debt
+        rr_.pop_front();
+    }
+
+    void
+    deactivate(u64 id, Tenant &t)
+    {
+        if (!t.active)
+            return;
+        t.active = false;
+        t.charged = false;
+        t.deficit = 0.0;
+        rr_.erase(std::find(rr_.begin(), rr_.end(), id));
+    }
+
+    std::map<u64, Tenant> tenants_;
+    std::deque<u64> rr_; ///< rotation order of tenants with work
+    u64 nextSeq_ = 0;
+    size_t size_ = 0;
+};
+
+} // namespace cross::serving

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <optional>
 #include <utility>
 
+#include "ckks/schedule.h"
 #include "common/check.h"
 
 namespace cross::serving {
@@ -19,6 +21,8 @@ ServingEngine::ServingEngine(const ckks::CkksContext &ctx,
                 "ServingEngine: maxBatch must be positive");
     requireThat(cfg_.dispatchers > 0,
                 "ServingEngine: need at least one dispatcher");
+    requireThat(cfg_.costScale > 0,
+                "ServingEngine: costScale must be positive");
     paused_ = cfg_.startPaused;
     dispatchers_.reserve(cfg_.dispatchers);
     for (u32 i = 0; i < cfg_.dispatchers; ++i)
@@ -31,9 +35,15 @@ ServingEngine::~ServingEngine()
 }
 
 ServingEngine::Stream
-ServingEngine::openStream()
+ServingEngine::openStream(StreamOptions opts)
 {
-    return Stream(this, nextStream_.fetch_add(1) + 1,
+    requireThat(opts.weight >= 1,
+                "ServingEngine::openStream: tenant weight must be >= 1");
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        sched_.setWeight(opts.tenant, opts.weight);
+    }
+    return Stream(this, nextStream_.fetch_add(1) + 1, opts.tenant,
                   ctx_.keySwitchCache());
 }
 
@@ -55,7 +65,7 @@ ServingEngine::checkStream(const Stream &stream) const
 
 std::future<ckks::Ciphertext>
 ServingEngine::submit(Stream &stream, const ckks::Pipeline &pipe,
-                      ckks::Ciphertext input)
+                      ckks::Ciphertext input, SubmitOptions opts)
 {
     checkStream(stream);
     // Ciphertext-operand stages reference a caller-sized rhs batch;
@@ -70,12 +80,18 @@ ServingEngine::submit(Stream &stream, const ckks::Pipeline &pipe,
     r.pipe = &pipe;
     r.input = std::move(input);
     r.stream = stream.id_;
+    r.tenant = stream.tenant_;
+    if (opts.deadlineUs > 0) {
+        r.hasDeadline = true;
+        r.deadline =
+            Clock::now() + std::chrono::microseconds(opts.deadlineUs);
+    }
     return enqueue(std::move(r));
 }
 
 std::future<ckks::Ciphertext>
 ServingEngine::submit(Stream &stream, graph::CompiledGraph &model,
-                      ckks::Ciphertext input)
+                      ckks::Ciphertext input, SubmitOptions opts)
 {
     checkStream(stream);
     requireThat(model.inputCount() == 1 && model.outputCount() == 1,
@@ -85,7 +101,65 @@ ServingEngine::submit(Stream &stream, graph::CompiledGraph &model,
     r.model = &model;
     r.input = std::move(input);
     r.stream = stream.id_;
+    r.tenant = stream.tenant_;
+    if (opts.deadlineUs > 0) {
+        r.hasDeadline = true;
+        r.deadline =
+            Clock::now() + std::chrono::microseconds(opts.deadlineUs);
+    }
     return enqueue(std::move(r));
+}
+
+double
+ServingEngine::modelEstimateUs(const Request &r) const
+{
+    if (r.input.limbs() < 1)
+        return 0.0;
+    const size_t level = r.input.limbs() - 1;
+    const void *target = r.pipe ? static_cast<const void *>(r.pipe)
+                                : static_cast<const void *>(r.model);
+    const auto key = std::make_pair(target, level);
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        const auto it = estCache_.find(key);
+        if (it != estCache_.end())
+            return it->second;
+    }
+    // Pricing enumerates the whole kernel schedule -- keep it outside
+    // the engine lock and memoise per (model, level).
+    double us = 0.0;
+    if (r.pipe) {
+        if (cfg_.costModel)
+            us = cfg_.costModel->pipelineLatencyUs(r.pipe->pipelineOps(),
+                                                   level, 1);
+    } else {
+        // Compiled graphs carry their own schedule price (0 when the
+        // graph was compiled without a device).
+        switch (r.model->schedule()) {
+          case graph::ScheduleKind::PerOp:
+            us = r.model->perOpCostUs();
+            break;
+          case graph::ScheduleKind::Hoisted:
+            us = r.model->hoistedCostUs();
+            break;
+          default:
+            us = r.model->fusedCostUs();
+            break;
+        }
+    }
+    std::lock_guard<std::mutex> lock(m_);
+    estCache_.emplace(key, us);
+    return us;
+}
+
+double
+ServingEngine::estimatePipelineUs(const ckks::Pipeline &pipe,
+                                  size_t level) const
+{
+    if (!cfg_.costModel)
+        return 0.0;
+    return cfg_.costScale *
+           cfg_.costModel->pipelineLatencyUs(pipe.pipelineOps(), level, 1);
 }
 
 std::future<ckks::Ciphertext>
@@ -94,49 +168,94 @@ ServingEngine::enqueue(Request r)
     requireThat(r.input.limbs() >= 1,
                 "ServingEngine::submit: empty input ciphertext");
     std::future<ckks::Ciphertext> fut = r.result.get_future();
+    // Admission control: a deadline the batch-latency estimate says we
+    // cannot make is shed *now*, before it occupies a queue slot the
+    // feasible requests need. Estimate outside the lock (it prices a
+    // kernel schedule on a miss).
+    double est_wall_us = 0.0;
+    if (r.hasDeadline && cfg_.costModel)
+        est_wall_us = cfg_.costScale * modelEstimateUs(r);
     {
         std::lock_guard<std::mutex> lock(m_);
         if (stopping_) {
             ++stats_.rejected;
+            ++tenantStats_[r.tenant].rejected;
             r.result.set_exception(std::make_exception_ptr(ShutdownError(
                 "ServingEngine: engine is shutting down")));
             return fut;
         }
-        if (queue_.size() >= cfg_.maxQueueDepth) {
+        if (r.hasDeadline) {
+            const auto earliest_finish =
+                Clock::now() + std::chrono::microseconds(
+                                   static_cast<u64>(est_wall_us));
+            if (r.deadline < earliest_finish) {
+                ++stats_.rejected;
+                ++stats_.deadlineRejected;
+                ++tenantStats_[r.tenant].rejected;
+                r.result.set_exception(
+                    std::make_exception_ptr(DeadlineError(
+                        "ServingEngine: deadline infeasible at submit "
+                        "(closer than the batch-latency estimate)")));
+                return fut;
+            }
+        }
+        if (sched_.size() >= cfg_.maxQueueDepth) {
             // Backpressure: reject-with-error, never block the
             // submitter -- a closed-loop client slows down, an
             // open-loop one sees the overload explicitly.
             ++stats_.rejected;
+            ++tenantStats_[r.tenant].rejected;
             r.result.set_exception(std::make_exception_ptr(QueueFullError(
                 "ServingEngine: request queue is full")));
             return fut;
         }
         ++stats_.submitted;
-        queue_.push_back(std::move(r));
+        ++tenantStats_[r.tenant].submitted;
+        const u64 tenant = r.tenant;
+        std::optional<Clock::time_point> deadline;
+        if (r.hasDeadline)
+            deadline = r.deadline;
+        sched_.push(tenant, deadline, std::move(r));
     }
     cv_.notify_one();
     return fut;
 }
 
+void
+ServingEngine::collectExpiredLocked(std::vector<Request> &shed)
+{
+    if (sched_.empty())
+        return;
+    for (auto &e : sched_.popExpired(Clock::now())) {
+        ++stats_.failed;
+        ++stats_.deadlineShed;
+        ++tenantStats_[e.tenant].shed;
+        shed.push_back(std::move(e.payload));
+    }
+}
+
 std::vector<ServingEngine::Request>
 ServingEngine::formBatchLocked()
 {
+    // The leader is the scheduler's pick: weighted DRR across tenants,
+    // EDF inside the winning tenant. The rest of the batch is filled
+    // with requests sharing the leader's (model, level, scale) from
+    // any tenant -- they ride the same resident rotation-key working
+    // set, and each one is charged to its own tenant's DRR account.
+    auto leader = sched_.popNext();
+    internalCheck(leader.has_value(),
+                  "ServingEngine: batch forming on an empty scheduler");
     std::vector<Request> formed;
-    formed.push_back(std::move(queue_.front()));
-    queue_.pop_front();
+    formed.push_back(std::move(leader->payload));
     const BatchKey key = keyOf(formed.front());
-    // Sweep the rest of the queue for requests sharing the leader's
-    // (model, level, scale) -- the ones whose rotation-key working
-    // set is already being made resident for this batch. Skipped
-    // requests keep their arrival order for the next batch.
-    for (auto it = queue_.begin();
-         it != queue_.end() && formed.size() < cfg_.maxBatch;) {
-        if (keyOf(*it) == key) {
-            formed.push_back(std::move(*it));
-            it = queue_.erase(it);
-        } else {
-            ++it;
-        }
+    if (formed.size() < cfg_.maxBatch) {
+        auto fill = sched_.popMatching(
+            [&](const DrrScheduler<Request>::Entry &e) {
+                return keyOf(e.payload) == key;
+            },
+            cfg_.maxBatch - formed.size());
+        for (auto &e : fill)
+            formed.push_back(std::move(e.payload));
     }
     ++stats_.batches;
     stats_.batchedRequests += formed.size();
@@ -149,43 +268,51 @@ ServingEngine::dispatchLoop()
 {
     for (;;) {
         std::vector<Request> formed;
+        std::vector<Request> shed;
         {
             std::unique_lock<std::mutex> lock(m_);
             cv_.wait(lock, [&] {
-                return stopping_ || (!paused_ && !queue_.empty());
+                return stopping_ || (!paused_ && !sched_.empty());
             });
-            if (queue_.empty()) {
+            if (sched_.empty()) {
                 if (stopping_)
                     return; // drained
                 continue;
             }
-            if (cfg_.maxBatchWaitMicros > 0 && !stopping_ &&
-                queue_.size() < cfg_.maxBatch) {
+            // Shed before forming: a request whose deadline passed
+            // while it waited must not spend a batch slot.
+            collectExpiredLocked(shed);
+            if (!sched_.empty() && cfg_.maxBatchWaitMicros > 0 &&
+                !stopping_ && sched_.size() < cfg_.maxBatch) {
                 // Batch-growing patience: hold the batch open up to
                 // the knob so late arrivals join it. A full batch,
                 // pause(), or shutdown() ends the wait early; the
                 // queue can only grow while we hold the leader slot,
                 // never drain (other dispatchers wait on cv_ too, but
-                // a spurious-wake race is resolved by the re-check
+                // a spurious-wake race is resolved by the re-checks
                 // below).
                 const auto deadline =
-                    std::chrono::steady_clock::now() +
+                    Clock::now() +
                     std::chrono::microseconds(cfg_.maxBatchWaitMicros);
                 cv_.wait_until(lock, deadline, [&] {
                     return stopping_ || paused_ ||
-                           queue_.size() >= cfg_.maxBatch;
+                           sched_.size() >= cfg_.maxBatch;
                 });
-                if (queue_.empty()) {
-                    if (stopping_)
-                        return; // drained
-                    continue;
-                }
-                if (paused_ && !stopping_)
-                    continue; // back to the outer gate
+                // Deadlines kept ticking through the wait.
+                collectExpiredLocked(shed);
             }
-            formed = formBatchLocked();
+            if (!sched_.empty() && !(paused_ && !stopping_))
+                formed = formBatchLocked();
         }
-        execute(formed);
+        // Promises are fulfilled outside the lock: a waiter woken by
+        // set_exception may immediately call back into the engine.
+        for (auto &r : shed)
+            r.result.set_exception(std::make_exception_ptr(DeadlineError(
+                "ServingEngine: deadline passed while queued")));
+        if (!formed.empty())
+            execute(formed);
+        // An empty round (all shed / paused / spurious) loops back to
+        // the gate, which also handles the stopping_ + drained exit.
     }
 }
 
@@ -216,6 +343,8 @@ ServingEngine::execute(std::vector<Request> &reqs)
         {
             std::lock_guard<std::mutex> lock(m_);
             stats_.completed += reqs.size();
+            for (const auto &r : reqs)
+                ++tenantStats_[r.tenant].completed;
         }
         for (size_t i = 0; i < reqs.size(); ++i)
             reqs[i].result.set_value(std::move(out[i]));
@@ -287,11 +416,18 @@ ServingEngine::stats() const
     return stats_;
 }
 
+std::map<u64, TenantStats>
+ServingEngine::tenantStats() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return tenantStats_;
+}
+
 size_t
 ServingEngine::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(m_);
-    return queue_.size();
+    return sched_.size();
 }
 
 } // namespace cross::serving

@@ -1,7 +1,8 @@
 /**
  * @file
  * Async encrypted-inference serving engine: a futures-based submission
- * API over the existing thread pool, with dynamic batch forming.
+ * API over the existing thread pool, with dynamic batch forming,
+ * multi-tenant weighted fairness and deadline-aware load shedding.
  *
  * The paper's throughput story is amortisation across batches
  * (Fig. 11b): the switching-key operands are streamed once and reused
@@ -14,18 +15,33 @@
  *  - submit() enqueues one encrypted request (a ciphertext plus the
  *    model to run it through -- a caller-owned fused Pipeline or a
  *    1-input/1-output graph::CompiledGraph) and returns a
- *    std::future<Ciphertext> immediately.
- *  - Dispatcher threads coalesce everything waiting for the same
- *    (model, level, scale) into one Pipeline batch and execute it as
- *    a single BatchEvaluator::run over the global thread pool. The
- *    grouping key is exactly the rotation-key working set: requests
- *    sharing a model at one level touch the same (key, level)
- *    precomps, so the LRU KeySwitchCache serves the whole batch from
- *    the resident set instead of thrashing between key sets.
- *    Batches are formed from whatever is queued when a dispatcher
- *    frees up ("continuous batching"): under closed-loop load the
- *    batch size self-tunes to the number of in-flight streams, with
- *    no artificial batching delay at low load.
+ *    std::future<Ciphertext> immediately. SubmitOptions optionally
+ *    attaches a per-request deadline.
+ *  - Every Stream belongs to a *tenant* (StreamOptions: tenant id +
+ *    scheduling weight). Pending requests live in per-tenant queues;
+ *    dispatchers pick the next request by weighted deficit-round-robin
+ *    across tenants with an earliest-deadline-first order inside each
+ *    tenant (drr_scheduler.h), so a low-weight tenant keeps its
+ *    weighted share of service even under a saturating high-priority
+ *    load, and the most urgent request of the tenant that is up is
+ *    always served first.
+ *  - The chosen request leads a batch; the rest of the batch is filled
+ *    with requests sharing its (model, level, scale) from any tenant
+ *    (each charged to its own tenant's DRR account). The grouping key
+ *    is exactly the rotation-key working set: requests sharing a model
+ *    at one level touch the same (key, level) precomps, so the LRU
+ *    KeySwitchCache serves the whole batch from the resident set
+ *    instead of thrashing between key sets. Batches are formed from
+ *    whatever is queued when a dispatcher frees up ("continuous
+ *    batching"), with no artificial delay at low load.
+ *  - Deadline-aware shedding: a submit whose deadline is provably
+ *    infeasible -- already in the past, or closer than the cost
+ *    model's batch-latency estimate for its model
+ *    (HeOpCostModel::pipelineLatencyUs, scaled by
+ *    ServingConfig::costScale) -- is rejected up front with
+ *    DeadlineError; a queued request whose deadline passes while it
+ *    waits is shed at dispatch time instead of wasting a batch slot.
+ *    Both land in ServingStats (deadlineRejected / deadlineShed).
  *  - The queue is bounded: a submit() past maxQueueDepth is rejected
  *    with QueueFullError delivered through the returned future (the
  *    backpressure signal; the engine never blocks a submitter).
@@ -37,19 +53,20 @@
  * Results are bit-identical to running each request sequentially
  * through the scalar evaluator, whatever batches the dispatcher forms
  * -- that is BatchEvaluator::run's conformance guarantee, and the
- * closed-loop bench re-asserts it end to end.
+ * closed- and open-loop benches re-assert it end to end.
  *
  * Lifetime rules: the context, every submitted Pipeline / model and
  * the key material they reference must outlive the engine's last
  * in-flight request; Streams must not outlive their engine. One
  * engine per context is the intended shape (the cache residency
- * budget is context-level).
+ * budget is context-level). See docs/SERVING.md for the full
+ * semantics.
  */
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <future>
 #include <map>
 #include <memory>
@@ -63,6 +80,7 @@
 #include "ckks/graph/compiler.h"
 #include "ckks/keyswitch_cache.h"
 #include "common/types.h"
+#include "serving/drr_scheduler.h"
 
 namespace cross::serving {
 
@@ -90,7 +108,18 @@ class ShutdownError : public RejectedError
     using RejectedError::RejectedError;
 };
 
-/** Admission and batch-forming knobs. */
+/**
+ * Load shedding: the request's deadline was infeasible at submit time
+ * (past, or closer than the cost model's latency estimate), or passed
+ * while the request waited in the queue.
+ */
+class DeadlineError : public RejectedError
+{
+  public:
+    using RejectedError::RejectedError;
+};
+
+/** Admission, batch-forming and scheduling knobs. */
 struct ServingConfig
 {
     /** Pending requests past this are rejected (QueueFullError). */
@@ -115,18 +144,79 @@ struct ServingConfig
     /** Start with dispatch paused (requests queue but do not run
      *  until resume()) -- deterministic batch-forming for tests. */
     bool startPaused = false;
+    /**
+     * Deadline admission control: when set, a submit carrying a
+     * deadline is rejected (DeadlineError) unless
+     *
+     *     now + costScale * estimate <= deadline
+     *
+     * where estimate is HeOpCostModel::pipelineLatencyUs of the
+     * request's pipeline at its level (batch 1, the conservative
+     * no-amortisation bound), or the compiled graph's scheduled cost.
+     * Null (the default) disables estimate-based admission control;
+     * already-expired deadlines are still rejected, and queued
+     * requests whose deadline passes are still shed at dispatch.
+     * The model must outlive the engine.
+     */
+    const ckks::HeOpCostModel *costModel = nullptr;
+    /**
+     * Wall-clock microseconds per cost-model microsecond. The cost
+     * model prices a simulated accelerator; the host CPU running the
+     * functional stack is slower by a roughly constant factor, so
+     * calibrate with a measured ratio (the open-loop bench divides a
+     * measured sequential latency by the model estimate). 1.0 takes
+     * the model's numbers at face value.
+     */
+    double costScale = 1.0;
+};
+
+/** Tenant identity and scheduling share of one stream. */
+struct StreamOptions
+{
+    /** Tenant (fairness account) this stream's requests bill to. */
+    u64 tenant = 0;
+    /**
+     * DRR weight of the tenant -- its service share per scheduling
+     * round relative to other tenants (a weight-4 tenant is served 4
+     * requests for every 1 of a weight-1 tenant when both are
+     * backlogged). Must be >= 1. The tenant's weight is updated each
+     * time a stream opens for it; the last setting wins.
+     */
+    u32 weight = 1;
+};
+
+/** Per-request submission options. */
+struct SubmitOptions
+{
+    /**
+     * Deadline, microseconds from submit time; 0 (the default) means
+     * best-effort (no deadline -- scheduled after the tenant's
+     * deadline-bearing requests, FIFO among themselves, never shed).
+     */
+    u64 deadlineUs = 0;
+};
+
+/** Per-tenant monotonic counters (a snapshot; see tenantStats()). */
+struct TenantStats
+{
+    u64 submitted = 0; ///< requests admitted to this tenant's queue
+    u64 rejected = 0;  ///< backpressure + shutdown + infeasible-deadline
+    u64 completed = 0; ///< futures fulfilled with a result
+    u64 shed = 0;      ///< deadline passed while queued (subset of failed)
 };
 
 /** Monotonic engine counters (a snapshot; see stats()). */
 struct ServingStats
 {
-    u64 submitted = 0;       ///< requests admitted to the queue
-    u64 rejected = 0;        ///< backpressure + post-shutdown rejects
-    u64 completed = 0;       ///< futures fulfilled with a result
-    u64 failed = 0;          ///< futures fulfilled with an exception
-    u64 batches = 0;         ///< batches formed
-    u64 batchedRequests = 0; ///< requests across all formed batches
-    u64 maxBatch = 0;        ///< largest batch formed
+    u64 submitted = 0;        ///< requests admitted to the queue
+    u64 rejected = 0;         ///< backpressure + shutdown + deadline rejects
+    u64 completed = 0;        ///< futures fulfilled with a result
+    u64 failed = 0;           ///< futures fulfilled with an exception
+    u64 batches = 0;          ///< batches formed
+    u64 batchedRequests = 0;  ///< requests across all formed batches
+    u64 maxBatch = 0;         ///< largest batch formed
+    u64 deadlineRejected = 0; ///< infeasible at submit (subset of rejected)
+    u64 deadlineShed = 0;     ///< expired while queued (subset of failed)
 };
 
 /** Futures-based request broker over BatchEvaluator. */
@@ -154,7 +244,7 @@ class ServingEngine
       public:
         Stream(Stream &&other) noexcept
             : engine_(other.engine_), id_(other.id_),
-              guard_(std::move(other.guard_))
+              tenant_(other.tenant_), guard_(std::move(other.guard_))
         {
             other.engine_ = nullptr;
         }
@@ -164,6 +254,7 @@ class ServingEngine
                 guard_ = std::move(other.guard_);
                 engine_ = other.engine_;
                 id_ = other.id_;
+                tenant_ = other.tenant_;
                 other.engine_ = nullptr;
             }
             return *this;
@@ -172,41 +263,52 @@ class ServingEngine
         Stream &operator=(const Stream &) = delete;
 
         u64 id() const { return id_; }
+        /** Tenant this stream's requests bill to. */
+        u64 tenant() const { return tenant_; }
 
       private:
         friend class ServingEngine;
-        Stream(ServingEngine *engine, u64 id,
+        Stream(ServingEngine *engine, u64 id, u64 tenant,
                const ckks::KeySwitchCache &cache)
-            : engine_(engine), id_(id), guard_(cache)
+            : engine_(engine), id_(id), tenant_(tenant), guard_(cache)
         {
         }
 
         ServingEngine *engine_;
         u64 id_;
+        u64 tenant_;
         ckks::KeySwitchCache::ReaderGuard guard_;
     };
 
-    /** Open a request stream (thread-safe). */
-    Stream openStream();
+    /**
+     * Open a request stream (thread-safe). @p opts names the tenant
+     * the stream bills to and sets that tenant's scheduling weight.
+     * The default is tenant 0 at weight 1 -- a single-tenant engine
+     * degenerates to the plain FIFO batch former.
+     */
+    Stream openStream(StreamOptions opts = {});
 
     /**
      * Submit one request: run @p input through the caller-owned fused
      * @p pipe. Returns immediately; the future resolves to the result
-     * ciphertext, or to QueueFullError / ShutdownError on rejection,
-     * or to the evaluation error if the batch failed. The pipeline
-     * must contain no ciphertext-operand (rhs) stages -- those are
-     * batch-shaped and cannot be re-batched dynamically -- and must
-     * outlive the future's completion.
+     * ciphertext, or to QueueFullError / ShutdownError /
+     * DeadlineError on rejection or shedding, or to the evaluation
+     * error if the batch failed. The pipeline must contain no
+     * ciphertext-operand (rhs) stages -- those are batch-shaped and
+     * cannot be re-batched dynamically -- and must outlive the
+     * future's completion.
      *
      * @throws std::invalid_argument on misuse detected at submit time
      *         (foreign/moved-from stream, rhs stages, empty input).
      */
     std::future<ckks::Ciphertext> submit(Stream &stream,
                                          const ckks::Pipeline &pipe,
-                                         ckks::Ciphertext input);
+                                         ckks::Ciphertext input,
+                                         SubmitOptions opts = {});
     /** Stages hold pointers; a temporary pipeline would dangle. */
     std::future<ckks::Ciphertext> submit(Stream &, ckks::Pipeline &&,
-                                         ckks::Ciphertext) = delete;
+                                         ckks::Ciphertext,
+                                         SubmitOptions = {}) = delete;
 
     /**
      * Submit against a compiled model: @p model must be a
@@ -218,7 +320,8 @@ class ServingEngine
      */
     std::future<ckks::Ciphertext> submit(Stream &stream,
                                          graph::CompiledGraph &model,
-                                         ckks::Ciphertext input);
+                                         ckks::Ciphertext input,
+                                         SubmitOptions opts = {});
 
     /** @name Dispatch gate. pause() lets requests accumulate (they
      *  still count against the queue bound); resume() releases the
@@ -228,26 +331,44 @@ class ServingEngine
     /** @} */
 
     /**
-     * Stop accepting, run every already-queued request to completion,
-     * and join the dispatchers. Idempotent; called by the destructor.
+     * Stop accepting, run every already-queued request to completion
+     * (shedding only requests whose deadline has already passed), and
+     * join the dispatchers. Idempotent; called by the destructor.
      * Submissions during/after shutdown resolve to ShutdownError.
      */
     void shutdown();
 
     ServingStats stats() const;
+    /** Per-tenant counter snapshot (tenants seen so far). */
+    std::map<u64, TenantStats> tenantStats() const;
     /** Requests queued and not yet claimed by a dispatcher. */
     size_t queueDepth() const;
+
+    /**
+     * Wall-clock latency estimate (microseconds) the deadline
+     * admission control uses for @p pipe at @p level: the cost
+     * model's batch-1 pipelineLatencyUs times costScale, 0 when no
+     * cost model is configured. Exposed so clients can pick feasible
+     * deadlines from the same number the engine rejects against.
+     */
+    double estimatePipelineUs(const ckks::Pipeline &pipe,
+                              size_t level) const;
 
     const ckks::CkksContext &context() const { return ctx_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Request
     {
-        const ckks::Pipeline *pipe = nullptr;    ///< exactly one of
-        graph::CompiledGraph *model = nullptr;   ///< pipe / model set
+        const ckks::Pipeline *pipe = nullptr;  ///< exactly one of
+        graph::CompiledGraph *model = nullptr; ///< pipe / model set
         ckks::Ciphertext input;
         std::promise<ckks::Ciphertext> result;
         u64 stream = 0;
+        u64 tenant = 0;
+        bool hasDeadline = false;
+        Clock::time_point deadline{};
     };
 
     /** Batch-forming key: the model identity (== its rotation-key
@@ -269,8 +390,15 @@ class ServingEngine
 
     void checkStream(const Stream &stream) const;
     std::future<ckks::Ciphertext> enqueue(Request r);
+    /** Model-microseconds estimate for @p r (uncalibrated), cached by
+     *  (model identity, level); 0 when no cost model / no price. */
+    double modelEstimateUs(const Request &r) const;
     void dispatchLoop();
-    /** Form one batch from the queue front's key. m_ must be held. */
+    /** Move every expired entry out of the scheduler into @p shed,
+     *  updating the shed counters. m_ must be held; the promises are
+     *  fulfilled by the caller outside the lock. */
+    void collectExpiredLocked(std::vector<Request> &shed);
+    /** Form one batch: DRR/EDF leader + same-key fill. m_ held. */
     std::vector<Request> formBatchLocked();
     void execute(std::vector<Request> &reqs);
     std::mutex &modelLock(const void *model);
@@ -281,12 +409,16 @@ class ServingEngine
 
     mutable std::mutex m_;
     std::condition_variable cv_;
-    std::deque<Request> queue_;
+    /** Per-tenant EDF queues under weighted deficit-round-robin. */
+    DrrScheduler<Request> sched_;
     bool paused_ = false;
     bool stopping_ = false;
     ServingStats stats_;
+    std::map<u64, TenantStats> tenantStats_;
     /** Per-CompiledGraph run serialisation (value-slot reuse). */
     std::map<const void *, std::unique_ptr<std::mutex>> modelLocks_;
+    /** (model identity, level) -> model-us estimate memo. */
+    mutable std::map<std::pair<const void *, size_t>, double> estCache_;
 
     std::atomic<u64> nextStream_{0};
     std::vector<std::thread> dispatchers_;

@@ -15,6 +15,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <optional>
 #include <stdexcept>
 #include <thread>
@@ -27,8 +28,10 @@
 #include "ckks/evaluator.h"
 #include "ckks/graph/compiler.h"
 #include "ckks/keys.h"
+#include "ckks/schedule.h"
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "serving/drr_scheduler.h"
 #include "serving/serving.h"
 #include "workloads/ml_workloads.h"
 
@@ -556,6 +559,284 @@ TEST_F(ServingFixture, ConcurrentStreamsStressBoundedCacheBitIdentically)
     cache.releaseRetired();
     EXPECT_EQ(cache.retiredBytes(), 0u);
     cache.setByteBudget(0);
+}
+
+// ---------------------------------------------------------------------
+// DRR scheduler policy (deterministic, no threads): weighted fairness,
+// EDF ordering, batch-fill charging and deadline shedding
+// ---------------------------------------------------------------------
+using IntSched = DrrScheduler<int>;
+
+// The starvation regression test of the acceptance criteria: with both
+// tenants saturating their queues, the weight-1 tenant must keep
+// exactly its weighted share of service -- 1/(3+1) -- no matter how
+// much the weight-3 tenant pushes.
+TEST(DrrSchedulerTest, LowWeightTenantKeepsWeightedShareUnderSaturation)
+{
+    IntSched s;
+    s.setWeight(1, 3);
+    s.setWeight(2, 1);
+    for (int i = 0; i < 400; ++i)
+        s.push(1, std::nullopt, 1000 + i);
+    for (int i = 0; i < 400; ++i)
+        s.push(2, std::nullopt, 2000 + i);
+
+    size_t served1 = 0, served2 = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto e = s.popNext();
+        ASSERT_TRUE(e.has_value());
+        (e->tenant == 1 ? served1 : served2) += 1;
+    }
+    // 50 full DRR rounds of (3 x tenant-1, 1 x tenant-2).
+    EXPECT_EQ(served1, 150u);
+    EXPECT_EQ(served2, 50u);
+    EXPECT_EQ(s.size(), 600u);
+}
+
+TEST(DrrSchedulerTest, EdfOrdersDeadlinesBeforeBestEffortWithinTenant)
+{
+    using Clock = IntSched::Clock;
+    const auto now = Clock::now();
+    IntSched s;
+    s.push(1, std::nullopt, 100);
+    s.push(1, now + std::chrono::milliseconds(3), 3);
+    s.push(1, now + std::chrono::milliseconds(1), 1);
+    s.push(1, std::nullopt, 101);
+    s.push(1, now + std::chrono::milliseconds(2), 2);
+
+    for (const int expect : {1, 2, 3, 100, 101}) {
+        const auto e = s.popNext();
+        ASSERT_TRUE(e.has_value());
+        EXPECT_EQ(e->payload, expect);
+    }
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.popNext().has_value());
+}
+
+TEST(DrrSchedulerTest, PopMatchingFillsAcrossTenantsLeavingNonMatches)
+{
+    IntSched s;
+    s.push(1, std::nullopt, 2); // leader (even = shares the batch key)
+    s.push(1, std::nullopt, 3); // odd: a different batch key
+    s.push(2, std::nullopt, 4);
+    s.push(2, std::nullopt, 6);
+
+    const auto leader = s.popNext();
+    ASSERT_TRUE(leader.has_value());
+    EXPECT_EQ(leader->payload, 2);
+
+    const auto fill = s.popMatching(
+        [](const IntSched::Entry &e) { return e.payload % 2 == 0; }, 8);
+    ASSERT_EQ(fill.size(), 2u);
+    EXPECT_EQ(fill[0].payload, 4);
+    EXPECT_EQ(fill[1].payload, 6);
+    EXPECT_EQ(s.size(), 1u);
+
+    const auto rest = s.popNext();
+    ASSERT_TRUE(rest.has_value());
+    EXPECT_EQ(rest->payload, 3);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(DrrSchedulerTest, PopMatchingRespectsTheBatchCap)
+{
+    IntSched s;
+    for (int i = 0; i < 6; ++i)
+        s.push(1, std::nullopt, i);
+    const auto taken =
+        s.popMatching([](const IntSched::Entry &) { return true; }, 4);
+    EXPECT_EQ(taken.size(), 4u);
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(DrrSchedulerTest, PopExpiredShedsOnlyPastDeadlines)
+{
+    using Clock = IntSched::Clock;
+    const auto now = Clock::now();
+    IntSched s;
+    s.push(1, now - std::chrono::milliseconds(1), 1); // already expired
+    s.push(1, now + std::chrono::hours(1), 2);
+    s.push(1, std::nullopt, 3); // best-effort is never shed
+
+    const auto expired = s.popExpired(now);
+    ASSERT_EQ(expired.size(), 1u);
+    EXPECT_EQ(expired[0].payload, 1);
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.popNext()->payload, 2);
+    EXPECT_EQ(s.popNext()->payload, 3);
+}
+
+TEST(DrrSchedulerTest, ZeroWeightIsRejected)
+{
+    IntSched s;
+    EXPECT_THROW(s.setWeight(1, 0), std::invalid_argument);
+    EXPECT_EQ(s.weight(1), 1u); // untouched default
+}
+
+// ---------------------------------------------------------------------
+// Deadline admission control and dispatch-time shedding
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, InfeasibleDeadlineRejectedAtSubmitTime)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(2, 52);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    const Ciphertext ref = CkksEvaluator(ctx).rotate(inputs[1], k, rot_key);
+
+    lowering::Config lcfg;
+    const ckks::HeOpCostModel cost(tpu::tpuV6e(), lcfg, ctx.params());
+    ServingConfig cfg;
+    cfg.startPaused = true;
+    cfg.costModel = &cost;
+    // Enormous calibration factor: every model estimate becomes far
+    // larger than the 1 ms deadline below, so the reject is certain.
+    cfg.costScale = 1e6;
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    const size_t level = inputs[0].limbs() - 1;
+    EXPECT_GT(engine.estimatePipelineUs(p, level), 1e3);
+
+    auto rejected = engine.submit(stream, p, inputs[0], {.deadlineUs = 1000});
+    EXPECT_THROW(rejected.get(), DeadlineError);
+    auto st = engine.stats();
+    EXPECT_EQ(st.submitted, 0u);
+    EXPECT_EQ(st.rejected, 1u);
+    EXPECT_EQ(st.deadlineRejected, 1u);
+    EXPECT_EQ(engine.tenantStats().at(0).rejected, 1u);
+
+    // Best-effort requests carry no deadline and are never rejected by
+    // admission control.
+    auto ok = engine.submit(stream, p, inputs[1]);
+    EXPECT_EQ(engine.queueDepth(), 1u);
+    engine.resume();
+    expectEqual(ok.get(), ref);
+    EXPECT_EQ(engine.stats().completed, 1u);
+}
+
+TEST_F(ServingFixture, QueuedRequestPastDeadlineIsShedAtDispatch)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(2, 53);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingConfig cfg;
+    cfg.startPaused = true; // no cost model: admission never rejects
+    ServingEngine engine(ctx, cfg);
+    auto stream = engine.openStream();
+
+    auto doomed = engine.submit(stream, p, inputs[0], {.deadlineUs = 1});
+    auto ok = engine.submit(stream, p, inputs[1]);
+    EXPECT_EQ(engine.queueDepth(), 2u);
+    // Let the 1 us deadline pass while the engine is paused, then
+    // release the dispatcher: it must shed the expired request instead
+    // of spending a batch slot on it.
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    engine.resume();
+
+    EXPECT_THROW(doomed.get(), DeadlineError);
+    (void)ok.get();
+    const auto st = engine.stats();
+    EXPECT_EQ(st.completed, 1u);
+    EXPECT_EQ(st.failed, 1u);
+    EXPECT_EQ(st.deadlineShed, 1u);
+    EXPECT_EQ(st.batchedRequests, 1u);
+    EXPECT_EQ(engine.tenantStats().at(0).shed, 1u);
+}
+
+// The PR 8 timed-wait edge the issue calls out: a deadline-rejected
+// future still unread when the engine shuts down must stay readable
+// afterwards (the shared state outlives the engine).
+TEST_F(ServingFixture, ShutdownWithUnreadDeadlineRejectedFutureIsClean)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(1, 54);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    lowering::Config lcfg;
+    const ckks::HeOpCostModel cost(tpu::tpuV6e(), lcfg, ctx.params());
+    std::future<Ciphertext> unread;
+    {
+        ServingConfig cfg;
+        cfg.costModel = &cost;
+        cfg.costScale = 1e6;
+        cfg.maxBatchWaitMicros = 60u * 1000 * 1000; // park dispatchers
+        ServingEngine engine(ctx, cfg);
+        auto stream = engine.openStream();
+        unread = engine.submit(stream, p, inputs[0], {.deadlineUs = 1000});
+        engine.shutdown();
+    } // engine destroyed with the rejected future still unread
+    EXPECT_THROW(unread.get(), DeadlineError);
+}
+
+// ---------------------------------------------------------------------
+// Immediate dispatch (maxBatchWaitMicros == 0) and tenant accounting
+// ---------------------------------------------------------------------
+TEST_F(ServingFixture, ZeroWaitKnobDispatchesEachRequestImmediately)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(3, 55);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingEngine engine(ctx); // maxBatchWaitMicros = 0 (default)
+    auto stream = engine.openStream();
+    // Submitting one at a time and waiting for each leaves nothing to
+    // coalesce: pure continuous batching must dispatch each request as
+    // its own batch with no artificial delay.
+    for (const auto &ct : inputs)
+        (void)engine.submit(stream, p, ct).get();
+
+    const auto st = engine.stats();
+    EXPECT_EQ(st.completed, inputs.size());
+    EXPECT_EQ(st.batches, inputs.size());
+    EXPECT_EQ(st.maxBatch, 1u);
+}
+
+TEST_F(ServingFixture, TenantStatsTrackPerTenantCounters)
+{
+    const u32 k = encoder.rotationAutomorphism(1);
+    const auto rot_key = keygen.rotationKey(k);
+    const auto inputs = encryptBatch(5, 56);
+    Pipeline p;
+    p.rotate(k, rot_key);
+
+    setGlobalThreadCount(1);
+    ServingEngine engine(ctx);
+    EXPECT_THROW(engine.openStream({.tenant = 7, .weight = 0}),
+                 std::invalid_argument);
+    auto s7 = engine.openStream({.tenant = 7, .weight = 2});
+    auto s9 = engine.openStream({.tenant = 9, .weight = 1});
+    EXPECT_EQ(s7.tenant(), 7u);
+    EXPECT_EQ(s9.tenant(), 9u);
+
+    std::vector<std::future<Ciphertext>> futs;
+    for (int i = 0; i < 3; ++i)
+        futs.push_back(engine.submit(s7, p, inputs[i]));
+    for (int i = 3; i < 5; ++i)
+        futs.push_back(engine.submit(s9, p, inputs[i]));
+    for (auto &f : futs)
+        (void)f.get();
+
+    const auto ts = engine.tenantStats();
+    ASSERT_TRUE(ts.count(7) && ts.count(9));
+    EXPECT_EQ(ts.at(7).submitted, 3u);
+    EXPECT_EQ(ts.at(7).completed, 3u);
+    EXPECT_EQ(ts.at(9).submitted, 2u);
+    EXPECT_EQ(ts.at(9).completed, 2u);
+    EXPECT_EQ(ts.at(7).rejected + ts.at(9).rejected, 0u);
 }
 
 } // namespace
